@@ -1,0 +1,57 @@
+// Command dipbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per theorem of "Interactive Distributed Proofs" (PODC 2018),
+// plus the hash-family, adversary, building-block and ablation studies.
+//
+// Usage:
+//
+//	dipbench                  # run every experiment at full size
+//	dipbench -experiment E5   # run one experiment
+//	dipbench -quick           # reduced sizes (seconds instead of minutes)
+//	dipbench -seed 7          # change the reproducibility seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dip/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dipbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which = flag.String("experiment", "all", "experiment ID (E1..E9) or 'all'")
+		seed  = flag.Int64("seed", 1, "reproducibility seed")
+		quick = flag.Bool("quick", false, "reduced sizes and trial counts")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	runners := experiments.All()
+	if *which != "all" {
+		r, ok := experiments.ByID(*which)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *which)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		table, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Println(table.Format())
+		fmt.Printf("(%s finished in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

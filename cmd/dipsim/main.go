@@ -1,0 +1,217 @@
+// Command dipsim runs a single interactive distributed proof on a single
+// generated graph and prints the outcome and the exact per-node
+// communication cost.
+//
+// Usage:
+//
+//	dipsim -protocol sym-dmam -graph doubled -n 16
+//	dipsim -protocol sym-dam  -graph cycle   -n 12
+//	dipsim -protocol dsym-dam -side 8 -half 2
+//	dipsim -protocol gni      -n 6 -k 30
+//	dipsim -protocol gni-marked -n 6 -k 30
+//	dipsim -protocol sym-lcp  -graph doubled -n 20
+//
+// Graph kinds for the Sym protocols: cycle, complete, star, path, doubled
+// (a random rigid graph and its mirror joined by a bridge — always
+// symmetric), asymmetric (a random rigid graph — never symmetric).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dip/internal/core"
+	"dip/internal/graph"
+	"dip/internal/network"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protocol = flag.String("protocol", "sym-dmam", "sym-dmam | sym-dam | dsym-dam | gni | gni-marked | sym-lcp | gni-lcp")
+		kind     = flag.String("graph", "doubled", "cycle | complete | star | path | doubled | asymmetric")
+		n        = flag.Int("n", 16, "graph size (total vertices; for doubled/asymmetric the rigid core is sized to match)")
+		side     = flag.Int("side", 8, "DSym: vertices per dumbbell side")
+		half     = flag.Int("half", 1, "DSym: half-length of the connecting path")
+		k        = flag.Int("k", 30, "GNI: parallel repetitions")
+		seed     = flag.Int64("seed", 1, "reproducibility seed")
+		verbose  = flag.Bool("v", false, "print the full message transcript")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	opts := network.Options{Seed: *seed, RecordTranscript: *verbose}
+
+	var res *network.Result
+	var err error
+	switch *protocol {
+	case "sym-dmam", "sym-dam", "sym-lcp":
+		g, gerr := makeGraph(*kind, *n, rng)
+		if gerr != nil {
+			return gerr
+		}
+		fmt.Printf("graph: %s (%d vertices, %d edges)\n", *kind, g.N(), g.NumEdges())
+		switch *protocol {
+		case "sym-dmam":
+			proto, perr := core.NewSymDMAM(g.N(), *seed)
+			if perr != nil {
+				return perr
+			}
+			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+		case "sym-dam":
+			proto, perr := core.NewSymDAM(g.N(), *seed)
+			if perr != nil {
+				return perr
+			}
+			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+		case "sym-lcp":
+			proto, perr := core.NewSymLCP(g.N())
+			if perr != nil {
+				return perr
+			}
+			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+		}
+	case "dsym-dam":
+		f := graph.ConnectedGNP(*side, 0.5, rng)
+		g := graph.DSymGraph(f, *half)
+		fmt.Printf("graph: DSym dumbbell (side %d, path half-length %d, %d vertices)\n",
+			*side, *half, g.N())
+		proto, perr := core.NewDSymDAM(*side, *half, *seed)
+		if perr != nil {
+			return perr
+		}
+		res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+	case "gni", "gni-lcp":
+		inst, ierr := core.NewGNIYesInstance(*n, rng)
+		if ierr != nil {
+			return ierr
+		}
+		fmt.Printf("instance: two non-isomorphic rigid graphs on %d vertices\n", *n)
+		if *protocol == "gni" {
+			proto, perr := core.NewGNIDAMAM(*n, *k, *seed)
+			if perr != nil {
+				return perr
+			}
+			fmt.Printf("repetitions: %d (threshold %d)\n", proto.K(), proto.Threshold())
+			res, err = network.Run(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
+				proto.HonestProver(), opts)
+		} else {
+			proto, perr := core.NewGNILCP(*n)
+			if perr != nil {
+				return perr
+			}
+			res, err = network.Run(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
+				proto.HonestProver(), opts)
+		}
+	case "gni-marked":
+		a, aerr := graph.RandomAsymmetricConnected(*n, rng)
+		if aerr != nil {
+			return aerr
+		}
+		var b *graph.Graph
+		for {
+			var berr error
+			if b, berr = graph.RandomAsymmetricConnected(*n, rng); berr != nil {
+				return berr
+			}
+			if !graph.AreIsomorphic(a, b) {
+				break
+			}
+		}
+		b, _ = b.Shuffle(rng)
+		const hubs = 3
+		total := 2*(*n) + hubs
+		g := graph.New(total)
+		marks := make([]core.Mark, total)
+		for v := 0; v < *n; v++ {
+			marks[v] = core.MarkZero
+			marks[v+*n] = core.MarkOne
+		}
+		for v := 2 * (*n); v < total; v++ {
+			marks[v] = core.MarkNone
+		}
+		for _, e := range a.Edges() {
+			g.AddEdge(e[0], e[1])
+		}
+		for _, e := range b.Edges() {
+			g.AddEdge(e[0]+*n, e[1]+*n)
+		}
+		for v := 0; v < 2*(*n); v++ {
+			g.AddEdge(v, 2*(*n)+v%hubs)
+		}
+		for h := 1; h < hubs; h++ {
+			g.AddEdge(2*(*n), 2*(*n)+h)
+		}
+		fmt.Printf("instance: %d-node network, two rigid non-isomorphic induced %d-vertex subgraphs\n",
+			total, *n)
+		proto, perr := core.NewMarkedGNI(total, *n, *k, *seed)
+		if perr != nil {
+			return perr
+		}
+		fmt.Printf("repetitions: %d (threshold %d)\n", proto.Reps(), proto.Threshold())
+		inputs, ierr := core.EncodeMarks(marks)
+		if ierr != nil {
+			return ierr
+		}
+		res, err = network.Run(proto.Spec(), g, inputs, proto.HonestProver(), opts)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("accepted: %v\n", res.Accepted)
+	rejecting := 0
+	for _, d := range res.Decisions {
+		if !d {
+			rejecting++
+		}
+	}
+	fmt.Printf("rejecting nodes: %d / %d\n", rejecting, len(res.Decisions))
+	fmt.Printf("max prover bits per node: %d\n", res.Cost.MaxProverBits())
+	fmt.Printf("total prover bits:        %d\n", res.Cost.TotalProverBits())
+	fmt.Printf("max node-to-node bits:    %d\n", res.Cost.MaxNodeToNodeBits())
+	if *verbose && res.Transcript != nil {
+		fmt.Println()
+		fmt.Print(res.Transcript)
+	}
+	return nil
+}
+
+func makeGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {
+	switch kind {
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "doubled":
+		base := (n - 2) / 2
+		if base < 6 {
+			base = 6
+		}
+		core, err := graph.RandomAsymmetricConnected(base, rng)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Doubled(core, 0), nil
+	case "asymmetric":
+		if n < 6 {
+			n = 6
+		}
+		return graph.RandomAsymmetricConnected(n, rng)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

@@ -1,0 +1,325 @@
+// Package dip is the public facade of the interactive-distributed-proofs
+// library: a reproduction of "Interactive Distributed Proofs" (Kol, Oshman,
+// Saxena; PODC 2018).
+//
+// The paper's model: n network nodes, connected by a graph, interact over a
+// constant number of rounds with a single all-seeing but untrusted prover
+// to decide whether the graph satisfies a property; each node sees only its
+// own neighborhood and the prover messages delivered to itself and its
+// neighbors; the cost of a protocol is the number of bits each node
+// exchanges with the prover.
+//
+// This package exposes the paper's protocols through plain-Go entry points
+// (edge lists in, Report out). The full machinery — the proof engine, the
+// hash families, graph generators, adversarial provers, the lower-bound
+// framework and the experiment harness — lives in the internal packages and
+// is exercised by the examples, the experiment binary (cmd/dipbench) and
+// the benchmark suite.
+package dip
+
+import (
+	"fmt"
+
+	"dip/internal/core"
+	"dip/internal/graph"
+	"dip/internal/network"
+)
+
+// Options configure a protocol run.
+type Options struct {
+	// Seed makes runs reproducible: equal seeds (with the same inputs)
+	// yield identical node randomness. The prover additionally derives its
+	// hash moduli from Seed.
+	Seed int64
+	// Repetitions is the parallel-repetition count of the GNI protocol
+	// (ignored elsewhere). 0 selects the default of 40.
+	Repetitions int
+}
+
+// Report summarizes a protocol run.
+type Report struct {
+	// Protocol is the protocol's name, e.g. "sym-dmam".
+	Protocol string
+	// Accepted is true iff every node accepted. On yes-instances with the
+	// honest prover this holds with probability > 2/3 (for the protocols
+	// here: essentially always); on no-instances no prover pushes it above
+	// 1/3.
+	Accepted bool
+	// Decisions holds the per-node outputs.
+	Decisions []bool
+	// MaxProverBits is the paper's cost measure: the maximum over nodes of
+	// bits exchanged with the prover, challenges included.
+	MaxProverBits int
+	// TotalProverBits sums prover-communication bits over all nodes.
+	TotalProverBits int
+	// MaxNodeToNodeBits is the largest number of bits any node sent to its
+	// neighbors.
+	MaxNodeToNodeBits int
+}
+
+func report(name string, res *network.Result) Report {
+	return Report{
+		Protocol:          name,
+		Accepted:          res.Accepted,
+		Decisions:         res.Decisions,
+		MaxProverBits:     res.Cost.MaxProverBits(),
+		TotalProverBits:   res.Cost.TotalProverBits(),
+		MaxNodeToNodeBits: res.Cost.MaxNodeToNodeBits(),
+	}
+}
+
+// buildGraph validates an edge list and builds the graph.
+func buildGraph(n int, edges [][2]int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dip: graph needs at least one vertex, got %d", n)
+	}
+	g := graph.New(n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("dip: edge {%d,%d} outside vertex range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("dip: self-loop at %d", u)
+		}
+		g.AddEdge(u, v)
+	}
+	return g, nil
+}
+
+// ProveSymmetry runs Protocol 1 (Theorem 1.1): the O(log n)-bit dMAM
+// interactive proof that the graph has a non-trivial automorphism, against
+// the honest prover (which searches for the automorphism itself). The graph
+// must be connected.
+func ProveSymmetry(n int, edges [][2]int, opts Options) (Report, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymDMAM(n, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("sym-dmam", res), nil
+}
+
+// ProveSymmetryChallengeFirst runs Protocol 2 (Theorem 1.3): the
+// O(n log n)-bit dAM proof of symmetry, where the nodes speak first. The
+// graph must be connected.
+func ProveSymmetryChallengeFirst(n int, edges [][2]int, opts Options) (Report, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymDAM(n, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("sym-dam", res), nil
+}
+
+// ProveDumbbellSymmetry runs the DSym dAM protocol of Theorem 1.2's upper
+// bound: O(log n) bits for dumbbell graphs with the fixed side-swapping
+// automorphism. side and half are the (n, r) of Definition 5; the graph
+// must have 2·side + 2·half + 1 vertices.
+func ProveDumbbellSymmetry(side, half int, edges [][2]int, opts Options) (Report, error) {
+	proto, err := core.NewDSymDAM(side, half, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	g, err := buildGraph(proto.N(), edges)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("dsym-dam", res), nil
+}
+
+// ProveNonIsomorphism runs the distributed Goldwasser–Sipser dAMAM protocol
+// of Theorem 1.5 on the pair (G₀, G₁): G₀ (edges0) is the network graph and
+// G₁ (edges1) is handed to the nodes as inputs, row by row. Both graphs
+// should be connected and asymmetric (the paper's promise; compose with
+// ProveSymmetry to discharge it). Acceptance indicates non-isomorphism.
+//
+// The honest prover enumerates up to 2·n! permutations per repetition;
+// keep n at most about 8.
+func ProveNonIsomorphism(n int, edges0, edges1 [][2]int, opts Options) (Report, error) {
+	g0, err := buildGraph(n, edges0)
+	if err != nil {
+		return Report{}, err
+	}
+	g1, err := buildGraph(n, edges1)
+	if err != nil {
+		return Report{}, err
+	}
+	k := opts.Repetitions
+	if k == 0 {
+		k = 40
+	}
+	proto, err := core.NewGNIDAMAM(n, k, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g0, g1, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("gni-damam", res), nil
+}
+
+// SymmetryAdviceBits returns the per-node advice length of the
+// non-interactive ("distributed NP") baseline for symmetry — the Θ(n²)
+// cost that Theorems 1.1–1.2 beat exponentially.
+func SymmetryAdviceBits(n int) (int, error) {
+	lcp, err := core.NewSymLCP(n)
+	if err != nil {
+		return 0, err
+	}
+	return lcp.AdviceBits(), nil
+}
+
+// ProveSymmetryNonInteractive runs the Θ(n²)-bit LCP baseline.
+func ProveSymmetryNonInteractive(n int, edges [][2]int, opts Options) (Report, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return Report{}, err
+	}
+	lcp, err := core.NewSymLCP(n)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := lcp.Run(g, lcp.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("sym-lcp", res), nil
+}
+
+// IsSymmetric decides symmetry centrally (no protocol): a ground-truth
+// helper for building scenarios and checking protocol outcomes.
+func IsSymmetric(n int, edges [][2]int) (bool, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return false, err
+	}
+	return graph.FindNontrivialAutomorphism(g) != nil, nil
+}
+
+// AreIsomorphic decides isomorphism centrally (no protocol): the
+// ground-truth helper for GNI scenarios.
+func AreIsomorphic(n int, edges0, edges1 [][2]int) (bool, error) {
+	g0, err := buildGraph(n, edges0)
+	if err != nil {
+		return false, err
+	}
+	g1, err := buildGraph(n, edges1)
+	if err != nil {
+		return false, err
+	}
+	return graph.AreIsomorphic(g0, g1), nil
+}
+
+// ProveNonIsomorphismGeneral runs the promise-free GNI protocol (the
+// automorphism-compensated extension): unlike ProveNonIsomorphism it is
+// correct on symmetric graphs too. The prover enumerates the automorphism
+// groups by brute force, so n is limited to 8.
+func ProveNonIsomorphismGeneral(n int, edges0, edges1 [][2]int, opts Options) (Report, error) {
+	g0, err := buildGraph(n, edges0)
+	if err != nil {
+		return Report{}, err
+	}
+	g1, err := buildGraph(n, edges1)
+	if err != nil {
+		return Report{}, err
+	}
+	k := opts.Repetitions
+	if k == 0 {
+		k = 40
+	}
+	proto, err := core.NewGNIGeneral(n, k, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g0, g1, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("gni-general", res), nil
+}
+
+// ProveSymmetryFingerprinted runs the randomized proof-labeling scheme
+// ([4]-style): the prover's advice is the full Θ(n²) certificate, but the
+// nodes verify mutual consistency by exchanging O(log n)-bit fingerprints
+// instead of the advice itself. Compare Report.MaxNodeToNodeBits against
+// ProveSymmetryNonInteractive to see the saving.
+func ProveSymmetryFingerprinted(n int, edges [][2]int, opts Options) (Report, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return Report{}, err
+	}
+	rpls, err := core.NewSymRPLS(n, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := rpls.Run(g, rpls.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("sym-rpls", res), nil
+}
+
+// ProveInducedNonIsomorphism runs the marked formulation of GNI (the
+// paper's Section 2.3 alternative): edges describes the single network
+// graph, and marks assigns each node 0, 1 or -1 (⊥). The protocol decides
+// whether the subgraph induced by the 0-marked nodes is non-isomorphic to
+// the one induced by the 1-marked nodes; both marked sets must have the
+// same size k, and the induced subgraphs should be asymmetric (the paper's
+// promise). The prover enumerates 2·k! permutations per repetition.
+func ProveInducedNonIsomorphism(n int, edges [][2]int, marks []int, opts Options) (Report, error) {
+	g, err := buildGraph(n, edges)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(marks) != n {
+		return Report{}, fmt.Errorf("dip: %d marks for %d nodes", len(marks), n)
+	}
+	coreMarks := make([]core.Mark, n)
+	k := 0
+	for v, m := range marks {
+		switch m {
+		case 0:
+			coreMarks[v] = core.MarkZero
+			k++
+		case 1:
+			coreMarks[v] = core.MarkOne
+		case -1:
+			coreMarks[v] = core.MarkNone
+		default:
+			return Report{}, fmt.Errorf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
+		}
+	}
+	reps := opts.Repetitions
+	if reps == 0 {
+		reps = 40
+	}
+	proto, err := core.NewMarkedGNI(n, k, reps, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := proto.Run(g, coreMarks, proto.HonestProver(), opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("gni-marked", res), nil
+}

@@ -1,0 +1,3 @@
+module dip
+
+go 1.22

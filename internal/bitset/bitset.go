@@ -1,0 +1,296 @@
+// Package bitset provides dense, fixed-length bit vectors.
+//
+// The paper represents subsets of the vertex set V as characteristic vectors
+// in {0,1}^V (Section 2.1), and adjacency-matrix rows as vectors N(v). This
+// package is the concrete realization of those vectors: a Set is a sequence
+// of n bits backed by 64-bit words, supporting the boolean-algebra and
+// iteration operations the protocols need.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New to create a vector of a given length.
+//
+// All binary operations require both operands to have the same length and
+// panic otherwise: mixing vector lengths is a programming error, not a
+// runtime condition, in every caller in this module.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bit vector of length n. n must be non-negative.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a bit vector of length n with the given bits set.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the length (number of bit positions) of the vector.
+func (s *Set) Len() int { return s.n }
+
+// check panics if i is out of range.
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Flip toggles bit i.
+func (s *Set) Flip(i int) {
+	s.check(i)
+	s.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// SetTo sets bit i to v.
+func (s *Set) SetTo(i int, v bool) {
+	if v {
+		s.Add(i)
+	} else {
+		s.Remove(i)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bits are set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t have the same length and the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameLen(t *Set, op string) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: %s of mismatched lengths %d and %d", op, s.n, t.n))
+	}
+}
+
+// UnionWith sets s to s ∪ t.
+func (s *Set) UnionWith(t *Set) {
+	s.sameLen(t, "union")
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith sets s to s ∩ t.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameLen(t, "intersect")
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// DifferenceWith sets s to s \ t.
+func (s *Set) DifferenceWith(t *Set) {
+	s.sameLen(t, "difference")
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// XorWith sets s to the symmetric difference of s and t.
+func (s *Set) XorWith(t *Set) {
+	s.sameLen(t, "xor")
+	for i := range s.words {
+		s.words[i] ^= t.words[i]
+	}
+}
+
+// Intersects reports whether s and t share any set bit.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameLen(t, "intersects")
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every set bit of s is also set in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameLen(t, "subset")
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear zeroes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all n bits.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits beyond position n-1 in the last word.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// NextSet returns the index of the first set bit at position >= from, or -1
+// if there is none. Iterate over all members with:
+//
+//	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := s.words[wi] >> (uint(from) % wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Indices returns the indices of all set bits in increasing order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// String renders the vector as a string of '0'/'1' characters, index 0 first.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Contains(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Bytes returns the vector packed into bytes, little-endian within each byte
+// (bit i of the vector is bit i%8 of byte i/8). The result has length
+// ceil(n/8).
+func (s *Set) Bytes() []byte {
+	out := make([]byte, (s.n+7)/8)
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		out[i/8] |= 1 << (uint(i) % 8)
+	}
+	return out
+}
+
+// FromBytes reconstructs a vector of length n from the packing produced by
+// Bytes. Extra bits in the final byte are ignored.
+func FromBytes(n int, data []byte) (*Set, error) {
+	if want := (n + 7) / 8; len(data) != want {
+		return nil, fmt.Errorf("bitset: got %d bytes for length %d, want %d", len(data), n, want)
+	}
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if data[i/8]&(1<<(uint(i)%8)) != 0 {
+			s.Add(i)
+		}
+	}
+	return s, nil
+}
+
+// Permute returns the vector whose bit p(i) equals s's bit i. p must be a
+// mapping from [0,n) to [0,n); if p is not injective, later indices win.
+// This is the characteristic-vector action ρ(S) from Section 3.1.1 of the
+// paper: ρ(S)_v = 1 iff there is u with ρ(u) = v and S_u = 1.
+func (s *Set) Permute(p []int) *Set {
+	if len(p) != s.n {
+		panic(fmt.Sprintf("bitset: permute mapping has length %d, want %d", len(p), s.n))
+	}
+	out := New(s.n)
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		out.Add(p[i])
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+// Chaos testing: flip a single random bit in a random prover message of an
+// otherwise honest run, for every protocol. The run must complete without
+// panicking and produce well-defined per-node decisions; flips that hit
+// verified fields cause rejection, flips that hit don't-care padding may
+// still accept — both are fine, crashing is not.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// flipOneBit returns a Corruptor that flips one pseudo-random bit in one
+// pseudo-random (round, node) message.
+func flipOneBit(rng *rand.Rand, merlinRounds, n int) network.Corruptor {
+	targetRound := rng.Intn(merlinRounds)
+	targetNode := rng.Intn(n)
+	pos := rng.Intn(1 << 16)
+	return func(round, node int, m wire.Message) wire.Message {
+		if round != targetRound || node != targetNode || m.Bits == 0 {
+			return m
+		}
+		out := wire.Message{Data: append([]byte(nil), m.Data...), Bits: m.Bits}
+		i := pos % m.Bits
+		out.Data[i/8] ^= 1 << (uint(i) % 8)
+		return out
+	}
+}
+
+func TestChaosSingleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	symG := symmetricGraph(t, 6, 99) // 14 vertices
+
+	dmam, err := NewSymDMAM(symG.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dam, err := NewSymDAM(symG.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gniInst, err := NewGNIYesInstance(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gni, err := NewGNIDAMAM(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnid, err := NewGNIDAM(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gniInputs := EncodeGNIInputs(gniInst.G1)
+
+	type target struct {
+		name         string
+		spec         *network.Spec
+		g            interface{ N() int }
+		run          func(c network.Corruptor, seed int64) (*network.Result, error)
+		merlinRounds int
+	}
+	targets := []target{
+		{"sym-dmam", nil, symG, func(c network.Corruptor, seed int64) (*network.Result, error) {
+			return network.Run(dmam.Spec(), symG, nil, dmam.HonestProver(),
+				network.Options{Seed: seed, Corrupt: c})
+		}, 2},
+		{"sym-dam", nil, symG, func(c network.Corruptor, seed int64) (*network.Result, error) {
+			return network.Run(dam.Spec(), symG, nil, dam.HonestProver(),
+				network.Options{Seed: seed, Corrupt: c})
+		}, 1},
+		{"gni-damam", nil, gniInst.G0, func(c network.Corruptor, seed int64) (*network.Result, error) {
+			return network.Run(gni.Spec(), gniInst.G0, gniInputs, gni.HonestProver(),
+				network.Options{Seed: seed, Corrupt: c})
+		}, 2},
+		{"gni-dam", nil, gniInst.G0, func(c network.Corruptor, seed int64) (*network.Result, error) {
+			return network.Run(gnid.Spec(), gniInst.G0, gniInputs, gnid.HonestProver(),
+				network.Options{Seed: seed, Corrupt: c})
+		}, 1},
+	}
+	for _, tg := range targets {
+		tg := tg
+		t.Run(tg.name, func(t *testing.T) {
+			for trial := 0; trial < 15; trial++ {
+				c := flipOneBit(rng, tg.merlinRounds, tg.g.N())
+				res, err := tg.run(c, int64(trial))
+				if err != nil {
+					t.Fatalf("trial %d: run failed: %v", trial, err)
+				}
+				if len(res.Decisions) != tg.g.N() {
+					t.Fatalf("trial %d: %d decisions", trial, len(res.Decisions))
+				}
+			}
+		})
+	}
+}

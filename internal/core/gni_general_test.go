@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/graph"
+	"dip/internal/perm"
+)
+
+func TestGNIGeneralValidation(t *testing.T) {
+	if _, err := NewGNIGeneral(2, 5, 0); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := NewGNIGeneral(9, 5, 0); err == nil {
+		t.Fatal("n=9 accepted (brute-force Aut bound)")
+	}
+	if _, err := NewGNIGeneral(6, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	proto, err := NewGNIGeneral(6, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto.N() != 6 || proto.K() != 10 {
+		t.Fatal("accessors wrong")
+	}
+	yes, no := proto.SingleShotBounds()
+	if !(0 < no && no < yes && yes < 1) {
+		t.Fatalf("bounds (%v, %v)", yes, no)
+	}
+}
+
+// symmetricPair builds two connected SYMMETRIC non-isomorphic graphs on n
+// vertices — the instances the promise-restricted protocol cannot handle.
+func symmetricPair(t *testing.T, n int, rng *rand.Rand) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	// C_n (dihedral symmetry group) vs the balanced complete bipartite
+	// graph (wreath-product symmetry): both highly symmetric, connected,
+	// and non-isomorphic for n >= 6.
+	a := graph.Cycle(n)
+	b := graph.New(n)
+	half := n / 2
+	for u := 0; u < half; u++ {
+		for v := half; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	if graph.IsAsymmetric(a) || graph.IsAsymmetric(b) {
+		t.Fatal("test graphs unexpectedly rigid")
+	}
+	if graph.AreIsomorphic(a, b) {
+		t.Fatal("test graphs unexpectedly isomorphic")
+	}
+	if !a.IsConnected() || !b.IsConnected() {
+		t.Fatal("test graphs disconnected")
+	}
+	return a, b
+}
+
+func TestGNIGeneralOnSymmetricGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("general GNI run is slow")
+	}
+	rng := rand.New(rand.NewSource(60))
+	a, b := symmetricPair(t, 6, rng)
+	bShuffled, _ := b.Shuffle(rng)
+
+	proto, err := NewGNIGeneral(6, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(g0, g1 *graph.Graph, seed0 int64, trials int) float64 {
+		accepts := 0
+		for i := 0; i < trials; i++ {
+			res, err := proto.Run(g0, g1, proto.HonestProver(), seed0+int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted {
+				accepts++
+			}
+		}
+		return float64(accepts) / float64(trials)
+	}
+
+	// Yes-instance: symmetric non-isomorphic pair.
+	yesRate := run(a, bShuffled, 100, 8)
+	// No-instance: a symmetric graph vs a shuffled copy of itself.
+	aShuffled, _ := a.Shuffle(rng)
+	noRate := run(a, aShuffled, 200, 8)
+	t.Logf("general GNI on symmetric graphs: yes %.2f, no %.2f", yesRate, noRate)
+	if yesRate <= 1.0/3 {
+		t.Fatalf("yes rate %.2f too low", yesRate)
+	}
+	if noRate >= 1.0/3 {
+		t.Fatalf("no rate %.2f too high", noRate)
+	}
+}
+
+func TestGNIGeneralOnAsymmetricGraphsStillWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("general GNI run is slow")
+	}
+	rng := rand.New(rand.NewSource(61))
+	proto, err := NewGNIGeneral(6, 30, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := NewGNIYesInstance(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := false
+	for seed := int64(0); seed < 3 && !accepted; seed++ {
+		res, err := proto.Run(yes.G0, yes.G1, proto.HonestProver(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted = res.Accepted
+	}
+	if !accepted {
+		t.Fatal("asymmetric yes-instance never accepted")
+	}
+}
+
+func TestCosetMinimal(t *testing.T) {
+	// With the trivial group, every σ is minimal.
+	id := graph.AllAutomorphisms(graph.Path(2)) // Aut(P2) = {id, swap}
+	if len(id) != 2 {
+		t.Fatalf("Aut(P2) size = %d", len(id))
+	}
+	// σ = id is minimal; σ = swap is not (swap∘swap = id < swap).
+	if !cosetMinimal([]int{0, 1}, id) {
+		t.Fatal("identity not coset-minimal")
+	}
+	if cosetMinimal([]int{1, 0}, id) {
+		t.Fatal("swap reported coset-minimal")
+	}
+}
+
+func TestGNIGeneralPairCountViaCosets(t *testing.T) {
+	// The prover's enumeration must cover exactly n!/|Aut| coset-minimal
+	// σ's; spot-check on K_{3,3}-like and cycle graphs at n = 4.
+	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Path(4), graph.Complete(4)} {
+		auts := graph.AllAutomorphisms(g)
+		count := 0
+		pp := perm.Identity(4)
+		for {
+			if cosetMinimal(pp, auts) {
+				count++
+			}
+			if !pp.NextLex() {
+				break
+			}
+		}
+		if want := 24 / len(auts); count != want {
+			t.Fatalf("graph %v: %d coset-minimal σ, want %d (|Aut| = %d)",
+				g, count, want, len(auts))
+		}
+	}
+}

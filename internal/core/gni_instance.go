@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dip/internal/graph"
+)
+
+// GNIInstance is one (G₀, G₁) pair together with its ground truth.
+type GNIInstance struct {
+	G0, G1 *graph.Graph
+	// NonIsomorphic is the ground truth: true for yes-instances of GNI.
+	NonIsomorphic bool
+}
+
+// NewGNIYesInstance samples a yes-instance of the promise problem: two
+// connected asymmetric non-isomorphic graphs on n vertices, the second
+// given as a random relabeling (so degree sequences and edge counts do not
+// give the answer away trivially to a by-eye check).
+func NewGNIYesInstance(n int, rng *rand.Rand) (*GNIInstance, error) {
+	g0, err := graph.RandomAsymmetricConnected(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: GNI yes-instance: %w", err)
+	}
+	for {
+		g1, err := graph.RandomAsymmetricConnected(n, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: GNI yes-instance: %w", err)
+		}
+		if graph.AreIsomorphic(g0, g1) {
+			continue
+		}
+		shuffled, _ := g1.Shuffle(rng)
+		return &GNIInstance{G0: g0, G1: shuffled, NonIsomorphic: true}, nil
+	}
+}
+
+// NewGNINoInstance samples a no-instance: G₁ is a random relabeling of the
+// (connected, asymmetric) network graph G₀.
+func NewGNINoInstance(n int, rng *rand.Rand) (*GNIInstance, error) {
+	g0, err := graph.RandomAsymmetricConnected(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: GNI no-instance: %w", err)
+	}
+	shuffled, _ := g0.Shuffle(rng)
+	return &GNIInstance{G0: g0, G1: shuffled, NonIsomorphic: false}, nil
+}

@@ -1,0 +1,913 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"dip/internal/graph"
+	"dip/internal/hashing"
+	"dip/internal/network"
+	"dip/internal/perm"
+	"dip/internal/prime"
+	"dip/internal/spantree"
+	"dip/internal/wire"
+)
+
+// Mark is a node's input in the marked formulation of GNI.
+type Mark int
+
+// The three mark values of Section 2.3's alternative GNI definition.
+const (
+	MarkZero Mark = iota // member of the first induced subgraph
+	MarkOne              // member of the second induced subgraph
+	MarkNone             // ⊥: transport-only node
+)
+
+// MarkedGNI is the paper's *alternative* formulation of distributed GNI
+// (Section 2.3): there is a single network graph G; every node carries a
+// mark from {0, 1, ⊥}; and the question is whether the subgraph induced by
+// the 0-marked nodes is non-isomorphic to the subgraph induced by the
+// 1-marked nodes. Unlike Definition 4, here the compared graphs live
+// *inside* the communication graph, and ⊥-marked nodes participate only as
+// transport.
+//
+// The protocol reduces to the Goldwasser–Sipser machinery via a
+// prover-supplied *rank labeling*: each b-marked node is assigned its index
+// in [k] (k = size of each marked set, a protocol parameter), which
+// relabels the induced subgraphs onto the common vertex set [k]. Three new
+// verification layers make the reduction sound:
+//
+//   - mark/rank cross-checking: the prover tells each node the marks and
+//     ranks of its network neighbors; every node checks that every
+//     neighbor's message states its own mark and rank correctly, so a
+//     lying prover is caught by the node it lied about;
+//   - counting: subtree aggregation verifies that each marked set has
+//     exactly k members (deterministically);
+//   - rank validity: a post-commitment challenge z certifies via the
+//     multiset identity Σ_{m_v=b} z^{rank_v} = Σ_{i<k} z^i that the ranks
+//     of each marked set form a bijection onto [k] (Schwartz–Zippel).
+//
+// With ranks certified, node v's row of σ(H_b) is computable locally (its
+// b-marked network neighbors' ranks are cross-checked), and the standard
+// counting argument applies to S = {σ(H_b)}: 2·k! vs k! (both induced
+// subgraphs are promised asymmetric, as in the paper's Definition 4
+// protocol).
+//
+// Round structure: Arthur (seed slices), Merlin (marks/ranks/counts + GS
+// claims), Arthur (z), Merlin (multiset + hash aggregates) — a dAMAM
+// protocol, like Theorem 1.5's.
+type MarkedGNI struct {
+	n      int // network size
+	k      int // size of each marked set
+	reps   int
+	params *hashing.GSParams // built for k-vertex graphs
+	p2     *big.Int          // rank-multiset modulus
+	thresh int
+}
+
+// NewMarkedGNI builds the protocol for an n-node network whose two marked
+// sets each have k members, with the given number of parallel repetitions.
+func NewMarkedGNI(n, k, reps int, seed int64) (*MarkedGNI, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("core: MarkedGNI needs k >= 3, got %d", k)
+	}
+	if n < 2*k {
+		return nil, fmt.Errorf("core: MarkedGNI needs n >= 2k, got n=%d k=%d", n, k)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("core: MarkedGNI needs reps >= 1, got %d", reps)
+	}
+	params, err := hashing.NewGSParams(k, 2, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: MarkedGNI hash params: %w", err)
+	}
+	lo := big.NewInt(int64(1000 * reps))
+	lo.Mul(lo, big.NewInt(int64(n*n*n)))
+	hi := new(big.Int).Mul(lo, big.NewInt(2))
+	p2, err := prime.InWindow(lo, hi, seed+17)
+	if err != nil {
+		return nil, fmt.Errorf("core: MarkedGNI p2: %w", err)
+	}
+	g := &MarkedGNI{n: n, k: k, reps: reps, params: params, p2: p2}
+	yes, no := g.SingleShotBounds()
+	g.thresh = int(math.Ceil(float64(reps) * (yes + no) / 2))
+	return g, nil
+}
+
+// N, K, Reps, Threshold report the protocol parameters.
+func (g *MarkedGNI) N() int         { return g.n }
+func (g *MarkedGNI) K() int         { return g.k }
+func (g *MarkedGNI) Reps() int      { return g.reps }
+func (g *MarkedGNI) Threshold() int { return g.thresh }
+
+// SingleShotBounds returns the Poisson estimates for |S| = 2·k! vs k!.
+func (g *MarkedGNI) SingleShotBounds() (yesRate, noRate float64) {
+	fact, _ := new(big.Float).SetInt(prime.Factorial(g.k)).Float64()
+	p, _ := new(big.Float).SetInt(g.params.P()).Float64()
+	muYes := 2 * fact / p
+	yesRate = 1 - math.Exp(-muYes)
+	noRate = 1 - math.Exp(-muYes/2)
+	return yesRate, noRate
+}
+
+func (g *MarkedGNI) idWidth() int    { return wire.WidthFor(g.n) }
+func (g *MarkedGNI) rankWidth() int  { return wire.WidthFor(g.k) }
+func (g *MarkedGNI) countWidth() int { return wire.WidthFor(g.n + 1) }
+func (g *MarkedGNI) qWidth() int     { return wire.WidthForBig(g.params.Q()) }
+func (g *MarkedGNI) p2Width() int    { return wire.WidthForBig(g.p2) }
+
+// sliceWidth spreads the k-vertex hash seed over all n network nodes.
+func (g *MarkedGNI) sliceWidth() int { return (g.params.SeedBits() + g.n - 1) / g.n }
+func (g *MarkedGNI) echoBits() int   { return g.n * g.sliceWidth() }
+
+// EncodeMarks encodes per-node marks as 2-bit inputs.
+func EncodeMarks(marks []Mark) ([]wire.Message, error) {
+	out := make([]wire.Message, len(marks))
+	for v, m := range marks {
+		if m < MarkZero || m > MarkNone {
+			return nil, fmt.Errorf("core: invalid mark %d at node %d", m, v)
+		}
+		var w wire.Writer
+		w.WriteInt(int(m), 2)
+		out[v] = w.Message()
+	}
+	return out, nil
+}
+
+func decodeMark(m wire.Message) (Mark, error) {
+	r := wire.NewReader(m)
+	v, err := r.ReadInt(2)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	if v > int(MarkNone) {
+		return 0, errors.New("core: invalid mark value")
+	}
+	return Mark(v), nil
+}
+
+// markedRep is one repetition's broadcast section.
+type markedRep struct {
+	success  bool
+	b        int
+	seedEcho wire.Message
+	sigma    []int // permutation of [k]
+}
+
+// markedNeighborClaim is the prover's claim about one network neighbor.
+type markedNeighborClaim struct {
+	mark Mark
+	rank int // meaningful only for marked neighbors
+}
+
+// markedFirst is node v's decoded M₁.
+type markedFirst struct {
+	k0, k1  int // claimed marked-set sizes (broadcast)
+	reps    []markedRep
+	tree    spantree.Advice
+	rank    int  // v's own rank (meaningful if v is marked)
+	ownMark Mark // v's own mark, echoed so neighbors can bind claims to it
+	claims  []markedNeighborClaim
+	c0, c1  int        // subtree mark counts
+	sums    []*big.Int // per successful rep: partial hash sums
+}
+
+func (g *MarkedGNI) encodeFirst(m markedFirst) wire.Message {
+	var w wire.Writer
+	w.WriteInt(m.k0, g.countWidth())
+	w.WriteInt(m.k1, g.countWidth())
+	for _, r := range m.reps {
+		w.WriteBool(r.success)
+		if !r.success {
+			continue
+		}
+		w.WriteInt(r.b, 1)
+		w.WriteBits(r.seedEcho.Data, r.seedEcho.Bits)
+		for _, img := range r.sigma {
+			w.WriteInt(img, g.rankWidth())
+		}
+	}
+	w.WriteInt(m.tree.Parent, g.idWidth())
+	w.WriteInt(m.tree.Dist, g.idWidth())
+	w.WriteInt(m.rank, g.rankWidth())
+	w.WriteInt(int(m.ownMark), 2)
+	for _, cl := range m.claims {
+		w.WriteInt(int(cl.mark), 2)
+		w.WriteInt(cl.rank, g.rankWidth())
+	}
+	w.WriteInt(m.c0, g.countWidth())
+	w.WriteInt(m.c1, g.countWidth())
+	for _, s := range m.sums {
+		w.WriteBig(s, g.qWidth())
+	}
+	return w.Message()
+}
+
+// decodeFirst parses M₁; numNeighbors is the receiving context's neighbor
+// count (the claims section length).
+func (g *MarkedGNI) decodeFirst(m wire.Message, numNeighbors int) (markedFirst, error) {
+	r := wire.NewReader(m)
+	var out markedFirst
+	var err error
+	if out.k0, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	if out.k1, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	out.reps = make([]markedRep, g.reps)
+	successes := 0
+	for i := range out.reps {
+		ok, err := r.ReadBool()
+		if err != nil {
+			return out, err
+		}
+		out.reps[i].success = ok
+		if !ok {
+			continue
+		}
+		successes++
+		if out.reps[i].b, err = r.ReadInt(1); err != nil {
+			return out, err
+		}
+		raw, err := r.ReadBig(g.echoBits())
+		if err != nil {
+			return out, err
+		}
+		var ew wire.Writer
+		ew.WriteBig(raw, g.echoBits())
+		out.reps[i].seedEcho = ew.Message()
+		out.reps[i].sigma = make([]int, g.k)
+		for x := range out.reps[i].sigma {
+			if out.reps[i].sigma[x], err = r.ReadInt(g.rankWidth()); err != nil {
+				return out, err
+			}
+			if out.reps[i].sigma[x] >= g.k {
+				return out, errors.New("core: image out of range")
+			}
+		}
+	}
+	if out.tree.Parent, err = r.ReadInt(g.idWidth()); err != nil {
+		return out, err
+	}
+	if out.tree.Dist, err = r.ReadInt(g.idWidth()); err != nil {
+		return out, err
+	}
+	if out.tree.Parent >= g.n {
+		return out, errors.New("core: parent id out of range")
+	}
+	out.tree.Root = 0
+	if out.rank, err = r.ReadInt(g.rankWidth()); err != nil {
+		return out, err
+	}
+	om, err := r.ReadInt(2)
+	if err != nil {
+		return out, err
+	}
+	if om > int(MarkNone) {
+		return out, errors.New("core: invalid own-mark value")
+	}
+	out.ownMark = Mark(om)
+	out.claims = make([]markedNeighborClaim, numNeighbors)
+	for i := range out.claims {
+		mk, err := r.ReadInt(2)
+		if err != nil {
+			return out, err
+		}
+		if mk > int(MarkNone) {
+			return out, errors.New("core: invalid mark claim")
+		}
+		out.claims[i].mark = Mark(mk)
+		if out.claims[i].rank, err = r.ReadInt(g.rankWidth()); err != nil {
+			return out, err
+		}
+	}
+	if out.c0, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	if out.c1, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	out.sums = make([]*big.Int, successes)
+	for i := range out.sums {
+		if out.sums[i], err = r.ReadBig(g.qWidth()); err != nil {
+			return out, err
+		}
+		if out.sums[i].Cmp(g.params.Q()) >= 0 {
+			return out, errors.New("core: partial sum out of range")
+		}
+	}
+	return out, r.Done()
+}
+
+// sameMarkedBroadcast compares broadcast sections.
+func sameMarkedBroadcast(a, b markedFirst) bool {
+	if a.k0 != b.k0 || a.k1 != b.k1 || len(a.reps) != len(b.reps) {
+		return false
+	}
+	for i := range a.reps {
+		x, y := a.reps[i], b.reps[i]
+		if x.success != y.success {
+			return false
+		}
+		if !x.success {
+			continue
+		}
+		if x.b != y.b || !msgEqual(x.seedEcho, y.seedEcho) {
+			return false
+		}
+		for j := range x.sigma {
+			if x.sigma[j] != y.sigma[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// markedSecond is node v's decoded M₂: the z echo and the two rank-multiset
+// subtree aggregates.
+type markedSecond struct {
+	zEcho  *big.Int
+	m0, m1 *big.Int
+}
+
+func (g *MarkedGNI) encodeSecond(m markedSecond) wire.Message {
+	var w wire.Writer
+	w.WriteBig(m.zEcho, g.p2Width())
+	w.WriteBig(m.m0, g.p2Width())
+	w.WriteBig(m.m1, g.p2Width())
+	return w.Message()
+}
+
+func (g *MarkedGNI) decodeSecond(m wire.Message) (markedSecond, error) {
+	r := wire.NewReader(m)
+	var out markedSecond
+	var err error
+	if out.zEcho, err = r.ReadBig(g.p2Width()); err != nil {
+		return out, err
+	}
+	if out.m0, err = r.ReadBig(g.p2Width()); err != nil {
+		return out, err
+	}
+	if out.m1, err = r.ReadBig(g.p2Width()); err != nil {
+		return out, err
+	}
+	for _, x := range []*big.Int{out.zEcho, out.m0, out.m1} {
+		if x.Cmp(g.p2) >= 0 {
+			return out, errors.New("core: value out of range")
+		}
+	}
+	return out, r.Done()
+}
+
+// Spec returns the protocol's round schedule and verifier.
+func (g *MarkedGNI) Spec() *network.Spec {
+	return &network.Spec{
+		Name: "gni-marked",
+		Rounds: []network.Round{
+			{Kind: network.Arthur, Challenge: func(_ int, rng *rand.Rand, _ *network.NodeView) wire.Message {
+				var w wire.Writer
+				for i := 0; i < g.reps*g.sliceWidth(); i++ {
+					w.WriteBool(rng.Intn(2) == 1)
+				}
+				return w.Message()
+			}},
+			{Kind: network.Merlin},
+			{Kind: network.Arthur, Challenge: func(_ int, rng *rand.Rand, _ *network.NodeView) wire.Message {
+				return bigChallenge(rng, g.p2)
+			}},
+			{Kind: network.Merlin},
+		},
+		Decide: g.decide,
+	}
+}
+
+func (g *MarkedGNI) decide(v int, view *network.NodeView) bool {
+	if view.NumVertices != g.n {
+		return false
+	}
+	myMark, err := decodeMark(view.Input)
+	if err != nil {
+		return false
+	}
+	first, err := g.decodeFirst(view.Responses[0], len(view.Neighbors))
+	if err != nil {
+		return false
+	}
+	neighborFirst := make(map[int]markedFirst, len(view.Neighbors))
+	for _, u := range view.Neighbors {
+		// A neighbor's claims section is sized by its own degree, which v
+		// does not know; decodeFirstPrefix parses everything else (the
+		// broadcast section and the fixed-width head and tail fields).
+		nf, err := g.decodeFirstPrefix(view.NeighborResponses[0][u])
+		if err != nil {
+			return false
+		}
+		if !sameMarkedBroadcast(first, nf) {
+			return false
+		}
+		neighborFirst[u] = nf
+	}
+
+	// Truthful self-fields: each node verifies its own mark echo, so a
+	// neighbor's ownMark field can be trusted once all nodes accept.
+	if first.ownMark != myMark {
+		return false
+	}
+	if myMark != MarkNone && first.rank >= g.k {
+		return false
+	}
+	// Cross-check: the claim v holds about each neighbor u must match u's
+	// self-reported mark and (for marked u) rank. Combined with u's own
+	// mark echo and the rank-multiset certification below, every claim is
+	// bound to the claimee's true mark and a bijective rank assignment.
+	for i, u := range view.Neighbors {
+		cl := first.claims[i]
+		nf := neighborFirst[u]
+		if cl.mark != nf.ownMark {
+			return false
+		}
+		if cl.mark != MarkNone && cl.rank != nf.rank {
+			return false
+		}
+	}
+
+	treeAdvice := make(map[int]spantree.Advice, len(neighborFirst))
+	for u, nf := range neighborFirst {
+		treeAdvice[u] = nf.tree
+	}
+	if !spantree.VerifyLocal(v, first.tree, treeAdvice, view.HasNeighbor) {
+		return false
+	}
+	children := spantree.Children(v, treeAdvice)
+
+	// Counting: c_b(v) = [m_v = b] + Σ children.
+	c0, c1 := 0, 0
+	if myMark == MarkZero {
+		c0 = 1
+	}
+	if myMark == MarkOne {
+		c1 = 1
+	}
+	for _, u := range children {
+		c0 += neighborFirst[u].c0
+		c1 += neighborFirst[u].c1
+	}
+	if c0 != first.c0 || c1 != first.c1 {
+		return false
+	}
+	if v == 0 {
+		if first.c0 != first.k0 || first.c1 != first.k1 {
+			return false
+		}
+		if first.k0 != g.k || first.k1 != g.k {
+			return false // protocol instantiated for marked sets of size k
+		}
+	}
+
+	// M₂: z echo and rank-multiset aggregates.
+	second, err := g.decodeSecond(view.Responses[1])
+	if err != nil {
+		return false
+	}
+	neighborSecond := make(map[int]markedSecond, len(view.Neighbors))
+	for _, u := range view.Neighbors {
+		ns, err := g.decodeSecond(view.NeighborResponses[1][u])
+		if err != nil {
+			return false
+		}
+		if ns.zEcho.Cmp(second.zEcho) != 0 {
+			return false
+		}
+		neighborSecond[u] = ns
+	}
+	z := second.zEcho
+	if v == 0 {
+		zv, err := decodeBigChallenge(view.MyChallenges[1], g.p2)
+		if err != nil || zv.Cmp(z) != 0 {
+			return false
+		}
+	}
+	m0, m1 := new(big.Int), new(big.Int)
+	if myMark == MarkZero {
+		m0 = expMod(z, first.rank+1, g.p2)
+	}
+	if myMark == MarkOne {
+		m1 = expMod(z, first.rank+1, g.p2)
+	}
+	for _, u := range children {
+		m0.Add(m0, neighborSecond[u].m0)
+		m1.Add(m1, neighborSecond[u].m1)
+	}
+	m0.Mod(m0, g.p2)
+	m1.Mod(m1, g.p2)
+	if m0.Cmp(second.m0) != 0 || m1.Cmp(second.m1) != 0 {
+		return false
+	}
+	if v == 0 {
+		want := new(big.Int)
+		for i := 0; i < g.k; i++ {
+			want.Add(want, expMod(z, i+1, g.p2))
+		}
+		want.Mod(want, g.p2)
+		if second.m0.Cmp(want) != 0 || second.m1.Cmp(want) != 0 {
+			return false
+		}
+	}
+
+	// GS repetitions.
+	sw := g.sliceWidth()
+	si := 0
+	for rI, rep := range first.reps {
+		if !rep.success {
+			continue
+		}
+		if !perm.IsValid(rep.sigma) {
+			return false
+		}
+		mySlice, err := subBits(rep.seedEcho, v*sw, sw)
+		if err != nil {
+			return false
+		}
+		sent, err := subBits(view.MyChallenges[0], rI*sw, sw)
+		if err != nil || !msgEqual(mySlice, sent) {
+			return false
+		}
+		seed, err := g.params.SeedFromBits(rep.seedEcho)
+		if err != nil {
+			return false
+		}
+		contrib := new(big.Int)
+		if int(myMark) == rep.b {
+			cols := []int{rep.sigma[first.rank]}
+			for i, u := range view.Neighbors {
+				cl := first.claims[i]
+				if int(cl.mark) == rep.b {
+					if cl.rank >= g.k {
+						return false
+					}
+					cols = append(cols, rep.sigma[cl.rank])
+				}
+				_ = u
+			}
+			if hasDuplicate(cols) {
+				return false
+			}
+			contrib = g.params.RowTermSlow(seed.Alpha, rep.sigma[first.rank], cols)
+		}
+		cExpect := contrib
+		for _, u := range children {
+			cExpect = g.params.AddModQ(cExpect, neighborFirst[u].sums[si])
+		}
+		if cExpect.Cmp(first.sums[si]) != 0 {
+			return false
+		}
+		if v == 0 && g.params.Finish(seed, first.sums[si]).Cmp(seed.Y) != 0 {
+			return false
+		}
+		si++
+	}
+	if v == 0 && si < g.thresh {
+		return false
+	}
+	return true
+}
+
+// decodeFirstPrefix parses a neighbor's M₁ without its variable-length
+// claims section: the broadcast fields, tree advice, own rank, and — by
+// reading from the END of the message — the count and sum fields, whose
+// widths are fixed.
+func (g *MarkedGNI) decodeFirstPrefix(m wire.Message) (markedFirst, error) {
+	// The fixed-width head: broadcast section + tree + rank.
+	r := wire.NewReader(m)
+	var out markedFirst
+	var err error
+	if out.k0, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	if out.k1, err = r.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	out.reps = make([]markedRep, g.reps)
+	successes := 0
+	for i := range out.reps {
+		ok, err := r.ReadBool()
+		if err != nil {
+			return out, err
+		}
+		out.reps[i].success = ok
+		if !ok {
+			continue
+		}
+		successes++
+		if out.reps[i].b, err = r.ReadInt(1); err != nil {
+			return out, err
+		}
+		raw, err := r.ReadBig(g.echoBits())
+		if err != nil {
+			return out, err
+		}
+		var ew wire.Writer
+		ew.WriteBig(raw, g.echoBits())
+		out.reps[i].seedEcho = ew.Message()
+		out.reps[i].sigma = make([]int, g.k)
+		for x := range out.reps[i].sigma {
+			if out.reps[i].sigma[x], err = r.ReadInt(g.rankWidth()); err != nil {
+				return out, err
+			}
+			if out.reps[i].sigma[x] >= g.k {
+				return out, errors.New("core: image out of range")
+			}
+		}
+	}
+	if out.tree.Parent, err = r.ReadInt(g.idWidth()); err != nil {
+		return out, err
+	}
+	if out.tree.Dist, err = r.ReadInt(g.idWidth()); err != nil {
+		return out, err
+	}
+	if out.tree.Parent >= g.n {
+		return out, errors.New("core: parent id out of range")
+	}
+	out.tree.Root = 0
+	if out.rank, err = r.ReadInt(g.rankWidth()); err != nil {
+		return out, err
+	}
+	om, err := r.ReadInt(2)
+	if err != nil {
+		return out, err
+	}
+	if om > int(MarkNone) {
+		return out, errors.New("core: invalid own-mark value")
+	}
+	out.ownMark = Mark(om)
+	// Tail fields: counts then per-success sums, fixed widths, at the end.
+	tailBits := 2*g.countWidth() + successes*g.qWidth()
+	tailStart := m.Bits - tailBits
+	if tailStart < 0 {
+		return out, errors.New("core: message too short for tail")
+	}
+	tail, err := subBits(m, tailStart, tailBits)
+	if err != nil {
+		return out, err
+	}
+	tr := wire.NewReader(tail)
+	if out.c0, err = tr.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	if out.c1, err = tr.ReadInt(g.countWidth()); err != nil {
+		return out, err
+	}
+	out.sums = make([]*big.Int, successes)
+	for i := range out.sums {
+		if out.sums[i], err = tr.ReadBig(g.qWidth()); err != nil {
+			return out, err
+		}
+		if out.sums[i].Cmp(g.params.Q()) >= 0 {
+			return out, errors.New("core: partial sum out of range")
+		}
+	}
+	return out, nil
+}
+
+func hasDuplicate(xs []int) bool {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}
+
+// Run executes the protocol on network graph g0 with the given marks.
+func (g *MarkedGNI) Run(g0 *graph.Graph, marks []Mark, prover network.Prover, seed int64) (*network.Result, error) {
+	if g0.N() != g.n || len(marks) != g.n {
+		return nil, fmt.Errorf("core: MarkedGNI sizes (%d graph, %d marks), protocol built for %d",
+			g0.N(), len(marks), g.n)
+	}
+	inputs, err := EncodeMarks(marks)
+	if err != nil {
+		return nil, err
+	}
+	return network.Run(g.Spec(), g0, inputs, prover, network.Options{Seed: seed})
+}
+
+// HonestProver returns the optimal prover (and optimal no-instance
+// cheater). A fresh prover must be used per run.
+func (g *MarkedGNI) HonestProver() network.Prover {
+	return &markedProver{proto: g}
+}
+
+type markedProver struct {
+	proto *MarkedGNI
+
+	// state from M₁ to M₂
+	marks  []Mark
+	ranks  []int
+	advice []spantree.Advice
+}
+
+func (p *markedProver) Respond(round int, view *network.ProverView) (*network.Response, error) {
+	switch round {
+	case 0:
+		return p.first(view)
+	case 1:
+		return p.second(view)
+	default:
+		return nil, fmt.Errorf("core: MarkedGNI prover called for round %d", round)
+	}
+}
+
+func (p *markedProver) first(view *network.ProverView) (*network.Response, error) {
+	g := p.proto
+	n := g.n
+	g0 := view.Graph
+	if g0.N() != n || len(view.Inputs) != n {
+		return nil, errors.New("core: MarkedGNI prover instance mismatch")
+	}
+	marks := make([]Mark, n)
+	ranks := make([]int, n)
+	var set [2][]int
+	for v := 0; v < n; v++ {
+		m, err := decodeMark(view.Inputs[v])
+		if err != nil {
+			return nil, fmt.Errorf("core: MarkedGNI prover input %d: %w", v, err)
+		}
+		marks[v] = m
+		if m == MarkZero {
+			ranks[v] = len(set[0])
+			set[0] = append(set[0], v)
+		}
+		if m == MarkOne {
+			ranks[v] = len(set[1])
+			set[1] = append(set[1], v)
+		}
+	}
+	p.marks, p.ranks = marks, ranks
+	if len(set[0]) != g.k || len(set[1]) != g.k {
+		return nil, fmt.Errorf("core: MarkedGNI marked sets have sizes %d and %d, protocol built for %d",
+			len(set[0]), len(set[1]), g.k)
+	}
+
+	// Build the induced subgraphs on [k] via the ranks.
+	induced := [2]*graph.Graph{graph.New(g.k), graph.New(g.k)}
+	for b := 0; b < 2; b++ {
+		for _, v := range set[b] {
+			for _, u := range g0.Neighbors(v) {
+				if marks[u] == Mark(b) && u > v {
+					induced[b].AddEdge(ranks[v], ranks[u])
+				}
+			}
+		}
+	}
+	var closed [2][][]int
+	for b := 0; b < 2; b++ {
+		for x := 0; x < g.k; x++ {
+			c := append([]int(nil), induced[b].Neighbors(x)...)
+			c = append(c, x)
+			closed[b] = append(closed[b], sortedInts(c))
+		}
+	}
+
+	advice, err := spantree.Compute(g0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: MarkedGNI prover tree: %w", err)
+	}
+	p.advice = advice
+	childLists := spantree.ChildLists(advice)
+	order := spantree.PostOrder(advice)
+
+	// Subtree mark counts.
+	c0 := make([]int, n)
+	c1 := make([]int, n)
+	for _, v := range order {
+		if marks[v] == MarkZero {
+			c0[v] = 1
+		}
+		if marks[v] == MarkOne {
+			c1[v] = 1
+		}
+		for _, ch := range childLists[v] {
+			c0[v] += c0[ch]
+			c1[v] += c1[ch]
+		}
+	}
+
+	// GS repetitions over the induced pair.
+	sw := g.sliceWidth()
+	reps := make([]markedRep, g.reps)
+	var allSums [][]*big.Int
+	for rI := 0; rI < g.reps; rI++ {
+		var echo wire.Writer
+		for v := 0; v < n; v++ {
+			s, err := subBits(view.Challenges[0][v], rI*sw, sw)
+			if err != nil {
+				return nil, err
+			}
+			echo.WriteBits(s.Data, s.Bits)
+		}
+		rep := markedRep{seedEcho: echo.Message()}
+		seed, err := g.params.SeedFromBits(rep.seedEcho)
+		if err != nil {
+			return nil, err
+		}
+		b, sigma, ok := searchGNIPreimage(g.params, closed, seed)
+		rep.success, rep.b, rep.sigma = ok, b, sigma
+		reps[rI] = rep
+		if !ok {
+			continue
+		}
+		table := g.params.Powers(seed.Alpha)
+		sums := make([]*big.Int, n)
+		for _, v := range order {
+			s := new(big.Int)
+			if int(marks[v]) == b {
+				cls := closed[b][ranks[v]]
+				cols := make([]int, len(cls))
+				for j, u := range cls {
+					cols[j] = sigma[u]
+				}
+				s = g.params.RowTerm(table, sigma[ranks[v]], cols)
+			}
+			for _, ch := range childLists[v] {
+				s = g.params.AddModQ(s, sums[ch])
+			}
+			sums[v] = s
+		}
+		allSums = append(allSums, sums)
+	}
+
+	resp := &network.Response{PerNode: make([]wire.Message, n)}
+	for v := 0; v < n; v++ {
+		claims := make([]markedNeighborClaim, 0, g0.Degree(v))
+		for _, u := range g0.Neighbors(v) {
+			claims = append(claims, markedNeighborClaim{mark: marks[u], rank: ranks[u]})
+		}
+		msg := markedFirst{
+			k0: g.k, k1: g.k,
+			reps:    reps,
+			tree:    advice[v],
+			rank:    ranks[v],
+			ownMark: marks[v],
+			claims:  claims,
+			c0:      c0[v], c1: c1[v],
+		}
+		for _, sums := range allSums {
+			msg.sums = append(msg.sums, sums[v])
+		}
+		resp.PerNode[v] = g.encodeFirst(msg)
+	}
+	return resp, nil
+}
+
+func (p *markedProver) second(view *network.ProverView) (*network.Response, error) {
+	g := p.proto
+	n := g.n
+	z, err := decodeBigChallenge(view.Challenges[1][0], g.p2)
+	if err != nil {
+		return nil, err
+	}
+	childLists := spantree.ChildLists(p.advice)
+	order := spantree.PostOrder(p.advice)
+	m0 := make([]*big.Int, n)
+	m1 := make([]*big.Int, n)
+	for _, v := range order {
+		a, b := new(big.Int), new(big.Int)
+		if p.marks[v] == MarkZero {
+			a = expMod(z, p.ranks[v]+1, g.p2)
+		}
+		if p.marks[v] == MarkOne {
+			b = expMod(z, p.ranks[v]+1, g.p2)
+		}
+		for _, ch := range childLists[v] {
+			a.Add(a, m0[ch])
+			b.Add(b, m1[ch])
+		}
+		a.Mod(a, g.p2)
+		b.Mod(b, g.p2)
+		m0[v], m1[v] = a, b
+	}
+	resp := &network.Response{PerNode: make([]wire.Message, n)}
+	for v := 0; v < n; v++ {
+		resp.PerNode[v] = g.encodeSecond(markedSecond{zEcho: z, m0: m0[v], m1: m1[v]})
+	}
+	return resp, nil
+}
+
+func sortedInts(xs []int) []int {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}

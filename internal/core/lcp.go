@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+
+	"dip/internal/bitset"
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/perm"
+	"dip/internal/spantree"
+	"dip/internal/wire"
+)
+
+// This file implements the non-interactive "distributed NP" baselines the
+// paper compares against: locally checkable proofs (LCPs), where the prover
+// hands each node a single advice string and disappears. They are expressed
+// as one-Merlin-round protocols in the same engine, so costs are measured
+// identically.
+//
+//   - SymLCP: the Θ(n²)-bit scheme for Symmetry. [17] proves Θ(n²) is
+//     optimal, which is the lower half of the Theorem 1.2 separation.
+//   - GNILCP: the Θ(n²)-bit scheme for Graph Non-Isomorphism (the paper
+//     notes an Ω(n²) bound for GNI without interaction, Section 1.1.2).
+//   - SpanTreeLCP: the Θ(log n) spanning-tree scheme of [23], the building
+//     block whose cost every interactive protocol here inherits.
+
+// SymLCP is the non-interactive Θ(n²)-bit proof that the network graph is
+// symmetric: the advice at every node is the full adjacency matrix, the
+// automorphism ρ, and a witness vertex moved by ρ. Each node verifies its
+// own row of the matrix and that all neighbors got identical advice; on a
+// connected graph this pins the matrix to the true adjacency matrix, and the
+// remaining checks are purely computational.
+type SymLCP struct {
+	n int
+}
+
+// NewSymLCP builds the baseline for graphs on n ≥ 2 vertices.
+func NewSymLCP(n int) (*SymLCP, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: SymLCP needs n >= 2, got %d", n)
+	}
+	return &SymLCP{n: n}, nil
+}
+
+// AdviceBits returns the exact advice length: n(n-1)/2 matrix bits,
+// n·ceil(lg n) mapping bits, ceil(lg n) witness bits.
+func (s *SymLCP) AdviceBits() int {
+	idW := wire.WidthFor(s.n)
+	return s.n*(s.n-1)/2 + s.n*idW + idW
+}
+
+type symLCPAdvice struct {
+	adj     *bitset.Set // upper-triangle packing
+	rho     []int
+	witness int
+}
+
+func (s *SymLCP) encode(a symLCPAdvice) wire.Message {
+	var w wire.Writer
+	for i := 0; i < a.adj.Len(); i++ {
+		w.WriteBool(a.adj.Contains(i))
+	}
+	idW := wire.WidthFor(s.n)
+	for _, img := range a.rho {
+		w.WriteInt(img, idW)
+	}
+	w.WriteInt(a.witness, idW)
+	return w.Message()
+}
+
+func (s *SymLCP) decode(m wire.Message) (symLCPAdvice, error) {
+	r := wire.NewReader(m)
+	tri := s.n * (s.n - 1) / 2
+	adj := bitset.New(tri)
+	for i := 0; i < tri; i++ {
+		b, err := r.ReadBool()
+		if err != nil {
+			return symLCPAdvice{}, err
+		}
+		if b {
+			adj.Add(i)
+		}
+	}
+	idW := wire.WidthFor(s.n)
+	rho := make([]int, s.n)
+	for v := range rho {
+		var err error
+		if rho[v], err = r.ReadInt(idW); err != nil {
+			return symLCPAdvice{}, err
+		}
+		if rho[v] >= s.n {
+			return symLCPAdvice{}, fmt.Errorf("core: image out of range")
+		}
+	}
+	witness, err := r.ReadInt(idW)
+	if err != nil {
+		return symLCPAdvice{}, err
+	}
+	if witness >= s.n {
+		return symLCPAdvice{}, fmt.Errorf("core: witness out of range")
+	}
+	return symLCPAdvice{adj: adj, rho: rho, witness: witness}, r.Done()
+}
+
+// Spec returns the one-round scheme.
+func (s *SymLCP) Spec() *network.Spec {
+	return &network.Spec{
+		Name:   "sym-lcp",
+		Rounds: []network.Round{{Kind: network.Merlin}},
+		Decide: s.decide,
+	}
+}
+
+func (s *SymLCP) decide(v int, view *network.NodeView) bool {
+	if view.NumVertices != s.n {
+		return false
+	}
+	a, err := s.decode(view.Responses[0])
+	if err != nil {
+		return false
+	}
+	// All neighbors must hold identical advice.
+	for _, u := range view.Neighbors {
+		if !msgEqual(view.Responses[0], view.NeighborResponses[0][u]) {
+			return false
+		}
+	}
+	g, err := graph.FromAdjacencyBits(s.n, a.adj)
+	if err != nil {
+		return false
+	}
+	// My row of the claimed matrix must match my actual neighborhood.
+	if len(g.Neighbors(v)) != len(view.Neighbors) {
+		return false
+	}
+	for _, u := range view.Neighbors {
+		if !g.HasEdge(v, u) {
+			return false
+		}
+	}
+	// The mapping must be a non-trivial automorphism of the claimed matrix.
+	if !perm.IsValid(a.rho) {
+		return false
+	}
+	if a.rho[a.witness] == a.witness {
+		return false
+	}
+	return g.IsAutomorphism(a.rho)
+}
+
+// HonestProver returns the prover that publishes the true matrix and an
+// automorphism found by search.
+func (s *SymLCP) HonestProver() network.Prover {
+	return proverFunc(func(round int, view *network.ProverView) (*network.Response, error) {
+		if round != 0 {
+			return nil, fmt.Errorf("core: SymLCP prover called for round %d", round)
+		}
+		g := view.Graph
+		if g.N() != s.n {
+			return nil, fmt.Errorf("core: graph has %d vertices, protocol built for %d", g.N(), s.n)
+		}
+		rho := graph.FindNontrivialAutomorphism(g)
+		if rho == nil {
+			rho = perm.Identity(s.n) // will be rejected by the witness check
+		}
+		witness := rho.Moved()
+		if witness < 0 {
+			witness = 0
+		}
+		adv := s.encode(symLCPAdvice{adj: g.AdjacencyBits(), rho: rho, witness: witness})
+		return network.Broadcast(s.n, adv), nil
+	})
+}
+
+// Run executes the scheme on g against the given prover.
+func (s *SymLCP) Run(g *graph.Graph, prover network.Prover, seed int64) (*network.Result, error) {
+	return network.Run(s.Spec(), g, nil, prover, network.Options{Seed: seed})
+}
+
+// proverFunc adapts a function to network.Prover.
+type proverFunc func(int, *network.ProverView) (*network.Response, error)
+
+func (f proverFunc) Respond(r int, v *network.ProverView) (*network.Response, error) {
+	return f(r, v)
+}
+
+// GNILCP is the non-interactive Θ(n²)-bit proof for Graph Non-Isomorphism:
+// the advice at every node is both full adjacency matrices. Each node
+// verifies its G₀ row against its actual neighborhood, its G₁ row against
+// its input, and advice equality with neighbors; non-isomorphism itself is
+// then decided locally by the (computationally unbounded) verifier.
+type GNILCP struct {
+	n int
+}
+
+// NewGNILCP builds the baseline for graphs on n ≥ 2 vertices.
+func NewGNILCP(n int) (*GNILCP, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: GNILCP needs n >= 2, got %d", n)
+	}
+	return &GNILCP{n: n}, nil
+}
+
+// AdviceBits returns the exact advice length: both adjacency matrices.
+func (s *GNILCP) AdviceBits() int { return s.n * (s.n - 1) }
+
+func (s *GNILCP) encode(g0, g1 *graph.Graph) wire.Message {
+	var w wire.Writer
+	for _, g := range []*graph.Graph{g0, g1} {
+		bits := g.AdjacencyBits()
+		for i := 0; i < bits.Len(); i++ {
+			w.WriteBool(bits.Contains(i))
+		}
+	}
+	return w.Message()
+}
+
+func (s *GNILCP) decode(m wire.Message) (g0, g1 *graph.Graph, err error) {
+	r := wire.NewReader(m)
+	tri := s.n * (s.n - 1) / 2
+	read := func() (*graph.Graph, error) {
+		adj := bitset.New(tri)
+		for i := 0; i < tri; i++ {
+			b, err := r.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				adj.Add(i)
+			}
+		}
+		return graph.FromAdjacencyBits(s.n, adj)
+	}
+	if g0, err = read(); err != nil {
+		return nil, nil, err
+	}
+	if g1, err = read(); err != nil {
+		return nil, nil, err
+	}
+	return g0, g1, r.Done()
+}
+
+// Spec returns the one-round scheme.
+func (s *GNILCP) Spec() *network.Spec {
+	return &network.Spec{
+		Name:   "gni-lcp",
+		Rounds: []network.Round{{Kind: network.Merlin}},
+		Decide: s.decide,
+	}
+}
+
+func (s *GNILCP) decide(v int, view *network.NodeView) bool {
+	if view.NumVertices != s.n {
+		return false
+	}
+	g0, g1, err := s.decode(view.Responses[0])
+	if err != nil {
+		return false
+	}
+	for _, u := range view.Neighbors {
+		if !msgEqual(view.Responses[0], view.NeighborResponses[0][u]) {
+			return false
+		}
+	}
+	// G₀ row vs actual neighborhood.
+	if len(g0.Neighbors(v)) != len(view.Neighbors) {
+		return false
+	}
+	for _, u := range view.Neighbors {
+		if !g0.HasEdge(v, u) {
+			return false
+		}
+	}
+	// G₁ row vs input.
+	open, err := decodeGNIInput(view.Input, s.n)
+	if err != nil {
+		return false
+	}
+	if len(open) != len(g1.Neighbors(v)) {
+		return false
+	}
+	for _, u := range open {
+		if !g1.HasEdge(v, u) {
+			return false
+		}
+	}
+	// Unbounded verifier: decide non-isomorphism outright.
+	return !graph.AreIsomorphic(g0, g1)
+}
+
+// HonestProver returns the prover that publishes both true matrices.
+func (s *GNILCP) HonestProver() network.Prover {
+	return proverFunc(func(round int, view *network.ProverView) (*network.Response, error) {
+		if round != 0 {
+			return nil, fmt.Errorf("core: GNILCP prover called for round %d", round)
+		}
+		g0 := view.Graph
+		if g0.N() != s.n {
+			return nil, fmt.Errorf("core: graph has %d vertices, protocol built for %d", g0.N(), s.n)
+		}
+		g1 := graph.New(s.n)
+		for v := 0; v < s.n; v++ {
+			open, err := decodeGNIInput(view.Inputs[v], s.n)
+			if err != nil {
+				return nil, fmt.Errorf("core: GNILCP prover input %d: %w", v, err)
+			}
+			for _, u := range open {
+				if u > v {
+					g1.AddEdge(v, u)
+				}
+			}
+		}
+		return network.Broadcast(s.n, s.encode(g0, g1)), nil
+	})
+}
+
+// Run executes the scheme: g0 is the network graph, g1 the input graph.
+func (s *GNILCP) Run(g0, g1 *graph.Graph, prover network.Prover, seed int64) (*network.Result, error) {
+	return network.Run(s.Spec(), g0, EncodeGNIInputs(g1), prover, network.Options{Seed: seed})
+}
+
+// SpanTreeLCP is the Θ(log n) proof-labeling scheme of [23] packaged as a
+// protocol: the prover hands out (root, parent, dist) labels and every node
+// verifies locally. On a connected graph this certifies a spanning tree.
+type SpanTreeLCP struct {
+	n int
+}
+
+// NewSpanTreeLCP builds the scheme for graphs on n ≥ 1 vertices.
+func NewSpanTreeLCP(n int) (*SpanTreeLCP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: SpanTreeLCP needs n >= 1, got %d", n)
+	}
+	return &SpanTreeLCP{n: n}, nil
+}
+
+// AdviceBits returns the exact advice length.
+func (s *SpanTreeLCP) AdviceBits() int { return spantree.Bits(s.n) }
+
+// Spec returns the one-round scheme.
+func (s *SpanTreeLCP) Spec() *network.Spec {
+	return &network.Spec{
+		Name:   "spantree-lcp",
+		Rounds: []network.Round{{Kind: network.Merlin}},
+		Decide: func(v int, view *network.NodeView) bool {
+			mine, err := spantree.Decode(wire.NewReader(view.Responses[0]), s.n)
+			if err != nil {
+				return false
+			}
+			neighbors := make(map[int]spantree.Advice, len(view.Neighbors))
+			for _, u := range view.Neighbors {
+				na, err := spantree.Decode(wire.NewReader(view.NeighborResponses[0][u]), s.n)
+				if err != nil {
+					return false
+				}
+				neighbors[u] = na
+			}
+			return spantree.VerifyLocal(v, mine, neighbors, view.HasNeighbor)
+		},
+	}
+}
+
+// HonestProver returns the prover that hands out a BFS tree rooted at 0.
+func (s *SpanTreeLCP) HonestProver() network.Prover {
+	return proverFunc(func(round int, view *network.ProverView) (*network.Response, error) {
+		if round != 0 {
+			return nil, fmt.Errorf("core: SpanTreeLCP prover called for round %d", round)
+		}
+		advice, err := spantree.Compute(view.Graph, 0)
+		if err != nil {
+			return nil, err
+		}
+		resp := &network.Response{PerNode: make([]wire.Message, s.n)}
+		for v := range resp.PerNode {
+			var w wire.Writer
+			advice[v].Encode(&w, s.n)
+			resp.PerNode[v] = w.Message()
+		}
+		return resp, nil
+	})
+}
+
+// Run executes the scheme on g against the given prover.
+func (s *SpanTreeLCP) Run(g *graph.Graph, prover network.Prover, seed int64) (*network.Result, error) {
+	return network.Run(s.Spec(), g, nil, prover, network.Options{Seed: seed})
+}

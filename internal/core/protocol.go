@@ -1,0 +1,60 @@
+// Package core implements the paper's protocols: the dMAM and dAM
+// interactive proofs for graph Symmetry (Protocols 1 and 2, Sections 3.1 and
+// 3.2), the dAM protocol for Dumbbell Symmetry (Section 3.3), the
+// distributed Goldwasser–Sipser dAMAM protocol for Graph Non-Isomorphism
+// (Section 4), the non-interactive "distributed NP" (LCP) baselines they are
+// compared against, and the cheating provers used to measure soundness.
+//
+// Every protocol is expressed as a network.Spec (round schedule plus
+// per-node decision function) together with an honest network.Prover.
+// Running a protocol against its honest prover on a yes-instance must
+// accept; running any prover on a no-instance must accept with probability
+// below 1/3.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"dip/internal/wire"
+)
+
+// msgEqual reports whether two wire messages carry identical bit strings.
+func msgEqual(a, b wire.Message) bool {
+	if a.Bits != b.Bits {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bigChallenge draws a uniform element of [0, modulus) and encodes it in
+// exactly WidthForBig(modulus) bits.
+func bigChallenge(rng *rand.Rand, modulus *big.Int) wire.Message {
+	v := new(big.Int).Rand(rng, modulus)
+	var w wire.Writer
+	w.WriteBig(v, wire.WidthForBig(modulus))
+	return w.Message()
+}
+
+// decodeBigChallenge parses a challenge produced by bigChallenge; it fails
+// if the message has the wrong length or the value is outside [0, modulus).
+func decodeBigChallenge(m wire.Message, modulus *big.Int) (*big.Int, error) {
+	r := wire.NewReader(m)
+	v, err := r.ReadBig(wire.WidthForBig(modulus))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if v.Cmp(modulus) >= 0 {
+		return nil, fmt.Errorf("core: challenge %v out of range", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+// Codec robustness: verifiers must treat arbitrary prover bytes as data.
+// Feeding random bit strings into every message decoder must produce an
+// error or a struct — never a panic — and running a whole protocol against
+// a random-bits prover must reject cleanly. This is the "malformed message"
+// half of soundness.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// randomMessage produces a random bit string of random length.
+func randomMessage(rng *rand.Rand, maxBits int) wire.Message {
+	var w wire.Writer
+	n := rng.Intn(maxBits + 1)
+	for i := 0; i < n; i++ {
+		w.WriteBool(rng.Intn(2) == 1)
+	}
+	return w.Message()
+}
+
+func TestDecodersNeverPanicOnRandomBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+
+	dmam, err := NewSymDMAM(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dam, err := NewSymDAM(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsym, err := NewDSymDAM(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gni, err := NewGNIDAMAM(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnid, err := NewGNIDAM(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gng, err := NewGNIGeneral(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcp, err := NewSymLCP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glcp, err := NewGNILCP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoders := []struct {
+		name string
+		f    func(wire.Message)
+	}{
+		{"sym-dmam first", func(m wire.Message) { _, _ = dmam.decodeFirst(m) }},
+		{"sym-dmam second", func(m wire.Message) { _, _ = dmam.decodeSecond(m) }},
+		{"sym-dam", func(m wire.Message) { _, _ = dam.decode(m) }},
+		{"dsym", func(m wire.Message) { _, _ = dsym.decode(m) }},
+		{"gni first (prefix)", func(m wire.Message) { _, _ = gni.decodeFirst(m, nil) }},
+		{"gni first (full)", func(m wire.Message) { _, _ = gni.decodeFirst(m, []int{3, 3, 3}) }},
+		{"gni second", func(m wire.Message) { _, _ = gni.decodeSecond(m, 2) }},
+		{"gni-dam", func(m wire.Message) { _, _ = gnid.decode(m) }},
+		{"gni-general", func(m wire.Message) { _, _ = gng.decode(m) }},
+		{"sym-lcp", func(m wire.Message) { _, _ = lcp.decode(m) }},
+		{"gni-lcp", func(m wire.Message) { _, _, _ = glcp.decode(m) }},
+	}
+	for _, d := range decoders {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			for i := 0; i < 300; i++ {
+				m := randomMessage(rng, 4000)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("decoder panicked on %d random bits: %v", m.Bits, r)
+						}
+					}()
+					d.f(m)
+				}()
+			}
+		})
+	}
+}
+
+func TestAllProtocolsRejectRandomBitsProver(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := symmetricGraph(t, 6, 81) // 14 vertices, connected
+
+	dmam, err := NewSymDMAM(g.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dam, err := NewSymDAM(g.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		res, err := dmam.Run(g, GarbageProver([]int{rng.Intn(500), rng.Intn(500)}, rng), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("sym-dmam accepted garbage")
+		}
+		res, err = dam.Run(g, GarbageProver([]int{rng.Intn(2000)}, rng), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("sym-dam accepted garbage")
+		}
+	}
+
+	inst, err := NewGNIYesInstance(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gni, err := NewGNIDAMAM(6, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		res, err := gni.Run(inst.G0, inst.G1,
+			GarbageProver([]int{rng.Intn(3000), rng.Intn(3000)}, rng), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("gni accepted garbage")
+		}
+	}
+}
+
+func TestVerifiersSurviveTruncatedHonestMessages(t *testing.T) {
+	// Truncating an honest response mid-field must be caught by parsing,
+	// not crash a verifier.
+	g := symmetricGraph(t, 6, 82)
+	proto, err := NewSymDMAM(g.N(), 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 7, 13} {
+		corrupt := func(round, node int, m wire.Message) wire.Message {
+			if m.Bits <= cut {
+				return wire.Empty
+			}
+			trimmed, err := subBits(m, 0, m.Bits-cut-1)
+			if err != nil {
+				return wire.Empty
+			}
+			return trimmed
+		}
+		res, err := network.Run(proto.Spec(), g, nil, proto.HonestProver(),
+			network.Options{Seed: int64(cut), Corrupt: corrupt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatalf("truncation by %d bits accepted", cut)
+		}
+	}
+}

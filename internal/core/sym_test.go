@@ -1,0 +1,440 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/perm"
+	"dip/internal/wire"
+)
+
+// symmetricGraph builds a connected symmetric graph on 2*base+2 vertices.
+func symmetricGraph(t testing.TB, base int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	core, err := graph.RandomAsymmetricConnected(base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.Doubled(core, 0)
+}
+
+// asymmetricGraph builds a connected asymmetric graph on n vertices.
+func asymmetricGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.RandomAsymmetricConnected(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSymDMAMCompleteness(t *testing.T) {
+	g := symmetricGraph(t, 7, 1) // 16 vertices
+	proto, err := NewSymDMAM(g.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := proto.Run(g, proto.HonestProver(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("seed %d: honest prover rejected on symmetric graph: %v",
+				seed, res.Decisions)
+		}
+	}
+}
+
+func TestSymDMAMCompletenessOnClassicGraphs(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(8),
+		graph.Complete(6),
+		graph.Star(7),
+		graph.Path(9),
+	}
+	for gi, g := range graphs {
+		proto, err := NewSymDMAM(g.N(), int64(gi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := proto.Run(g, proto.HonestProver(), int64(gi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("graph %d: honest prover rejected", gi)
+		}
+	}
+}
+
+func TestSymDMAMSoundness(t *testing.T) {
+	// On an asymmetric graph, a prover committing to any non-identity
+	// mapping is caught by the hash check with probability ≥ 1 - n²/p.
+	g := asymmetricGraph(t, 9, 2)
+	proto, err := NewSymDMAM(g.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	accepts := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		rho := perm.RandomNonIdentity(g.N(), rng)
+		res, err := proto.Run(g, proto.ProverWithMapping(rho, rho.Moved()), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			accepts++
+		}
+	}
+	// The per-trial bound is n²/p < 81/7290 ≈ 1.1%; 30 trials should
+	// essentially never accept — allow one fluke.
+	if accepts > 1 {
+		t.Fatalf("cheating prover accepted %d/%d times", accepts, trials)
+	}
+}
+
+func TestSymDMAMHonestProverOnAsymmetricGraphRejected(t *testing.T) {
+	// The default prover commits to a transposition when no automorphism
+	// exists; verification must catch it.
+	g := asymmetricGraph(t, 8, 4)
+	proto, err := NewSymDMAM(g.N(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(g, proto.HonestProver(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("asymmetric graph accepted")
+	}
+}
+
+func TestSymDMAMIdentityMappingRejected(t *testing.T) {
+	// ρ = id on a symmetric graph: the root check ρ(r) ≠ r must fire
+	// regardless of where the prover roots the tree.
+	g := symmetricGraph(t, 6, 5)
+	proto, err := NewSymDMAM(g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(g, proto.ProverWithMapping(perm.Identity(g.N()), 0), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("identity mapping accepted")
+	}
+}
+
+func TestSymDMAMCostIsLogarithmic(t *testing.T) {
+	// Exact cost: M1 = 4·ceil(lg n); A = M2-field = ceil(lg p) with
+	// p ≤ 100n³, so per-node cost ≤ 4·lg n + 4·(lg 100 + 3 lg n).
+	for _, base := range []int{7, 15, 31} {
+		g := symmetricGraph(t, base, int64(base))
+		n := g.N()
+		proto, err := NewSymDMAM(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := proto.Run(g, proto.HonestProver(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("base %d: rejected", base)
+		}
+		idW := wire.WidthFor(n)
+		hashW := wire.WidthForBig(proto.P())
+		want := 4*idW + hashW + 3*hashW // M1 + challenge + M2
+		if got := res.Cost.MaxProverBits(); got != want {
+			t.Fatalf("n=%d: MaxProverBits = %d, want %d", n, got, want)
+		}
+		// O(log n) sanity: under 30·lg n bits.
+		if got := res.Cost.MaxProverBits(); got > 30*idW {
+			t.Fatalf("n=%d: cost %d not logarithmic", n, got)
+		}
+	}
+}
+
+func TestSymDMAMCorruptionRejected(t *testing.T) {
+	g := symmetricGraph(t, 7, 9)
+	proto, err := NewSymDMAM(g.N(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(round, node int, m wire.Message) wire.Message {
+		if round != 1 || node != 2 || m.Bits == 0 {
+			return m
+		}
+		out := wire.Message{Data: append([]byte(nil), m.Data...), Bits: m.Bits}
+		out.Data[0] ^= 1 // first bit is always within the message
+		return out
+	}
+	res, err := network.Run(proto.Spec(), g, nil, proto.HonestProver(),
+		network.Options{Seed: 10, Corrupt: corrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("corrupted run accepted")
+	}
+}
+
+func TestSymDMAMRejectsDisconnected(t *testing.T) {
+	// Two disjoint triangles are symmetric, but the engine's honest prover
+	// cannot build a spanning tree: Run must surface the error.
+	g := graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3))
+	proto, err := NewSymDMAM(g.N(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.Run(g, proto.HonestProver(), 0); err == nil {
+		t.Fatal("expected spanning-tree error on disconnected graph")
+	}
+}
+
+func TestSymDMAMValidation(t *testing.T) {
+	if _, err := NewSymDMAM(1, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	proto, err := NewSymDMAM(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.Run(graph.Cycle(5), proto.HonestProver(), 0); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestSymDAMCompleteness(t *testing.T) {
+	g := symmetricGraph(t, 6, 12) // 14 vertices; p ≈ 14^16
+	proto, err := NewSymDAM(g.N(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := proto.Run(g, proto.HonestProver(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("seed %d: honest prover rejected: %v", seed, res.Decisions)
+		}
+	}
+}
+
+func TestSymDAMSoundness(t *testing.T) {
+	g := asymmetricGraph(t, 8, 13)
+	proto, err := NewSymDAM(g.N(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 10; i++ {
+		rho := perm.RandomNonIdentity(g.N(), rng)
+		res, err := proto.Run(g, proto.ProverWithMapping(rho, rho.Moved()), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("cheating prover accepted under the n^{n+2} modulus")
+		}
+	}
+	// The honest prover also fails here (no automorphism exists).
+	res, err := proto.Run(g, proto.HonestProver(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("asymmetric graph accepted")
+	}
+}
+
+func TestSymDAMCostIsNearLinear(t *testing.T) {
+	g := symmetricGraph(t, 6, 15)
+	n := g.N()
+	proto, err := NewSymDAM(n, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(g, proto.HonestProver(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("rejected")
+	}
+	idW := wire.WidthFor(n)
+	hashW := wire.WidthForBig(proto.P())
+	// challenge + [ρ | echo | root | parent | dist | a | b]
+	want := hashW + (n*idW + hashW + 3*idW + 2*hashW)
+	if got := res.Cost.MaxProverBits(); got != want {
+		t.Fatalf("MaxProverBits = %d, want %d", got, want)
+	}
+	// hashW itself must be Θ(n log n): (n+2)·lg n ≤ hashW ≤ (n+2)·lg n + 7.
+	if hashW < (n+2)*wire.WidthFor(n)/2 {
+		t.Fatalf("hash width %d unexpectedly small", hashW)
+	}
+}
+
+func TestSymDAMNonBijectiveMappingRejected(t *testing.T) {
+	// Lemma 3.1 also covers non-permutations: a constant-ish map must be
+	// caught by the hash comparison.
+	g := symmetricGraph(t, 6, 17)
+	proto, err := NewSymDAM(g.N(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := make(perm.Perm, g.N()) // all-zeros map: not a bijection
+	rho[0] = 1                    // make it move the root so the ρ(r)≠r check passes
+	res, err := proto.Run(g, proto.ProverWithMapping(rho, 0), 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("non-bijective mapping accepted")
+	}
+}
+
+func TestDSymCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, params := range []struct{ side, half int }{{6, 0}, {6, 2}, {9, 3}} {
+		f := graph.ConnectedGNP(params.side, 0.5, rng)
+		g := graph.DSymGraph(f, params.half)
+		proto, err := NewDSymDAM(params.side, params.half, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			res, err := proto.Run(g, proto.HonestProver(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Accepted {
+				t.Fatalf("side=%d half=%d seed=%d: rejected: %v",
+					params.side, params.half, seed, res.Decisions)
+			}
+		}
+	}
+}
+
+func TestDSymSoundnessBrokenAutomorphism(t *testing.T) {
+	// Add an internal side-B edge without its side-A mirror: structure
+	// checks still pass, but σ is no longer an automorphism, so the hash
+	// comparison at the root must fail (w.h.p. over the challenge).
+	rng := rand.New(rand.NewSource(20))
+	f := graph.ConnectedGNP(7, 0.4, rng)
+	g := graph.DSymGraph(f, 1)
+	broken := false
+	for u := 7; u < 14 && !broken; u++ {
+		for v := u + 1; v < 14 && !broken; v++ {
+			if !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		t.Fatal("could not break the graph (side B complete)")
+	}
+	proto, err := NewDSymDAM(7, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts := 0
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := proto.Run(g, proto.HonestProver(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			accepts++
+		}
+	}
+	if accepts > 1 {
+		t.Fatalf("broken dumbbell accepted %d/20 times", accepts)
+	}
+}
+
+func TestDSymSoundnessStructure(t *testing.T) {
+	// A stray side-A-to-path edge is caught by the prover-free structure
+	// checks deterministically.
+	rng := rand.New(rand.NewSource(21))
+	f := graph.ConnectedGNP(6, 0.5, rng)
+	g := graph.DSymGraph(f, 1)
+	g.AddEdge(1, 12) // side-A interior to path node 2n=12
+	proto, err := NewDSymDAM(6, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(g, proto.HonestProver(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("stray edge accepted")
+	}
+}
+
+func TestDSymForgingProverRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := graph.ConnectedGNP(6, 0.5, rng)
+	g := graph.DSymGraph(f, 1)
+	proto, err := NewDSymDAM(6, 1, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := 0; at < g.N(); at += 4 {
+		res, err := proto.Run(g, proto.ForgingProver(at), int64(at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatalf("forged sum at node %d accepted", at)
+		}
+	}
+}
+
+func TestDSymCostIsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := graph.ConnectedGNP(10, 0.4, rng)
+	g := graph.DSymGraph(f, 2)
+	proto, err := NewDSymDAM(10, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(g, proto.HonestProver(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("rejected")
+	}
+	n := g.N()
+	idW := wire.WidthFor(n)
+	hashW := wire.WidthForBig(proto.P())
+	want := hashW + (hashW + 2*idW + 2*hashW)
+	if got := res.Cost.MaxProverBits(); got != want {
+		t.Fatalf("MaxProverBits = %d, want %d", got, want)
+	}
+	if got := res.Cost.MaxProverBits(); got > 30*idW {
+		t.Fatalf("cost %d not logarithmic (lg n = %d)", got, idW)
+	}
+}
+
+func TestDSymValidation(t *testing.T) {
+	if _, err := NewDSymDAM(0, 1, 0); err == nil {
+		t.Fatal("side=0 accepted")
+	}
+	if _, err := NewDSymDAM(3, -1, 0); err == nil {
+		t.Fatal("half=-1 accepted")
+	}
+}

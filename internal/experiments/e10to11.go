@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dip/internal/core"
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/stats"
+)
+
+// E10GNIVariants compares the three GNI implementations: the paper-faithful
+// four-round dAMAM, our one-exchange dAM round reduction, and the
+// promise-free general protocol on *symmetric* instances (which the
+// restricted protocols do not support).
+func E10GNIVariants(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "GNI variants: round reduction and the promise-free extension",
+		Columns: []string{"variant", "rounds", "instance", "yes accept", "no accept", "bits/node"},
+		Notes: []string{
+			"gni-damam: Theorem 1.5 as stated (A M A M); gni-dam: one-exchange variant enabled by broadcasting σ and the linear ε-API hash",
+			"gni-general: automorphism-compensated counting (Goldwasser–Sipser's fix), no asymmetry promise — run on highly symmetric instances (C6 vs K3,3)",
+		},
+	}
+	n, k := 6, 80
+	trials := 10
+	if cfg.Quick {
+		k, trials = 24, 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+
+	yes, err := core.NewGNIYesInstance(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	no, err := core.NewGNINoInstance(n, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name   string
+		rounds int
+		run    func(g0, g1 *graph.Graph, seed int64) (*network.Result, error)
+	}
+	damam, err := core.NewGNIDAMAM(n, k, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dam, err := core.NewGNIDAM(n, k, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	general, err := core.NewGNIGeneral(n, k, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(v variant, g0y, g1y, g0n, g1n *graph.Graph, instance string) error {
+		yesAcc, noAcc, bits := 0, 0, 0
+		for i := 0; i < trials; i++ {
+			res, err := v.run(g0y, g1y, cfg.Seed+int64(i))
+			if err != nil {
+				return err
+			}
+			if res.Accepted {
+				yesAcc++
+			}
+			bits = res.Cost.MaxProverBits()
+			res, err = v.run(g0n, g1n, cfg.Seed+500+int64(i))
+			if err != nil {
+				return err
+			}
+			if res.Accepted {
+				noAcc++
+			}
+		}
+		t.AddRow(v.name, v.rounds, instance,
+			stats.EstimateBernoulli(yesAcc, trials).String(),
+			stats.EstimateBernoulli(noAcc, trials).String(),
+			bits)
+		return nil
+	}
+
+	if err := measure(variant{"gni-damam", 4, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+		return damam.Run(a, b, damam.HonestProver(), s)
+	}}, yes.G0, yes.G1, no.G0, no.G1, "rigid pair"); err != nil {
+		return nil, err
+	}
+	if err := measure(variant{"gni-dam", 2, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+		return dam.Run(a, b, dam.HonestProver(), s)
+	}}, yes.G0, yes.G1, no.G0, no.G1, "rigid pair"); err != nil {
+		return nil, err
+	}
+
+	// Symmetric instances for the general protocol: C6 vs K_{3,3}.
+	c6 := graph.Cycle(n)
+	k33 := graph.New(n)
+	for u := 0; u < n/2; u++ {
+		for v := n / 2; v < n; v++ {
+			k33.AddEdge(u, v)
+		}
+	}
+	k33Shuffled, _ := k33.Shuffle(rng)
+	c6Shuffled, _ := c6.Shuffle(rng)
+	if err := measure(variant{"gni-general", 2, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+		return general.Run(a, b, general.HonestProver(), s)
+	}}, c6, k33Shuffled, c6, c6Shuffled, "symmetric pair"); err != nil {
+		return nil, err
+	}
+
+	// Marked formulation: induced subgraphs inside one network graph.
+	mYesG, mYesMarks, err := markedPair(n, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	mNoG, mNoMarks, err := markedPair(n, false, rng)
+	if err != nil {
+		return nil, err
+	}
+	marked, err := core.NewMarkedGNI(mYesG.N(), n, k, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	yesAcc, noAcc, bits := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		res, err := marked.Run(mYesG, mYesMarks, marked.HonestProver(), cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if res.Accepted {
+			yesAcc++
+		}
+		bits = res.Cost.MaxProverBits()
+		res, err = marked.Run(mNoG, mNoMarks, marked.HonestProver(), cfg.Seed+700+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if res.Accepted {
+			noAcc++
+		}
+	}
+	t.AddRow("gni-marked", 4, "marked {0,1,⊥} network",
+		stats.EstimateBernoulli(yesAcc, trials).String(),
+		stats.EstimateBernoulli(noAcc, trials).String(), bits)
+	return t, nil
+}
+
+// markedPair builds a marked-GNI instance with k-vertex rigid induced
+// subgraphs that are non-isomorphic (yes) or isomorphic (no).
+func markedPair(k int, yes bool, rng *rand.Rand) (*graph.Graph, []core.Mark, error) {
+	a, err := graph.RandomAsymmetricConnected(k, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	var b *graph.Graph
+	if yes {
+		for {
+			if b, err = graph.RandomAsymmetricConnected(k, rng); err != nil {
+				return nil, nil, err
+			}
+			if !graph.AreIsomorphic(a, b) {
+				break
+			}
+		}
+	} else {
+		b = a
+	}
+	b, _ = b.Shuffle(rng)
+
+	const hubs = 3
+	n := 2*k + hubs
+	g := graph.New(n)
+	marks := make([]core.Mark, n)
+	for v := 0; v < k; v++ {
+		marks[v] = core.MarkZero
+		marks[v+k] = core.MarkOne
+	}
+	for v := 2 * k; v < n; v++ {
+		marks[v] = core.MarkNone
+	}
+	for _, e := range a.Edges() {
+		g.AddEdge(e[0], e[1])
+	}
+	for _, e := range b.Edges() {
+		g.AddEdge(e[0]+k, e[1]+k)
+	}
+	for v := 0; v < 2*k; v++ {
+		g.AddEdge(v, 2*k+v%hubs)
+	}
+	for h := 1; h < hubs; h++ {
+		g.AddEdge(2*k, 2*k+h)
+	}
+	return g, marks, nil
+}
+
+// E11RPLS measures the randomized proof-labeling scheme of [4] against the
+// deterministic LCP: identical Θ(n²) advice, exponentially smaller
+// node-to-node verification traffic, soundness preserved.
+func E11RPLS(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Randomized PLS ([4]): fingerprinted verification",
+		Columns: []string{"n", "advice bits", "LCP n2n bits", "RPLS n2n bits", "saving", "bad advice caught"},
+		Notes: []string{
+			"n2n = max over nodes of bits sent to neighbors during verification",
+			"RPLS forwards a (seed, fingerprint) pair per neighbor instead of the full advice",
+		},
+	}
+	bases := []int{7, 15, 31}
+	trials := 15
+	if cfg.Quick {
+		bases = []int{7}
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	for _, base := range bases {
+		g, err := symInstance(base, rng)
+		if err != nil {
+			return nil, err
+		}
+		n := g.N()
+		lcp, err := core.NewSymLCP(n)
+		if err != nil {
+			return nil, err
+		}
+		rpls, err := core.NewSymRPLS(n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		lres, err := lcp.Run(g, lcp.HonestProver(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rres, err := rpls.Run(g, rpls.HonestProver(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if !lres.Accepted || !rres.Accepted {
+			return nil, fmt.Errorf("E11: honest run rejected at n=%d", n)
+		}
+		caught := 0
+		for i := 0; i < trials; i++ {
+			res, err := rpls.Run(g, rpls.InconsistentAdviceProver(1), cfg.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			if !res.Accepted {
+				caught++
+			}
+		}
+		lN2N := lres.Cost.MaxNodeToNodeBits()
+		rN2N := rres.Cost.MaxNodeToNodeBits()
+		t.AddRow(n, rpls.AdviceBits(), lN2N, rN2N,
+			fmt.Sprintf("%.0fx", float64(lN2N)/float64(rN2N)),
+			stats.EstimateBernoulli(caught, trials).String())
+	}
+	return t, nil
+}

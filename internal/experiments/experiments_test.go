@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode: the harness
+// must produce well-formed tables without errors. Content-level assertions
+// for individual experiments follow below.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) && len(tab.Columns) > 0 {
+					t.Fatalf("%s: ragged row %v", r.ID, row)
+				}
+			}
+			out := tab.Format()
+			if !strings.Contains(out, tab.ID) {
+				t.Fatalf("%s: Format missing ID", r.ID)
+			}
+			t.Log("\n" + out)
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e3"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 0.5)
+	tab.AddRow("wide-value", 2)
+	out := tab.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "note:") {
+		t.Fatal("note missing")
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Fatal("float formatting wrong")
+	}
+}
+
+// TestE1CostsAreLogarithmic pins the headline scaling claim: as n grows by
+// a factor, bits/lg n stays bounded.
+func TestE1CostsAreLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := E1SymDMAMCost(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 40 {
+			t.Fatalf("bits/lg n = %v: not logarithmic", ratio)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkColorRefinementIso(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := ConnectedGNP(64, 0.2, rng)
+	h, _ := g.Shuffle(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FindIsomorphism(g, h) == nil {
+			b.Fatal("iso not found")
+		}
+	}
+}
+
+func BenchmarkAsymmetryCheck(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := RandomAsymmetricConnected(48, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FindNontrivialAutomorphism(g) != nil {
+			b.Fatal("rigid graph has automorphism")
+		}
+	}
+}
+
+func BenchmarkBFSTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConnectedGNP(512, 0.02, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.BFSTree(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dip/internal/perm"
+)
+
+// Path returns the path graph 0-1-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs >= 3 vertices, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi random graph G(n, p).
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedGNP returns a connected G(n, 1/2)-style graph: it samples GNP
+// graphs until one is connected. For p = 1/2 and n >= 4 the expected number
+// of samples is close to 1.
+func ConnectedGNP(n int, p float64, rng *rand.Rand) *Graph {
+	for {
+		g := GNP(n, p, rng)
+		if g.IsConnected() {
+			return g
+		}
+	}
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer sequence. For n <= 2 it returns the unique tree.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.AddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			if u == -1 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	g.AddEdge(u, w)
+	return g
+}
+
+// Doubled returns a symmetric graph built from g: two disjoint copies of g
+// (copy A on {0..n-1}, copy B on {n..2n-1}) joined by a two-node bridge
+// path  a — 2n — 2n+1 — b  where a = anchor in copy A and b = anchor + n in
+// copy B. The swap-and-reverse mapping is always a non-trivial automorphism,
+// so the result is in Sym regardless of g. This is the yes-instance
+// workload generator for the Sym experiments.
+func Doubled(g *Graph, anchor int) *Graph {
+	n := g.N()
+	if n == 0 {
+		panic("graph: doubling the empty graph")
+	}
+	if anchor < 0 || anchor >= n {
+		panic(fmt.Sprintf("graph: anchor %d out of range [0,%d)", anchor, n))
+	}
+	out := New(2*n + 2)
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+		out.AddEdge(e[0]+n, e[1]+n)
+	}
+	out.AddEdge(anchor, 2*n)
+	out.AddEdge(2*n, 2*n+1)
+	out.AddEdge(2*n+1, anchor+n)
+	return out
+}
+
+// DoubledAutomorphism returns the canonical non-trivial automorphism of
+// Doubled(g, anchor): swap the two copies and reverse the bridge.
+func DoubledAutomorphism(n int) perm.Perm {
+	p := make(perm.Perm, 2*n+2)
+	for v := 0; v < n; v++ {
+		p[v] = v + n
+		p[v+n] = v
+	}
+	p[2*n] = 2*n + 1
+	p[2*n+1] = 2 * n
+	return p
+}
+
+// DSymGraph builds a graph in the language DSym of Definition 5: vertices
+// {0,...,2n+2r}, with the subgraph F copied onto {0..n-1} and (shifted by n)
+// onto {n..2n-1}, the two copies joined by the path
+// 0 — (2n) — (2n+1) — ... — (2n+2r) — n, and no other edges. F must be a
+// graph on n vertices; r >= 0 is the half-length of the path.
+func DSymGraph(f *Graph, r int) *Graph {
+	n := f.N()
+	if n < 1 {
+		panic("graph: DSym needs a non-empty core graph")
+	}
+	if r < 0 {
+		panic(fmt.Sprintf("graph: negative path parameter %d", r))
+	}
+	g := New(2*n + 2*r + 1)
+	for _, e := range f.Edges() {
+		g.AddEdge(e[0], e[1])
+		g.AddEdge(e[0]+n, e[1]+n)
+	}
+	g.AddEdge(0, 2*n)
+	for i := 0; i < 2*r; i++ {
+		g.AddEdge(2*n+i, 2*n+i+1)
+	}
+	g.AddEdge(2*n+2*r, n)
+	return g
+}
+
+// DSymAutomorphism returns the fixed automorphism σ of Definition 5 for
+// DSym graphs with parameters (n, r): swap the copies and reverse the path.
+func DSymAutomorphism(n, r int) perm.Perm {
+	sigma := make(perm.Perm, 2*n+2*r+1)
+	for x := 0; x < n; x++ {
+		sigma[x] = x + n
+		sigma[x+n] = x
+	}
+	for x := 2 * n; x <= 2*n+2*r; x++ {
+		sigma[x] = 2*n + 2*r - (x - 2*n)
+	}
+	return sigma
+}
+
+// IsDSym reports whether g is in the language DSym with parameters (n, r),
+// checking the three conditions of Section 3.3 globally (this is the
+// reference decider used by tests; the protocol checks the same conditions
+// distributively).
+func IsDSym(g *Graph, n, r int) bool {
+	if g.N() != 2*n+2*r+1 {
+		return false
+	}
+	sigma := DSymAutomorphism(n, r)
+	if !g.IsAutomorphism(sigma) {
+		return false
+	}
+	// Path present.
+	if !g.HasEdge(0, 2*n) || !g.HasEdge(2*n+2*r, n) {
+		return false
+	}
+	for i := 0; i < 2*r; i++ {
+		if !g.HasEdge(2*n+i, 2*n+i+1) {
+			return false
+		}
+	}
+	// No stray edges: every edge is internal to a side or on the path.
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		switch {
+		case u < n && v < n:
+		case u >= n && u < 2*n && v >= n && v < 2*n:
+		case isDSymPathEdge(u, v, n, r):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isDSymPathEdge(u, v, n, r int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	if u == 0 && v == 2*n {
+		return true
+	}
+	if u == n && v == 2*n+2*r {
+		return true
+	}
+	return u >= 2*n && v == u+1 && v <= 2*n+2*r
+}
+
+// LowerBoundDumbbell builds the Section 3.4 family member G(F_A, F_B):
+// copies of fA on {0..n-1} and fB on {n..2n-1}, bridge nodes x_A = 2n and
+// x_B = 2n+1, and edges {v_A, x_A}, {x_A, x_B}, {x_B, v_B} with the fixed
+// attachment points v_A = 0 and v_B = n. fA and fB must have the same
+// number of vertices. G(F, F) is symmetric; for asymmetric, non-isomorphic
+// F_A ≠ F_B the result has no non-trivial automorphism.
+func LowerBoundDumbbell(fA, fB *Graph) *Graph {
+	n := fA.N()
+	if fB.N() != n {
+		panic(fmt.Sprintf("graph: dumbbell sides of %d and %d vertices", n, fB.N()))
+	}
+	if n < 1 {
+		panic("graph: dumbbell with empty sides")
+	}
+	g := New(2*n + 2)
+	for _, e := range fA.Edges() {
+		g.AddEdge(e[0], e[1])
+	}
+	for _, e := range fB.Edges() {
+		g.AddEdge(e[0]+n, e[1]+n)
+	}
+	g.AddEdge(0, 2*n)     // v_A — x_A
+	g.AddEdge(2*n, 2*n+1) // x_A — x_B
+	g.AddEdge(2*n+1, n)   // x_B — v_B
+	return g
+}
+
+// DisjointUnion returns the disjoint union of g (on {0..g.N()-1}) and h
+// (shifted onto {g.N()..g.N()+h.N()-1}).
+func DisjointUnion(g, h *Graph) *Graph {
+	out := New(g.N() + h.N())
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	for _, e := range h.Edges() {
+		out.AddEdge(e[0]+g.N(), e[1]+g.N())
+	}
+	return out
+}
+
+// RandomAsymmetricConnected returns a connected graph on n vertices with no
+// non-trivial automorphism, by rejection sampling from G(n, 1/2). Random
+// graphs are asymmetric with probability 1 - o(1), so for n >= 7 this
+// terminates almost immediately. It returns an error if n < 6, since the
+// only asymmetric graph on fewer than 6 vertices is the single vertex.
+func RandomAsymmetricConnected(n int, rng *rand.Rand) (*Graph, error) {
+	if n < 6 {
+		return nil, fmt.Errorf("graph: no connected asymmetric graph on %d vertices (need >= 6)", n)
+	}
+	for {
+		g := ConnectedGNP(n, 0.5, rng)
+		if FindNontrivialAutomorphism(g) == nil {
+			return g, nil
+		}
+	}
+}

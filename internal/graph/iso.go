@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"dip/internal/perm"
+)
+
+// refineColors runs 1-dimensional Weisfeiler-Leman color refinement on the
+// disjoint union of the given graphs, starting from the uniform coloring,
+// and returns one stable coloring per graph. Colors are comparable across
+// the graphs: two vertices (possibly in different graphs) get the same color
+// iff refinement cannot distinguish them.
+func refineColors(graphs ...*Graph) [][]int {
+	colors := make([][]int, len(graphs))
+	total := 0
+	for i, g := range graphs {
+		colors[i] = make([]int, g.N())
+		total += g.N()
+	}
+	numColors := 1
+	for round := 0; round < total; round++ {
+		// Build signature -> new color, assigning ids in first-seen order of
+		// sorted signature strings so the naming is canonical.
+		type sig struct {
+			graph, vertex int
+			key           string
+		}
+		sigs := make([]sig, 0, total)
+		for gi, g := range graphs {
+			for v := 0; v < g.N(); v++ {
+				neigh := make([]int, 0, g.Degree(v))
+				for _, u := range g.Neighbors(v) {
+					neigh = append(neigh, colors[gi][u])
+				}
+				sort.Ints(neigh)
+				var b strings.Builder
+				b.WriteString(strconv.Itoa(colors[gi][v]))
+				for _, c := range neigh {
+					b.WriteByte(',')
+					b.WriteString(strconv.Itoa(c))
+				}
+				sigs = append(sigs, sig{gi, v, b.String()})
+			}
+		}
+		keys := make([]string, 0, len(sigs))
+		seen := make(map[string]int, len(sigs))
+		for _, s := range sigs {
+			if _, ok := seen[s.key]; !ok {
+				seen[s.key] = 0
+				keys = append(keys, s.key)
+			}
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			seen[k] = i
+		}
+		for _, s := range sigs {
+			colors[s.graph][s.vertex] = seen[s.key]
+		}
+		if len(keys) == numColors {
+			break // stable
+		}
+		numColors = len(keys)
+	}
+	return colors
+}
+
+// FindIsomorphism returns an isomorphism from g to h (a permutation p with
+// p(g) = h), or nil if the graphs are not isomorphic.
+func FindIsomorphism(g, h *Graph) perm.Perm {
+	return searchIsomorphism(g, h, false)
+}
+
+// AreIsomorphic reports whether g and h are isomorphic.
+func AreIsomorphic(g, h *Graph) bool {
+	return FindIsomorphism(g, h) != nil
+}
+
+// FindNontrivialAutomorphism returns a non-trivial automorphism of g, or nil
+// if g is asymmetric (rigid). This is the search procedure the honest
+// Protocol 1 prover runs to compute its commitment ρ.
+func FindNontrivialAutomorphism(g *Graph) perm.Perm {
+	return searchIsomorphism(g, g, true)
+}
+
+// IsAsymmetric reports whether g has no non-trivial automorphism.
+func IsAsymmetric(g *Graph) bool {
+	return FindNontrivialAutomorphism(g) == nil
+}
+
+// searchIsomorphism finds a bijection p with p(g) = h by backtracking over
+// WL color classes. If excludeIdentity is set (used with h = g), the
+// identity mapping is not accepted.
+func searchIsomorphism(g, h *Graph, excludeIdentity bool) perm.Perm {
+	n := g.N()
+	if h.N() != n {
+		return nil
+	}
+	if n == 0 {
+		if excludeIdentity {
+			return nil
+		}
+		return perm.Perm{}
+	}
+	if g.NumEdges() != h.NumEdges() {
+		return nil
+	}
+	colors := refineColors(g, h)
+	cg, ch := colors[0], colors[1]
+
+	// Color class sizes must match between the graphs.
+	countG := map[int]int{}
+	countH := map[int]int{}
+	for _, c := range cg {
+		countG[c]++
+	}
+	for _, c := range ch {
+		countH[c]++
+	}
+	if len(countG) != len(countH) {
+		return nil
+	}
+	for c, k := range countG {
+		if countH[c] != k {
+			return nil
+		}
+	}
+
+	// Candidate lists: h-vertices per color.
+	candidates := map[int][]int{}
+	for w := 0; w < n; w++ {
+		candidates[ch[w]] = append(candidates[ch[w]], w)
+	}
+
+	// Map g-vertices in order of ascending candidate-class size, so the most
+	// constrained vertices are decided first; ties broken by descending
+	// degree to maximize early adjacency constraints.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		sa, sb := countG[cg[va]], countG[cg[vb]]
+		if sa != sb {
+			return sa < sb
+		}
+		da, db := g.Degree(va), g.Degree(vb)
+		if da != db {
+			return da > db
+		}
+		return va < vb
+	})
+
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([]bool, n)
+
+	var backtrack func(depth int) bool
+	backtrack = func(depth int) bool {
+		if depth == n {
+			if excludeIdentity {
+				id := true
+				for v, w := range mapping {
+					if v != w {
+						id = false
+						break
+					}
+				}
+				if id {
+					return false
+				}
+			}
+			return true
+		}
+		v := order[depth]
+		for _, w := range candidates[cg[v]] {
+			if used[w] {
+				continue
+			}
+			ok := true
+			for d := 0; d < depth; d++ {
+				u := order[d]
+				if g.HasEdge(v, u) != h.HasEdge(w, mapping[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = w
+			used[w] = true
+			if backtrack(depth + 1) {
+				return true
+			}
+			mapping[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+
+	if !backtrack(0) {
+		return nil
+	}
+	p, err := perm.FromSlice(mapping)
+	if err != nil {
+		// Cannot happen: the search maintains a bijection.
+		return nil
+	}
+	return p
+}
+
+// CanonicalKey returns a string that is identical for isomorphic graphs and
+// distinct for non-isomorphic ones, computed by brute force over all n!
+// relabelings. It is intended for the small graphs (n <= 8) of the
+// lower-bound family; larger inputs are rejected by panic to avoid
+// accidental factorial blowups.
+func CanonicalKey(g *Graph) string {
+	n := g.N()
+	if n > 8 {
+		panic("graph: CanonicalKey is brute-force; n > 8 not supported")
+	}
+	p := perm.Identity(n)
+	best := ""
+	for {
+		key := g.Relabel(p).AdjacencyBits().String()
+		if best == "" || key < best {
+			best = key
+		}
+		if !p.NextLex() {
+			break
+		}
+	}
+	return best
+}
+
+// AllAutomorphisms returns every automorphism of g (including the identity)
+// by brute force. Like CanonicalKey it is meant for small graphs (n <= 8).
+func AllAutomorphisms(g *Graph) []perm.Perm {
+	n := g.N()
+	if n > 8 {
+		panic("graph: AllAutomorphisms is brute-force; n > 8 not supported")
+	}
+	var out []perm.Perm
+	p := perm.Identity(n)
+	for {
+		if g.IsAutomorphism(p) {
+			out = append(out, p.Clone())
+		}
+		if !p.NextLex() {
+			break
+		}
+	}
+	return out
+}

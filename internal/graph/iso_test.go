@@ -1,0 +1,319 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/perm"
+)
+
+func TestFindIsomorphismBasic(t *testing.T) {
+	g := Path(5)
+	h := Path(5)
+	p := FindIsomorphism(g, h)
+	if p == nil {
+		t.Fatal("identical paths not isomorphic")
+	}
+	if !g.Relabel(p).Equal(h) {
+		t.Fatal("returned mapping is not an isomorphism")
+	}
+}
+
+func TestFindIsomorphismShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		g := GNP(10, 0.5, rng)
+		h, _ := g.Shuffle(rng)
+		p := FindIsomorphism(g, h)
+		if p == nil {
+			t.Fatal("shuffled copy not found isomorphic")
+		}
+		if !g.Relabel(p).Equal(h) {
+			t.Fatal("mapping wrong")
+		}
+	}
+}
+
+func TestNonIsomorphic(t *testing.T) {
+	cases := []struct {
+		name string
+		g, h *Graph
+	}{
+		{"different n", Path(4), Path(5)},
+		{"different edges", Path(4), Cycle(4)},
+		{"same degree sequence", pathPlusIsolated(), trianglePlusEdgeless()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if AreIsomorphic(tc.g, tc.h) {
+				t.Fatal("non-isomorphic graphs reported isomorphic")
+			}
+		})
+	}
+}
+
+// pathPlusIsolated: P4 plus 2 isolated vertices (degrees 1,1,2,2,0,0).
+func pathPlusIsolated() *Graph {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	return g
+}
+
+// trianglePlusEdgeless: C3 plus P2 plus isolated? Construct degrees
+// 2,2,2,1,1,0 — differs from pathPlusIsolated's 1,1,2,2,0,0 only in
+// multiset? 2,2,2,1,1,0 vs 2,2,1,1,0,0: actually different. Use two graphs
+// with the SAME degree sequence instead: C6 vs two triangles.
+func trianglePlusEdgeless() *Graph {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	return g
+}
+
+func TestSameDegreeSequenceNotIsomorphic(t *testing.T) {
+	// C6 and 2×C3 are both 2-regular on 6 vertices but not isomorphic.
+	c6 := Cycle(6)
+	twoTriangles := DisjointUnion(Cycle(3), Cycle(3))
+	if AreIsomorphic(c6, twoTriangles) {
+		t.Fatal("C6 ≅ 2C3 reported")
+	}
+}
+
+func TestRegularNonIsomorphicPair(t *testing.T) {
+	// K3,3 vs the prism graph (C6 with long chords? use K3,3 vs triangular
+	// prism): both 3-regular on 6 vertices, not isomorphic (prism has
+	// triangles, K3,3 does not).
+	k33 := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			k33.AddEdge(u, v)
+		}
+	}
+	prism := New(6)
+	prism.AddEdge(0, 1)
+	prism.AddEdge(1, 2)
+	prism.AddEdge(2, 0)
+	prism.AddEdge(3, 4)
+	prism.AddEdge(4, 5)
+	prism.AddEdge(5, 3)
+	prism.AddEdge(0, 3)
+	prism.AddEdge(1, 4)
+	prism.AddEdge(2, 5)
+	if AreIsomorphic(k33, prism) {
+		t.Fatal("K3,3 ≅ prism reported")
+	}
+	if !AreIsomorphic(k33, k33.Clone()) {
+		t.Fatal("K3,3 not isomorphic to itself")
+	}
+}
+
+func TestFindNontrivialAutomorphism(t *testing.T) {
+	symmetric := []*Graph{Path(4), Cycle(5), Complete(4), Star(5)}
+	for _, g := range symmetric {
+		a := FindNontrivialAutomorphism(g)
+		if a == nil {
+			t.Fatalf("no automorphism found for %v", g)
+		}
+		if a.IsIdentity() {
+			t.Fatal("identity returned")
+		}
+		if !g.IsAutomorphism(a) {
+			t.Fatalf("returned mapping %v not an automorphism of %v", a, g)
+		}
+	}
+}
+
+func TestAsymmetricGraphDetected(t *testing.T) {
+	// The smallest asymmetric tree: 7 vertices.
+	// Shape: path 0-1-2-3-4 with 5 attached to 2 ... that has a symmetry.
+	// Use the known 6-vertex asymmetric graph: path 0-1-2-3-4 plus edge 1-5
+	// and edge 2-5? Build and verify by brute force instead.
+	rng := rand.New(rand.NewSource(9))
+	g, err := RandomAsymmetricConnected(7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check search result against brute force.
+	if len(AllAutomorphisms(g)) != 1 {
+		t.Fatal("brute force disagrees: graph has non-trivial automorphisms")
+	}
+	if FindNontrivialAutomorphism(g) != nil {
+		t.Fatal("search found automorphism in asymmetric graph")
+	}
+}
+
+func TestSearchAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 40; i++ {
+		g := GNP(6, 0.5, rng)
+		brute := len(AllAutomorphisms(g)) > 1
+		search := FindNontrivialAutomorphism(g) != nil
+		if brute != search {
+			t.Fatalf("disagreement on %v: brute=%v search=%v", g, brute, search)
+		}
+	}
+}
+
+func TestDoubledGraphAutomorphismFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base, err := RandomAsymmetricConnected(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Doubled(base, 0)
+	a := FindNontrivialAutomorphism(g)
+	if a == nil {
+		t.Fatal("no automorphism in doubled graph")
+	}
+	if !g.IsAutomorphism(a) {
+		t.Fatal("not an automorphism")
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := GNP(6, 0.5, rng)
+	h, _ := g.Shuffle(rng)
+	if CanonicalKey(g) != CanonicalKey(h) {
+		t.Fatal("isomorphic graphs with different canonical keys")
+	}
+	c6 := Cycle(6)
+	twoTriangles := DisjointUnion(Cycle(3), Cycle(3))
+	if CanonicalKey(c6) == CanonicalKey(twoTriangles) {
+		t.Fatal("non-isomorphic graphs with equal canonical keys")
+	}
+}
+
+func TestCanonicalKeyPanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CanonicalKey(Path(9))
+}
+
+func TestAllAutomorphismsCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K4", Complete(4), 24},
+		{"C4", Cycle(4), 8},
+		{"P3", Path(3), 2},
+		{"K1", New(1), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(AllAutomorphisms(tc.g)); got != tc.want {
+				t.Fatalf("|Aut| = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEmptyGraphIsomorphism(t *testing.T) {
+	if !AreIsomorphic(New(0), New(0)) {
+		t.Fatal("empty graphs not isomorphic")
+	}
+	if FindNontrivialAutomorphism(New(0)) != nil {
+		t.Fatal("empty graph has automorphism")
+	}
+	if FindNontrivialAutomorphism(New(1)) != nil {
+		t.Fatal("K1 has non-trivial automorphism")
+	}
+}
+
+func TestIsomorphismReturnsValidPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := ConnectedGNP(9, 0.4, rng)
+	h, want := g.Shuffle(rng)
+	got := FindIsomorphism(g, h)
+	if got == nil {
+		t.Fatal("no isomorphism")
+	}
+	if !perm.IsValid(got) {
+		t.Fatal("result not a permutation")
+	}
+	// got need not equal want, but both must map g to h.
+	if !g.Relabel(want).Equal(h) || !g.Relabel(got).Equal(h) {
+		t.Fatal("mapping incorrect")
+	}
+}
+
+func TestMatrixLemma31(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := ConnectedGNP(8, 0.5, rng)
+
+	// Identity satisfies the equation.
+	if !SatisfiesLemma31(g, perm.Identity(8)) {
+		t.Fatal("identity fails Lemma 3.1 equation")
+	}
+
+	// A genuine automorphism satisfies it.
+	sym := Doubled(g, 0)
+	auto := DoubledAutomorphism(8)
+	if !SatisfiesLemma31(sym, auto) {
+		t.Fatal("automorphism fails Lemma 3.1 equation")
+	}
+
+	// Any non-automorphism must violate it (this IS Lemma 3.1).
+	for i := 0; i < 30; i++ {
+		rho := perm.Random(sym.N(), rng)
+		if sym.IsAutomorphism(rho) {
+			continue
+		}
+		if SatisfiesLemma31(sym, rho) {
+			t.Fatalf("non-automorphism %v satisfies the equation", rho)
+		}
+	}
+
+	// Non-bijective mappings must violate it too.
+	rho := make([]int, sym.N())
+	for i := range rho {
+		rho[i] = 0
+	}
+	if SatisfiesLemma31(sym, rho) {
+		t.Fatal("constant map satisfies the equation")
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := NewIntMatrix(3)
+	if m.N() != 3 {
+		t.Fatal("N wrong")
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At wrong")
+	}
+	other := NewIntMatrix(3)
+	if m.Equal(other) {
+		t.Fatal("unequal matrices Equal")
+	}
+	other.Set(1, 2, 7)
+	if !m.Equal(other) {
+		t.Fatal("equal matrices not Equal")
+	}
+	if m.Equal(NewIntMatrix(4)) {
+		t.Fatal("different sizes Equal")
+	}
+}
+
+func TestNeighborhoodMatrix(t *testing.T) {
+	g := Path(3)
+	m := NeighborhoodMatrix(g)
+	want := [][]int{{1, 1, 0}, {1, 1, 1}, {0, 1, 1}}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if m.At(r, c) != want[r][c] {
+				t.Fatalf("entry (%d,%d) = %d, want %d", r, c, m.At(r, c), want[r][c])
+			}
+		}
+	}
+}

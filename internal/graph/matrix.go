@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+
+	"dip/internal/bitset"
+)
+
+// IntMatrix is an n×n integer matrix. It is the reference realization of the
+// paper's [i, r] row-matrix formalism (Section 3.1.1): protocols never
+// materialize these matrices (that is the whole point of the linear hash),
+// but tests and the honest provers use them to state and check Lemma 3.1
+// directly.
+type IntMatrix struct {
+	n       int
+	entries []int // row-major
+}
+
+// NewIntMatrix returns the n×n zero matrix.
+func NewIntMatrix(n int) *IntMatrix {
+	return &IntMatrix{n: n, entries: make([]int, n*n)}
+}
+
+// N returns the dimension.
+func (m *IntMatrix) N() int { return m.n }
+
+// At returns entry (row, col).
+func (m *IntMatrix) At(row, col int) int {
+	m.check(row, col)
+	return m.entries[row*m.n+col]
+}
+
+// Set sets entry (row, col).
+func (m *IntMatrix) Set(row, col, v int) {
+	m.check(row, col)
+	m.entries[row*m.n+col] = v
+}
+
+func (m *IntMatrix) check(row, col int) {
+	if row < 0 || row >= m.n || col < 0 || col >= m.n {
+		panic(fmt.Sprintf("graph: matrix index (%d,%d) out of range for n=%d", row, col, m.n))
+	}
+}
+
+// AddRowVector adds the matrix [row, r] — the matrix that is r in the given
+// row and zero elsewhere — to m. This is the paper's building block: any
+// matrix is the sum of its row matrices.
+func (m *IntMatrix) AddRowVector(row int, r *bitset.Set) {
+	if r.Len() != m.n {
+		panic(fmt.Sprintf("graph: row vector of length %d for n=%d", r.Len(), m.n))
+	}
+	for c := r.NextSet(0); c >= 0; c = r.NextSet(c + 1) {
+		m.entries[row*m.n+c]++
+	}
+}
+
+// Equal reports whether m and other agree entrywise.
+func (m *IntMatrix) Equal(other *IntMatrix) bool {
+	if m.n != other.n {
+		return false
+	}
+	for i, v := range m.entries {
+		if v != other.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborhoodMatrix returns Σ_{v∈V} [v, N(v)]: the closed-neighborhood
+// adjacency matrix of g (adjacency with ones on the diagonal).
+func NeighborhoodMatrix(g *Graph) *IntMatrix {
+	m := NewIntMatrix(g.N())
+	for v := 0; v < g.N(); v++ {
+		m.AddRowVector(v, g.ClosedRow(v))
+	}
+	return m
+}
+
+// MappedNeighborhoodMatrix returns Σ_{v∈V} [ρ(v), ρ(N(v))] for an arbitrary
+// mapping ρ: V → V (not necessarily a permutation — Lemma 3.1 is precisely
+// about detecting when it is not).
+func MappedNeighborhoodMatrix(g *Graph, rho []int) *IntMatrix {
+	n := g.N()
+	if len(rho) != n {
+		panic(fmt.Sprintf("graph: mapping of length %d for n=%d", len(rho), n))
+	}
+	m := NewIntMatrix(n)
+	for v := 0; v < n; v++ {
+		m.AddRowVector(rho[v], g.ClosedRow(v).Permute(rho))
+	}
+	return m
+}
+
+// SatisfiesLemma31 reports whether Σ[v,N(v)] = Σ[ρ(v),ρ(N(v))]. By
+// Lemma 3.1, this holds iff ρ is an automorphism of g.
+func SatisfiesLemma31(g *Graph, rho []int) bool {
+	return NeighborhoodMatrix(g).Equal(MappedNeighborhoodMatrix(g, rho))
+}

@@ -1,0 +1,241 @@
+package hashing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dip/internal/prime"
+	"dip/internal/wire"
+)
+
+func mustGS(t testing.TB, n int) *GSParams {
+	t.Helper()
+	g, err := NewGSParams(n, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGSParams(t *testing.T) {
+	if _, err := NewGSParams(1, 4, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	g := mustGS(t, 6)
+	f := prime.Factorial(6)
+	lo := new(big.Int).Mul(big.NewInt(4), f)
+	hi := new(big.Int).Mul(big.NewInt(8), f)
+	if g.P().Cmp(lo) < 0 || g.P().Cmp(hi) > 0 {
+		t.Fatalf("P = %v outside [4·6!, 8·6!]", g.P())
+	}
+	// q in [100 n^4 p, 400 n^4 p] (window is [lo, 2lo]).
+	n4p := new(big.Int).Mul(big.NewInt(6*6*6*6), g.P())
+	qlo := new(big.Int).Mul(big.NewInt(100), n4p)
+	qhi := new(big.Int).Mul(big.NewInt(200), n4p)
+	if g.Q().Cmp(qlo) < 0 || g.Q().Cmp(qhi) > 0 {
+		t.Fatalf("Q = %v outside window", g.Q())
+	}
+	if g.N() != 6 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestSeedBitsScaling(t *testing.T) {
+	// Seed must be Θ(n log n) bits: check growth and sanity.
+	g6, g8 := mustGS(t, 6), mustGS(t, 8)
+	if g8.SeedBits() <= g6.SeedBits() {
+		t.Fatal("seed bits not growing")
+	}
+	if g6.SliceWidth()*g6.N() < g6.SeedBits() {
+		t.Fatal("slices do not cover the seed")
+	}
+}
+
+func TestSeedFromSlicesRoundTrip(t *testing.T) {
+	g := mustGS(t, 6)
+	rng := rand.New(rand.NewSource(2))
+	slices := g.RandomSlices(rng)
+	if len(slices) != 6 {
+		t.Fatalf("%d slices", len(slices))
+	}
+	seed, err := g.SeedFromSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []*big.Int{seed.Alpha, seed.S, seed.T} {
+		if v.Sign() < 0 || v.Cmp(g.Q()) >= 0 {
+			t.Fatalf("field element %v out of range", v)
+		}
+	}
+	if seed.Y.Sign() < 0 || seed.Y.Cmp(g.P()) >= 0 {
+		t.Fatalf("target %v out of range", seed.Y)
+	}
+	// Determinism: same slices, same seed.
+	seed2, err := g.SeedFromSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed.Alpha.Cmp(seed2.Alpha) != 0 || seed.Y.Cmp(seed2.Y) != 0 {
+		t.Fatal("SeedFromSlices not deterministic")
+	}
+}
+
+func TestSeedFromSlicesValidation(t *testing.T) {
+	g := mustGS(t, 6)
+	rng := rand.New(rand.NewSource(3))
+	slices := g.RandomSlices(rng)
+	if _, err := g.SeedFromSlices(slices[:5]); err == nil {
+		t.Fatal("short slice list accepted")
+	}
+	var w wire.Writer
+	w.WriteBool(true)
+	slices[2] = w.Message()
+	if _, err := g.SeedFromSlices(slices); err == nil {
+		t.Fatal("wrong-width slice accepted")
+	}
+}
+
+func TestRowTermMatchesSlow(t *testing.T) {
+	g := mustGS(t, 6)
+	rng := rand.New(rand.NewSource(4))
+	seed, err := g.SeedFromSlices(g.RandomSlices(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := g.Powers(seed.Alpha)
+	for trial := 0; trial < 30; trial++ {
+		row := rng.Intn(6)
+		var cols []int
+		for c := 0; c < 6; c++ {
+			if rng.Intn(2) == 1 {
+				cols = append(cols, c)
+			}
+		}
+		fast := g.RowTerm(table, row, cols)
+		slow := g.RowTermSlow(seed.Alpha, row, cols)
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("RowTerm mismatch: %v vs %v", fast, slow)
+		}
+	}
+}
+
+func TestRowTermPanics(t *testing.T) {
+	g := mustGS(t, 4)
+	table := g.Powers(big.NewInt(3))
+	cases := []func(){
+		func() { g.RowTerm(table, 4, nil) },
+		func() { g.RowTerm(table, 0, []int{4}) },
+		func() { g.RowTermSlow(big.NewInt(3), 0, []int{-1}) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestFinishAndAddModQ(t *testing.T) {
+	g := mustGS(t, 4)
+	seed := &GSSeed{Alpha: big.NewInt(2), S: big.NewInt(3), T: big.NewInt(5), Y: big.NewInt(0)}
+	f := big.NewInt(10)
+	// (3*10+5) mod q mod p = 35 mod p (q,p >> 35).
+	if got := g.Finish(seed, f); got.Int64() != 35 {
+		t.Fatalf("Finish = %v, want 35", got)
+	}
+	a := new(big.Int).Sub(g.Q(), big.NewInt(1))
+	if got := g.AddModQ(a, big.NewInt(2)); got.Int64() != 1 {
+		t.Fatalf("AddModQ wraparound = %v, want 1", got)
+	}
+}
+
+func TestUniformityOfRange(t *testing.T) {
+	// Pr[h(x) = y] must be close to 1/p. Estimate by hashing a fixed input
+	// under many random seeds and chi-square-style checking bucket counts.
+	// Use a tiny n so p is small enough for buckets to fill.
+	g, err := NewGSParams(3, 4, 1) // p ≈ 24..48
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	p := int(g.P().Int64())
+	counts := make([]int, p)
+	cols := []int{0, 2}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		seed, err := g.SeedFromSlices(g.RandomSlices(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsum := g.RowTermSlow(seed.Alpha, 1, cols)
+		h := g.Finish(seed, fsum)
+		counts[h.Int64()]++
+	}
+	want := float64(trials) / float64(p)
+	for y, c := range counts {
+		if float64(c) < want*0.6 || float64(c) > want*1.4 {
+			t.Fatalf("bucket %d has %d hits, want about %.0f", y, c, want)
+		}
+	}
+}
+
+func TestPairwiseCollisionRate(t *testing.T) {
+	// For x ≠ x', Pr[h(x) = h(x')] should be about 1/p: sample seeds and
+	// compare two different rows.
+	g, err := NewGSParams(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	p := float64(g.P().Int64())
+	collisions := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		seed, err := g.SeedFromSlices(g.RandomSlices(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1 := g.Finish(seed, g.RowTermSlow(seed.Alpha, 0, []int{0, 1}))
+		h2 := g.Finish(seed, g.RowTermSlow(seed.Alpha, 0, []int{0, 2}))
+		if h1.Cmp(h2) == 0 {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / trials
+	if rate > 2.0/p {
+		t.Fatalf("pairwise collision rate %.5f, want about 1/p = %.5f", rate, 1/p)
+	}
+}
+
+func TestSeedFromBitsMatchesSlices(t *testing.T) {
+	g := mustGS(t, 6)
+	rng := rand.New(rand.NewSource(9))
+	slices := g.RandomSlices(rng)
+	fromSlices, err := g.SeedFromSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all wire.Writer
+	for _, s := range slices {
+		all.WriteBits(s.Data, s.Bits)
+	}
+	fromBits, err := g.SeedFromBits(all.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSlices.Alpha.Cmp(fromBits.Alpha) != 0 || fromSlices.Y.Cmp(fromBits.Y) != 0 ||
+		fromSlices.S.Cmp(fromBits.S) != 0 || fromSlices.T.Cmp(fromBits.T) != 0 {
+		t.Fatal("SeedFromBits disagrees with SeedFromSlices")
+	}
+	// Too few bits errors.
+	var short wire.Writer
+	short.WriteUint(1, 10)
+	if _, err := g.SeedFromBits(short.Message()); err == nil {
+		t.Fatal("short seed accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package hashing implements the two hash families the paper's protocols
+// are built on:
+//
+//   - the linear family of Theorem 3.2 (used by Protocols 1 and 2 and the
+//     DSym protocol) — see LinearFamily;
+//   - a concrete ε-almost-pairwise-independent family with a distributable
+//     seed (used by the GNI protocol of Section 4) — see GSParams.
+package hashing
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"dip/internal/bitset"
+)
+
+// LinearFamily is the hash family of Theorem 3.2: for a prime p, the family
+// {h_i : i ∈ Z_p} of functions from m-coordinate vectors over Z_p to Z_p,
+// with
+//
+//	h_i(x) = Σ_{j=1..m} x_j · i^j  (mod p).
+//
+// Properties (Theorem 3.2):
+//  1. Linearity: h_i(x + x') = h_i(x) + h_i(x') with coordinatewise sums
+//     taken mod p — this is what lets the nodes hash the adjacency matrix
+//     by each hashing its own row and summing up the spanning tree;
+//  2. Collision: for x ≠ x', Pr_i[h_i(x) = h_i(x')] ≤ m/p, because the
+//     difference is a non-zero polynomial of degree ≤ m in i.
+type LinearFamily struct {
+	m int      // dimension of the hashed vectors
+	p *big.Int // prime modulus; |H| = p
+}
+
+// NewLinearFamily returns the family for m-dimensional vectors over Z_p.
+// p must be a prime larger than 1; primality is the caller's contract
+// (moduli come from the prime package) and is not re-checked here.
+func NewLinearFamily(m int, p *big.Int) (*LinearFamily, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("hashing: dimension %d < 1", m)
+	}
+	if p.Cmp(big.NewInt(2)) < 0 {
+		return nil, fmt.Errorf("hashing: modulus %v < 2", p)
+	}
+	return &LinearFamily{m: m, p: new(big.Int).Set(p)}, nil
+}
+
+// M returns the dimension of the hashed vectors.
+func (f *LinearFamily) M() int { return f.m }
+
+// P returns (a copy of) the modulus.
+func (f *LinearFamily) P() *big.Int { return new(big.Int).Set(f.p) }
+
+// Size returns |H| = p: the number of functions in the family.
+func (f *LinearFamily) Size() *big.Int { return f.P() }
+
+// RandomSeed returns a uniformly random hash index i ∈ Z_p.
+func (f *LinearFamily) RandomSeed(rng *rand.Rand) *big.Int {
+	return new(big.Int).Rand(rng, f.p)
+}
+
+// ValidSeed reports whether i is a valid hash index (0 ≤ i < p).
+func (f *LinearFamily) ValidSeed(i *big.Int) bool {
+	return i.Sign() >= 0 && i.Cmp(f.p) < 0
+}
+
+// HashIndicator evaluates h_i on the characteristic vector of the given
+// coordinate set: h_i(χ) = Σ_{j ∈ set} i^{j+1} mod p. Coordinates are
+// 0-based; coordinate j corresponds to the monomial i^{j+1} so that the
+// constant term is never used and h_i(0) = 0.
+func (f *LinearFamily) HashIndicator(i *big.Int, coords []int) *big.Int {
+	sum := new(big.Int)
+	e := new(big.Int)
+	for _, j := range coords {
+		if j < 0 || j >= f.m {
+			panic(fmt.Sprintf("hashing: coordinate %d out of range [0,%d)", j, f.m))
+		}
+		e.SetInt64(int64(j + 1))
+		term := new(big.Int).Exp(i, e, f.p)
+		sum.Add(sum, term)
+		sum.Mod(sum, f.p)
+	}
+	return sum
+}
+
+// HashRowMatrix evaluates h_i on the row matrix [row, r] of Section 3.1.1 —
+// the n×n boolean matrix that is r in the given row and zero elsewhere —
+// flattened row-major into an n²-dimensional vector. The family dimension
+// must be n². This is the per-node hash both Sym protocols compute locally:
+// node v hashes [v, N(v)] and [ρ(v), ρ(N(v))].
+func (f *LinearFamily) HashRowMatrix(i *big.Int, n, row int, r *bitset.Set) *big.Int {
+	if n*n != f.m {
+		panic(fmt.Sprintf("hashing: matrix side %d for family dimension %d", n, f.m))
+	}
+	if row < 0 || row >= n {
+		panic(fmt.Sprintf("hashing: row %d out of range [0,%d)", row, n))
+	}
+	if r.Len() != n {
+		panic(fmt.Sprintf("hashing: row vector of length %d, want %d", r.Len(), n))
+	}
+	coords := make([]int, 0, r.Count())
+	for c := r.NextSet(0); c >= 0; c = r.NextSet(c + 1) {
+		coords = append(coords, row*n+c)
+	}
+	return f.HashIndicator(i, coords)
+}
+
+// HashDense evaluates h_i on an arbitrary vector x over Z_p given as int64
+// coordinates (used by tests to exercise linearity with coefficients > 1).
+func (f *LinearFamily) HashDense(i *big.Int, x []int64) *big.Int {
+	if len(x) != f.m {
+		panic(fmt.Sprintf("hashing: vector of length %d, want %d", len(x), f.m))
+	}
+	sum := new(big.Int)
+	e := new(big.Int)
+	coef := new(big.Int)
+	for j, xj := range x {
+		if xj == 0 {
+			continue
+		}
+		e.SetInt64(int64(j + 1))
+		term := new(big.Int).Exp(i, e, f.p)
+		coef.SetInt64(xj)
+		term.Mul(term, coef)
+		sum.Add(sum, term)
+		sum.Mod(sum, f.p)
+	}
+	return sum
+}
+
+// AddMod returns (a + b) mod p for this family's modulus: the tree-sum
+// operation used when hash values are aggregated up the spanning tree.
+func (f *LinearFamily) AddMod(a, b *big.Int) *big.Int {
+	s := new(big.Int).Add(a, b)
+	return s.Mod(s, f.p)
+}

@@ -1,0 +1,551 @@
+// Package network implements the distributed interactive proof engine: the
+// runtime in which the paper's protocols execute.
+//
+// A run consists of a network graph G, one verifier goroutine per node, and
+// an untrusted prover. Rounds alternate between Arthur rounds (every node
+// sends the prover an independent random challenge) and Merlin rounds (the
+// prover sends every node a response). After each Merlin round, every node
+// forwards the response it received to its neighbors, so that — as in
+// Definition 1 of the paper — each node's decision can depend on the
+// responses received by itself and its immediate neighbors. "Broadcast"
+// prover messages (Section 2.2) are realized as unicast plus this neighbor
+// exchange: honest provers send everyone the same value and the verifiers
+// reject when a neighbor's copy differs, which is precisely the paper's
+// semantics (a cheating prover is free to send different "broadcast" values
+// and must be caught).
+//
+// The engine meters every message at bit granularity. The headline figure,
+// Cost.MaxProverBits, is the paper's complexity measure: the maximum over
+// nodes of the number of bits exchanged between that node and the prover,
+// including the random challenge bits (the paper charges for those in upper
+// bounds).
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dip/internal/graph"
+	"dip/internal/wire"
+)
+
+// Kind distinguishes the two round types.
+type Kind int
+
+const (
+	// Arthur is a verifier round: every node sends the prover a random
+	// challenge.
+	Arthur Kind = iota + 1
+	// Merlin is a prover round: the prover sends every node a response.
+	Merlin
+)
+
+// String returns "Arthur" or "Merlin".
+func (k Kind) String() string {
+	switch k {
+	case Arthur:
+		return "Arthur"
+	case Merlin:
+		return "Merlin"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Round describes one round of a protocol.
+type Round struct {
+	Kind Kind
+	// Challenge produces node v's random message for an Arthur round. It
+	// must be set for Arthur rounds and is ignored for Merlin rounds. The
+	// view contains everything v has seen so far.
+	Challenge func(v int, rng *rand.Rand, view *NodeView) wire.Message
+	// Digest, when set on a Merlin round, replaces the message a node
+	// forwards to its neighbors: instead of relaying the full prover
+	// response, node v forwards Digest(v, rng, response). This models the
+	// randomized proof-labeling schemes of Baruch-Fraigniaud-Patt-Shamir
+	// (PODC 2015, reference [4] of the paper), where nodes compare large
+	// advice strings by exchanging short randomized fingerprints. Cost
+	// accounting charges the digest, not the full response.
+	Digest func(v int, rng *rand.Rand, m wire.Message) wire.Message
+}
+
+// Spec describes a protocol: its round structure and the per-node decision
+// function. The same Spec runs against honest and cheating provers.
+type Spec struct {
+	// Name identifies the protocol in transcripts and error messages.
+	Name string
+	// Rounds is the round schedule, e.g. Merlin, Arthur, Merlin for a dMAM
+	// protocol.
+	Rounds []Round
+	// Decide is node v's output function out_v. It runs after all rounds.
+	Decide func(v int, view *NodeView) bool
+	// ShareChallenges, when set, also exchanges each Arthur-round challenge
+	// with the node's neighbors (the lower-bound model of Section 3.4 gives
+	// r_{N(v)} to each node; the upper bounds do not need it).
+	ShareChallenges bool
+}
+
+// Prover is the untrusted prover: it sees the entire graph, all inputs, and
+// every challenge sent so far, and produces one response per node in each
+// Merlin round.
+type Prover interface {
+	// Respond is called once per Merlin round, in order. merlinRound counts
+	// Merlin rounds from 0.
+	Respond(merlinRound int, view *ProverView) (*Response, error)
+}
+
+// Response carries the prover's per-node messages for one Merlin round.
+// PerNode must have one entry per graph node. A prover implementing a
+// paper-style broadcast places the same message at every index.
+type Response struct {
+	PerNode []wire.Message
+}
+
+// Broadcast builds a Response that sends the same message to all n nodes.
+func Broadcast(n int, m wire.Message) *Response {
+	resp := &Response{PerNode: make([]wire.Message, n)}
+	for i := range resp.PerNode {
+		resp.PerNode[i] = m
+	}
+	return resp
+}
+
+// ProverView is everything the prover can see: the whole graph, all inputs,
+// and the challenges from every completed Arthur round (indexed
+// [arthurRound][node]).
+type ProverView struct {
+	Graph      *graph.Graph
+	Inputs     []wire.Message
+	Challenges [][]wire.Message
+}
+
+// NodeView is everything a single node can see. Verifier code must use only
+// this: it is the formal locality boundary of the model.
+type NodeView struct {
+	// V is this node's identifier; NumVertices is |V|, known in advance to
+	// all participants (Section 2.2).
+	V           int
+	NumVertices int
+	// Neighbors lists v's neighbors in the network graph, ascending.
+	Neighbors []int
+	// Input is v's private input (empty for pure graph properties).
+	Input wire.Message
+
+	// MyChallenges[k] is the challenge v sent in the k-th Arthur round.
+	MyChallenges []wire.Message
+	// NeighborChallenges[k][u] is neighbor u's k-th challenge; populated
+	// only when Spec.ShareChallenges is set.
+	NeighborChallenges []map[int]wire.Message
+	// Responses[k] is the prover's message to v in the k-th Merlin round.
+	Responses []wire.Message
+	// NeighborResponses[k][u] is the prover's k-th Merlin-round message to
+	// neighbor u, as forwarded by u.
+	NeighborResponses []map[int]wire.Message
+}
+
+// HasNeighbor reports whether u is a neighbor of this node.
+func (nv *NodeView) HasNeighbor(u int) bool {
+	for _, w := range nv.Neighbors {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Cost is the bit-exact communication accounting of a run.
+type Cost struct {
+	// ToProver[v] counts challenge bits node v sent to the prover.
+	ToProver []int
+	// FromProver[v] counts response bits the prover sent to node v.
+	FromProver []int
+	// NodeToNode[v] counts bits v sent to its neighbors in exchanges.
+	NodeToNode []int
+}
+
+// MaxProverBits returns the paper's complexity measure: the maximum over
+// nodes of bits exchanged with the prover (both directions, challenges
+// included).
+func (c *Cost) MaxProverBits() int {
+	maxBits := 0
+	for v := range c.ToProver {
+		if b := c.ToProver[v] + c.FromProver[v]; b > maxBits {
+			maxBits = b
+		}
+	}
+	return maxBits
+}
+
+// TotalProverBits returns the sum over nodes of prover-communication bits.
+func (c *Cost) TotalProverBits() int {
+	total := 0
+	for v := range c.ToProver {
+		total += c.ToProver[v] + c.FromProver[v]
+	}
+	return total
+}
+
+// MaxNodeToNodeBits returns the maximum over nodes of bits sent to
+// neighbors.
+func (c *Cost) MaxNodeToNodeBits() int {
+	maxBits := 0
+	for _, b := range c.NodeToNode {
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	return maxBits
+}
+
+// Result is the outcome of one protocol run.
+type Result struct {
+	// Accepted is true iff every node accepted (the acceptance rule of
+	// Definition 2).
+	Accepted bool
+	// Decisions holds each node's individual output.
+	Decisions []bool
+	// Cost is the communication accounting.
+	Cost Cost
+	// Transcript is the recorded message log; nil unless
+	// Options.RecordTranscript was set.
+	Transcript *Transcript
+}
+
+// Corruptor mutates a prover→node message in flight; used to inject
+// failures when testing verifier robustness. It is applied after cost
+// accounting of the original message.
+type Corruptor func(merlinRound, node int, m wire.Message) wire.Message
+
+// Options configure a run.
+type Options struct {
+	// Seed derives all node randomness; runs with equal seeds and provers
+	// are deterministic.
+	Seed int64
+	// Corrupt, if non-nil, tampers with prover→node messages.
+	Corrupt Corruptor
+	// RecordTranscript attaches a full message transcript to the Result.
+	RecordTranscript bool
+}
+
+// validation errors returned by Run.
+var (
+	errNilGraph  = errors.New("network: nil graph")
+	errNilDecide = errors.New("network: spec has no Decide function")
+)
+
+// Run executes the protocol described by spec on graph g with the given
+// prover and per-node inputs (inputs may be nil for pure graph properties).
+// It returns an error only for malformed specs or misbehaving prover
+// *implementations* (wrong response shape); a cheating-but-well-formed
+// prover yields a normal Result, typically with Accepted == false.
+func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, errNilGraph
+	}
+	if spec.Decide == nil {
+		return nil, errNilDecide
+	}
+	n := g.N()
+	if inputs != nil && len(inputs) != n {
+		return nil, fmt.Errorf("network: %d inputs for %d nodes", len(inputs), n)
+	}
+	for i, r := range spec.Rounds {
+		switch r.Kind {
+		case Arthur:
+			if r.Challenge == nil {
+				return nil, fmt.Errorf("network: round %d is Arthur but has no Challenge", i)
+			}
+		case Merlin:
+		default:
+			return nil, fmt.Errorf("network: round %d has invalid kind %d", i, r.Kind)
+		}
+	}
+	if n == 0 {
+		return &Result{Accepted: true, Cost: Cost{}}, nil
+	}
+
+	e := &engine{
+		spec:   spec,
+		g:      g,
+		inputs: inputs,
+		prover: p,
+		opts:   opts,
+		n:      n,
+	}
+	return e.run()
+}
+
+// exchangeMsg is a neighbor-to-neighbor forwarded message. Messages carry
+// the index of the exchange they belong to, because a neighbor may run one
+// exchange ahead of the receiver.
+type exchangeMsg struct {
+	from     int
+	exchange int
+	m        wire.Message
+}
+
+// challengeMsg is a node-to-prover challenge.
+type challengeMsg struct {
+	from int
+	m    wire.Message
+}
+
+type engine struct {
+	spec   *Spec
+	g      *graph.Graph
+	inputs []wire.Message
+	prover Prover
+	opts   Options
+	n      int
+
+	challengeCh chan challengeMsg
+	respCh      []chan wire.Message
+	exchCh      []chan exchangeMsg
+	decisionCh  chan decision
+	abortCh     chan struct{}
+
+	// cost slices are written element-exclusively: ToProver and FromProver
+	// by the driver goroutine, NodeToNode[v] only by node v's goroutine;
+	// all reads happen after the node goroutines have finished.
+	cost Cost
+
+	// transcript is written only by the driver goroutine; nil unless
+	// recording was requested.
+	transcript *Transcript
+}
+
+type decision struct {
+	v      int
+	accept bool
+}
+
+func (e *engine) run() (*Result, error) {
+	e.challengeCh = make(chan challengeMsg, e.n)
+	e.respCh = make([]chan wire.Message, e.n)
+	e.exchCh = make([]chan exchangeMsg, e.n)
+	for v := 0; v < e.n; v++ {
+		e.respCh[v] = make(chan wire.Message, 1)
+		// A neighbor can run at most one exchange ahead (it cannot start
+		// exchange k+1 before receiving our exchange-k message), so two
+		// rounds of buffering make send-all-then-receive-all deadlock-free.
+		e.exchCh[v] = make(chan exchangeMsg, 2*e.g.Degree(v))
+	}
+	e.decisionCh = make(chan decision, e.n)
+	e.abortCh = make(chan struct{})
+	e.cost = Cost{
+		ToProver:   make([]int, e.n),
+		FromProver: make([]int, e.n),
+		NodeToNode: make([]int, e.n),
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < e.n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			e.nodeMain(v)
+		}(v)
+	}
+
+	if e.opts.RecordTranscript {
+		e.transcript = &Transcript{Name: e.spec.Name}
+	}
+	pv := &ProverView{Graph: e.g.Clone(), Inputs: e.inputs}
+	runErr := e.drive(pv)
+	if runErr != nil {
+		close(e.abortCh) // release blocked nodes
+		wg.Wait()
+		return nil, fmt.Errorf("network: protocol %q: %w", e.spec.Name, runErr)
+	}
+
+	decisions := make([]bool, e.n)
+	for i := 0; i < e.n; i++ {
+		d := <-e.decisionCh
+		decisions[d.v] = d.accept
+	}
+	wg.Wait()
+
+	accepted := true
+	for _, d := range decisions {
+		accepted = accepted && d
+	}
+	return &Result{
+		Accepted:   accepted,
+		Decisions:  decisions,
+		Cost:       e.cost,
+		Transcript: e.transcript,
+	}, nil
+}
+
+// drive plays the prover side and routes messages, round by round.
+func (e *engine) drive(pv *ProverView) error {
+	merlinRound := 0
+	for _, round := range e.spec.Rounds {
+		switch round.Kind {
+		case Arthur:
+			challenges := make([]wire.Message, e.n)
+			for i := 0; i < e.n; i++ {
+				c := <-e.challengeCh
+				challenges[c.from] = c.m
+				e.cost.ToProver[c.from] += c.m.Bits
+			}
+			pv.Challenges = append(pv.Challenges, challenges)
+			if e.transcript != nil {
+				rec := make([]wire.Message, e.n)
+				copy(rec, challenges)
+				e.transcript.Rounds = append(e.transcript.Rounds,
+					TranscriptRound{Kind: Arthur, PerNode: rec})
+			}
+		case Merlin:
+			resp, err := e.prover.Respond(merlinRound, pv)
+			if err != nil {
+				return fmt.Errorf("prover round %d: %w", merlinRound, err)
+			}
+			if resp == nil || len(resp.PerNode) != e.n {
+				return fmt.Errorf("prover round %d: response for %d nodes, want %d",
+					merlinRound, respLen(resp), e.n)
+			}
+			var rec []wire.Message
+			if e.transcript != nil {
+				rec = make([]wire.Message, e.n)
+			}
+			for v := 0; v < e.n; v++ {
+				m := resp.PerNode[v]
+				e.cost.FromProver[v] += m.Bits
+				if e.opts.Corrupt != nil {
+					m = e.opts.Corrupt(merlinRound, v, m)
+				}
+				if rec != nil {
+					rec[v] = m
+				}
+				e.respCh[v] <- m
+			}
+			if e.transcript != nil {
+				e.transcript.Rounds = append(e.transcript.Rounds,
+					TranscriptRound{Kind: Merlin, PerNode: rec})
+			}
+			merlinRound++
+		}
+	}
+	return nil
+}
+
+func respLen(r *Response) int {
+	if r == nil {
+		return 0
+	}
+	return len(r.PerNode)
+}
+
+// nodeMain is the verifier goroutine for node v.
+func (e *engine) nodeMain(v int) {
+	rng := rand.New(rand.NewSource(mix(e.opts.Seed, int64(v))))
+	view := &NodeView{
+		V:           v,
+		NumVertices: e.n,
+		Neighbors:   e.g.Neighbors(v),
+	}
+	if e.inputs != nil {
+		view.Input = e.inputs[v]
+	}
+	deg := len(view.Neighbors)
+	exchangeIdx := 0
+	var stash []exchangeMsg
+
+	for _, round := range e.spec.Rounds {
+		switch round.Kind {
+		case Arthur:
+			c := round.Challenge(v, rng, view)
+			view.MyChallenges = append(view.MyChallenges, c)
+			select {
+			case e.challengeCh <- challengeMsg{from: v, m: c}:
+			case <-e.abortCh:
+				return
+			}
+			if e.spec.ShareChallenges {
+				got, ok := e.exchange(v, deg, exchangeIdx, c, &stash)
+				if !ok {
+					return
+				}
+				exchangeIdx++
+				view.NeighborChallenges = append(view.NeighborChallenges, got)
+			}
+		case Merlin:
+			var m wire.Message
+			select {
+			case m = <-e.respCh[v]:
+			case <-e.abortCh:
+				return
+			}
+			view.Responses = append(view.Responses, m)
+			forward := m
+			if round.Digest != nil {
+				forward = round.Digest(v, rng, m)
+			}
+			got, ok := e.exchange(v, deg, exchangeIdx, forward, &stash)
+			if !ok {
+				return
+			}
+			exchangeIdx++
+			view.NeighborResponses = append(view.NeighborResponses, got)
+		}
+	}
+
+	accept := e.spec.Decide(v, view)
+	select {
+	case e.decisionCh <- decision{v: v, accept: accept}:
+	case <-e.abortCh:
+	}
+}
+
+// exchange sends m to all of v's neighbors as exchange idx and collects one
+// idx-tagged message from each; messages from the next exchange that arrive
+// early are stashed. It returns false if the run was aborted.
+func (e *engine) exchange(v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
+	for _, u := range e.g.Neighbors(v) {
+		select {
+		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: m}:
+		case <-e.abortCh:
+			return nil, false
+		}
+	}
+	e.cost.NodeToNode[v] += deg * m.Bits
+
+	got := make(map[int]wire.Message, deg)
+	// Drain previously stashed messages for this exchange first.
+	remaining := (*stash)[:0]
+	for _, x := range *stash {
+		if x.exchange == idx {
+			got[x.from] = x.m
+		} else {
+			remaining = append(remaining, x)
+		}
+	}
+	*stash = remaining
+	for len(got) < deg {
+		select {
+		case x := <-e.exchCh[v]:
+			if x.exchange == idx {
+				got[x.from] = x.m
+			} else {
+				*stash = append(*stash, x)
+			}
+		case <-e.abortCh:
+			return nil, false
+		}
+	}
+	return got, true
+}
+
+// mix derives a per-node seed from the master seed (splitmix64 finalizer).
+func mix(seed, v int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(v)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

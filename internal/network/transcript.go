@@ -1,0 +1,56 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"dip/internal/wire"
+)
+
+// Transcript records every message of a run, round by round: what each
+// node sent to the prover (Arthur rounds) and what the prover delivered to
+// each node (Merlin rounds, after any corruption injection — i.e. what the
+// network actually observed). Enable recording with
+// Options.RecordTranscript; the transcript is attached to the Result.
+type Transcript struct {
+	Name   string
+	Rounds []TranscriptRound
+}
+
+// TranscriptRound is one recorded round.
+type TranscriptRound struct {
+	Kind Kind
+	// PerNode[v] is node v's challenge (Arthur) or delivered response
+	// (Merlin).
+	PerNode []wire.Message
+}
+
+// TotalBits sums the bit lengths of every recorded message.
+func (t *Transcript) TotalBits() int {
+	total := 0
+	for _, r := range t.Rounds {
+		for _, m := range r.PerNode {
+			total += m.Bits
+		}
+	}
+	return total
+}
+
+// String renders a per-round summary: kind, per-node bit counts, and a
+// short hex prefix of each message.
+func (t *Transcript) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transcript of %q: %d rounds, %d total bits\n",
+		t.Name, len(t.Rounds), t.TotalBits())
+	for i, r := range t.Rounds {
+		fmt.Fprintf(&b, "round %d (%s):\n", i, r.Kind)
+		for v, m := range r.PerNode {
+			prefix := m.Data
+			if len(prefix) > 8 {
+				prefix = prefix[:8]
+			}
+			fmt.Fprintf(&b, "  node %3d: %4d bits  %x\n", v, m.Bits, prefix)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package perm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.IsIdentity() {
+		t.Fatal("Identity not identity")
+	}
+	if p.Moved() != -1 {
+		t.Fatal("identity has a moved point")
+	}
+	if got := p.String(); got != "id" {
+		t.Fatalf("String = %q", got)
+	}
+	if len(p.FixedPoints()) != 5 {
+		t.Fatal("identity should fix all")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice([]int{1, 2, 0}); err != nil {
+		t.Fatalf("valid perm rejected: %v", err)
+	}
+	for _, bad := range [][]int{{0, 0, 1}, {0, 3, 1}, {-1, 0, 1}} {
+		if _, err := FromSlice(bad); err == nil {
+			t.Fatalf("invalid %v accepted", bad)
+		}
+	}
+	// Copies input.
+	src := []int{1, 0}
+	p, _ := FromSlice(src)
+	src[0] = 0
+	if p[0] != 1 {
+		t.Fatal("FromSlice did not copy")
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	if !IsValid([]int{2, 0, 1}) {
+		t.Fatal("valid rejected")
+	}
+	if IsValid([]int{1, 1, 0}) {
+		t.Fatal("invalid accepted")
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(12)
+		p := Random(n, rng)
+		q := Random(n, rng)
+		// (p∘q)(i) == p(q(i))
+		pq := p.Compose(q)
+		for i := 0; i < n; i++ {
+			if pq[i] != p[q[i]] {
+				t.Fatalf("compose wrong at %d", i)
+			}
+		}
+		if !p.Compose(p.Inverse()).IsIdentity() || !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatal("inverse not inverse")
+		}
+	}
+}
+
+func TestComposeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestRandomNonIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		if RandomNonIdentity(2, rng).IsIdentity() {
+			t.Fatal("got identity")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 should panic")
+		}
+	}()
+	RandomNonIdentity(1, rng)
+}
+
+func TestCycles(t *testing.T) {
+	p, _ := FromSlice([]int{2, 0, 1, 3, 5, 4})
+	cycles := p.Cycles()
+	want := [][]int{{0, 2, 1}, {3}, {4, 5}}
+	if len(cycles) != len(want) {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	for i := range want {
+		if len(cycles[i]) != len(want[i]) {
+			t.Fatalf("cycle %d = %v, want %v", i, cycles[i], want[i])
+		}
+		for j := range want[i] {
+			if cycles[i][j] != want[i][j] {
+				t.Fatalf("cycle %d = %v, want %v", i, cycles[i], want[i])
+			}
+		}
+	}
+	if got := p.String(); got != "(0 2 1)(4 5)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOrder(t *testing.T) {
+	p, _ := FromSlice([]int{2, 0, 1, 3, 5, 4}) // 3-cycle and 2-cycle: order 6
+	if got := p.Order(); got.Int64() != 6 {
+		t.Fatalf("Order = %v, want 6", got)
+	}
+	if got := Identity(4).Order(); got.Int64() != 1 {
+		t.Fatalf("identity order = %v", got)
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(10)
+		p := Random(n, rng)
+		q, err := Unrank(n, p.Rank())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip: %v -> %v", p, q)
+		}
+	}
+}
+
+func TestRankEnumeratesLexOrder(t *testing.T) {
+	// Ranks 0..23 of S_4 should be exactly the lexicographic enumeration.
+	p := Identity(4)
+	rank := int64(0)
+	for {
+		if got := p.Rank().Int64(); got != rank {
+			t.Fatalf("rank of %v = %d, want %d", p, got, rank)
+		}
+		q, err := Unrank(4, big.NewInt(rank))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("Unrank(%d) = %v, want %v", rank, q, p)
+		}
+		if !p.NextLex() {
+			break
+		}
+		rank++
+	}
+	if rank != 23 {
+		t.Fatalf("enumerated %d+1 permutations, want 24", rank+1)
+	}
+}
+
+func TestUnrankRange(t *testing.T) {
+	if _, err := Unrank(3, big.NewInt(6)); err == nil {
+		t.Fatal("rank 6 of S_3 should error")
+	}
+	if _, err := Unrank(3, big.NewInt(-1)); err == nil {
+		t.Fatal("negative rank should error")
+	}
+}
+
+func TestNextLexLast(t *testing.T) {
+	p, _ := FromSlice([]int{2, 1, 0})
+	if p.NextLex() {
+		t.Fatal("last permutation has a successor")
+	}
+	if !p.Equal(Perm{2, 1, 0}) {
+		t.Fatal("NextLex mutated the last permutation")
+	}
+}
+
+func TestMoved(t *testing.T) {
+	p, _ := FromSlice([]int{0, 2, 1})
+	if got := p.Moved(); got != 1 {
+		t.Fatalf("Moved = %d, want 1", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Identity(3)
+	c := p.Clone()
+	c[0] = 2
+	if p[0] != 0 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestQuickInverseComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		p := Random(n, rng)
+		q := Random(n, rng)
+		// (p∘q)⁻¹ == q⁻¹∘p⁻¹
+		lhs := p.Compose(q).Inverse()
+		rhs := q.Inverse().Compose(p.Inverse())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRankBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		p := Random(n, rng)
+		r := p.Rank()
+		fact := big.NewInt(1)
+		for i := 2; i <= n; i++ {
+			fact.Mul(fact, big.NewInt(int64(i)))
+		}
+		return r.Sign() >= 0 && r.Cmp(fact) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	if !Identity(5).Sorted() {
+		t.Fatal("identity not sorted")
+	}
+	p, _ := FromSlice([]int{1, 0})
+	if p.Sorted() {
+		t.Fatal("transposition sorted")
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Identity(5).Parity() != 1 {
+		t.Fatal("identity not even")
+	}
+	swap, _ := FromSlice([]int{1, 0, 2})
+	if swap.Parity() != -1 {
+		t.Fatal("transposition not odd")
+	}
+	threeCycle, _ := FromSlice([]int{1, 2, 0})
+	if threeCycle.Parity() != 1 {
+		t.Fatal("3-cycle not even")
+	}
+	// Parity is a homomorphism: sign(pq) = sign(p)·sign(q).
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 50; i++ {
+		p := Random(6, rng)
+		q := Random(6, rng)
+		if p.Compose(q).Parity() != p.Parity()*q.Parity() {
+			t.Fatal("parity not multiplicative")
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	p := Random(7, rng)
+	if !p.Power(0).IsIdentity() {
+		t.Fatal("p^0 != id")
+	}
+	if !p.Power(1).Equal(p) {
+		t.Fatal("p^1 != p")
+	}
+	if !p.Power(2).Equal(p.Compose(p)) {
+		t.Fatal("p^2 wrong")
+	}
+	if !p.Power(-1).Equal(p.Inverse()) {
+		t.Fatal("p^-1 wrong")
+	}
+	ord := int(p.Order().Int64())
+	if !p.Power(ord).IsIdentity() {
+		t.Fatal("p^order != id")
+	}
+	if !p.Power(-3).Compose(p.Power(3)).IsIdentity() {
+		t.Fatal("p^-3 · p^3 != id")
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	p := Random(6, rng)
+	q := Random(6, rng)
+	c := p.Conjugate(q)
+	// Conjugation preserves cycle type, hence order and parity.
+	if c.Order().Cmp(p.Order()) != 0 {
+		t.Fatal("conjugation changed order")
+	}
+	if c.Parity() != p.Parity() {
+		t.Fatal("conjugation changed parity")
+	}
+	// q(p(q^{-1}(x))) definition check.
+	for x := 0; x < 6; x++ {
+		if c[x] != q[p[q.Inverse()[x]]] {
+			t.Fatal("conjugate definition violated")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package prime finds the prime moduli the paper's hash families need.
+//
+// Protocol 1 uses a prime p ∈ [10n³, 100n³]; Protocol 2 uses a prime
+// p ∈ [10·n^{n+2}, 100·n^{n+2}]; the GNI protocol's set-size estimation uses
+// primes near multiples of n!. All windows are wide enough that a prime is
+// guaranteed by Bertrand's postulate, which the paper invokes explicitly.
+package prime
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// probablyPrimeRounds is the number of Miller-Rabin rounds used for big
+// inputs. math/big documents the error probability as at most 4^-rounds;
+// below 2^64 the test is exact for rounds >= 1.
+const probablyPrimeRounds = 30
+
+// InWindow returns a prime p with lo <= p <= hi, searching upward from a
+// deterministic pseudo-random starting point derived from seed so that
+// different seeds exercise different primes in tests. It returns an error if
+// the window contains no prime (possible only for tiny or empty windows).
+func InWindow(lo, hi *big.Int, seed int64) (*big.Int, error) {
+	if lo.Cmp(hi) > 0 {
+		return nil, fmt.Errorf("prime: empty window [%v, %v]", lo, hi)
+	}
+	two := big.NewInt(2)
+	if hi.Cmp(two) < 0 {
+		return nil, fmt.Errorf("prime: window [%v, %v] below 2", lo, hi)
+	}
+	start := new(big.Int).Set(lo)
+	if start.Cmp(two) < 0 {
+		start.Set(two)
+	}
+
+	width := new(big.Int).Sub(hi, start)
+	width.Add(width, big.NewInt(1))
+	rng := rand.New(rand.NewSource(seed))
+	offset := new(big.Int).Rand(rng, width)
+	p := new(big.Int).Add(start, offset)
+
+	// Scan upward from the random start, wrapping to the window bottom once.
+	wrapped := false
+	for {
+		if p.Cmp(hi) > 0 {
+			if wrapped {
+				return nil, fmt.Errorf("prime: no prime in [%v, %v]", lo, hi)
+			}
+			wrapped = true
+			p.Set(start)
+		}
+		if p.ProbablyPrime(probablyPrimeRounds) {
+			return p, nil
+		}
+		p.Add(p, big.NewInt(1))
+		if wrapped && p.Cmp(new(big.Int).Add(start, offset)) > 0 {
+			return nil, fmt.Errorf("prime: no prime in [%v, %v]", lo, hi)
+		}
+	}
+}
+
+// ForCubicWindow returns the Protocol 1 modulus: a prime in [10n³, 100n³].
+func ForCubicWindow(n int, seed int64) (*big.Int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("prime: n = %d < 1", n)
+	}
+	n3 := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(3), nil)
+	lo := new(big.Int).Mul(big.NewInt(10), n3)
+	hi := new(big.Int).Mul(big.NewInt(100), n3)
+	return InWindow(lo, hi, seed)
+}
+
+// ForPowerWindow returns the Protocol 2 modulus: a prime in
+// [10·n^{n+2}, 100·n^{n+2}]. Its bit length is Θ(n log n), which is exactly
+// why Protocol 2 costs O(n log n) bits per node.
+func ForPowerWindow(n int, seed int64) (*big.Int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("prime: n = %d < 2", n)
+	}
+	pow := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(n+2)), nil)
+	lo := new(big.Int).Mul(big.NewInt(10), pow)
+	hi := new(big.Int).Mul(big.NewInt(100), pow)
+	return InWindow(lo, hi, seed)
+}
+
+// NearFactorial returns a prime in [mult·n!, 2·mult·n!]. The GNI protocol
+// sizes its hash range proportionally to n! so that the yes-instance set of
+// size 2·n! and the no-instance set of size n! land on opposite sides of the
+// acceptance threshold.
+func NearFactorial(n int, mult int64, seed int64) (*big.Int, error) {
+	if n < 1 || mult < 1 {
+		return nil, fmt.Errorf("prime: invalid n = %d, mult = %d", n, mult)
+	}
+	f := Factorial(n)
+	lo := new(big.Int).Mul(big.NewInt(mult), f)
+	hi := new(big.Int).Mul(big.NewInt(2), lo)
+	return InWindow(lo, hi, seed)
+}
+
+// Factorial returns n! as a big integer.
+func Factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+// IsPrime reports whether p is (with overwhelming probability) prime.
+func IsPrime(p *big.Int) bool {
+	return p.ProbablyPrime(probablyPrimeRounds)
+}

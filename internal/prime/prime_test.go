@@ -1,0 +1,155 @@
+package prime
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestFactorial(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{{0, 1}, {1, 1}, {2, 2}, {5, 120}, {10, 3628800}}
+	for _, c := range cases {
+		if got := Factorial(c.n); got.Int64() != c.want {
+			t.Errorf("Factorial(%d) = %v, want %d", c.n, got, c.want)
+		}
+	}
+	// 20! = 2432902008176640000 still fits in int64.
+	if got := Factorial(20); got.Int64() != 2432902008176640000 {
+		t.Errorf("Factorial(20) = %v", got)
+	}
+}
+
+func TestInWindowFindsPrime(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := InWindow(big.NewInt(100), big.NewInt(200), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !IsPrime(p) {
+			t.Fatalf("seed %d: %v not prime", seed, p)
+		}
+		if p.Cmp(big.NewInt(100)) < 0 || p.Cmp(big.NewInt(200)) > 0 {
+			t.Fatalf("seed %d: %v outside window", seed, p)
+		}
+	}
+}
+
+func TestInWindowTiny(t *testing.T) {
+	p, err := InWindow(big.NewInt(2), big.NewInt(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Int64() != 2 {
+		t.Fatalf("got %v, want 2", p)
+	}
+}
+
+func TestInWindowNoPrime(t *testing.T) {
+	// [24, 28] contains no prime.
+	if _, err := InWindow(big.NewInt(24), big.NewInt(28), 3); err == nil {
+		t.Fatal("expected no-prime error")
+	}
+	if _, err := InWindow(big.NewInt(10), big.NewInt(5), 0); err == nil {
+		t.Fatal("expected empty-window error")
+	}
+	if _, err := InWindow(big.NewInt(0), big.NewInt(1), 0); err == nil {
+		t.Fatal("expected below-2 error")
+	}
+}
+
+func TestForCubicWindow(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		p, err := ForCubicWindow(n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		n3 := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(3), nil)
+		lo := new(big.Int).Mul(big.NewInt(10), n3)
+		hi := new(big.Int).Mul(big.NewInt(100), n3)
+		if p.Cmp(lo) < 0 || p.Cmp(hi) > 0 {
+			t.Fatalf("n=%d: p=%v outside [10n³,100n³]", n, p)
+		}
+		if !IsPrime(p) {
+			t.Fatalf("n=%d: %v not prime", n, p)
+		}
+	}
+	if _, err := ForCubicWindow(0, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestForPowerWindow(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		p, err := ForPowerWindow(n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		pow := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(n+2)), nil)
+		lo := new(big.Int).Mul(big.NewInt(10), pow)
+		hi := new(big.Int).Mul(big.NewInt(100), pow)
+		if p.Cmp(lo) < 0 || p.Cmp(hi) > 0 {
+			t.Fatalf("n=%d: p outside window", n)
+		}
+	}
+	if _, err := ForPowerWindow(1, 0); err == nil {
+		t.Fatal("n=1 should error")
+	}
+}
+
+func TestForPowerWindowBitLength(t *testing.T) {
+	// The Protocol 2 modulus must have Θ(n log n) bits; check growth.
+	p8, err := ForPowerWindow(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16, err := ForPowerWindow(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16.BitLen() <= p8.BitLen() {
+		t.Fatalf("bit length not growing: %d then %d", p8.BitLen(), p16.BitLen())
+	}
+	// n=16: 16^18 = 2^72, window adds < 7 bits.
+	if p16.BitLen() < 72 || p16.BitLen() > 80 {
+		t.Fatalf("p16 bit length = %d, want about 75", p16.BitLen())
+	}
+}
+
+func TestNearFactorial(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		p, err := NearFactorial(n, 4, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		f := Factorial(n)
+		lo := new(big.Int).Mul(big.NewInt(4), f)
+		hi := new(big.Int).Mul(big.NewInt(8), f)
+		if p.Cmp(lo) < 0 || p.Cmp(hi) > 0 {
+			t.Fatalf("n=%d: p=%v outside [4n!, 8n!]", n, p)
+		}
+	}
+	if _, err := NearFactorial(0, 4, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NearFactorial(4, 0, 0); err == nil {
+		t.Fatal("mult=0 should error")
+	}
+}
+
+func TestDifferentSeedsCanDiffer(t *testing.T) {
+	// Not guaranteed for every pair, but across several seeds in a wide
+	// window at least two distinct primes should appear.
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		p, err := ForCubicWindow(32, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.String()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all seeds produced the same prime: %v", seen)
+	}
+}

@@ -1,0 +1,95 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: Bernoulli estimation with Wilson confidence intervals and
+// Chernoff-style repetition planning.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is an estimated Bernoulli probability with a confidence
+// interval.
+type Estimate struct {
+	Successes int
+	Trials    int
+	Rate      float64
+	Lo, Hi    float64 // 95% Wilson interval
+}
+
+// EstimateBernoulli summarizes successes/trials with a 95% Wilson interval.
+func EstimateBernoulli(successes, trials int) Estimate {
+	if trials <= 0 {
+		return Estimate{}
+	}
+	lo, hi := WilsonInterval(successes, trials, 1.96)
+	return Estimate{
+		Successes: successes,
+		Trials:    trials,
+		Rate:      float64(successes) / float64(trials),
+		Lo:        lo,
+		Hi:        hi,
+	}
+}
+
+// String renders the estimate as "0.42 [0.31, 0.54] (21/50)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.2f [%.2f, %.2f] (%d/%d)", e.Rate, e.Lo, e.Hi, e.Successes, e.Trials)
+}
+
+// WilsonInterval returns the Wilson score interval for a Bernoulli
+// proportion at the given z-value (1.96 for 95%).
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ChernoffTrials returns the number of independent repetitions needed so
+// that the empirical mean of a Bernoulli variable deviates from its
+// expectation by more than eps with probability at most delta (two-sided
+// Hoeffding bound): n ≥ ln(2/δ) / (2 ε²).
+func ChernoffTrials(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxInt returns the maximum of xs (0 for an empty slice).
+func MaxInt(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstimateBernoulli(t *testing.T) {
+	e := EstimateBernoulli(21, 50)
+	if math.Abs(e.Rate-0.42) > 1e-9 {
+		t.Fatalf("rate = %v", e.Rate)
+	}
+	if !(e.Lo < e.Rate && e.Rate < e.Hi) {
+		t.Fatalf("interval [%v, %v] does not bracket %v", e.Lo, e.Hi, e.Rate)
+	}
+	if e.Lo < 0 || e.Hi > 1 {
+		t.Fatal("interval outside [0,1]")
+	}
+	if !strings.Contains(e.String(), "21/50") {
+		t.Fatalf("String = %q", e.String())
+	}
+	zero := EstimateBernoulli(0, 0)
+	if zero.Rate != 0 {
+		t.Fatal("empty estimate wrong")
+	}
+}
+
+func TestWilsonEdgeCases(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatal("no-trials interval should be [0,1]")
+	}
+	lo, hi = WilsonInterval(0, 100, 1.96)
+	if lo != 0 || hi > 0.1 {
+		t.Fatalf("all-failures interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi < 0.999 || lo < 0.9 {
+		t.Fatalf("all-successes interval [%v, %v]", lo, hi)
+	}
+	// Wider samples narrow the interval.
+	lo1, hi1 := WilsonInterval(5, 10, 1.96)
+	lo2, hi2 := WilsonInterval(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval did not narrow with more trials")
+	}
+}
+
+func TestChernoffTrials(t *testing.T) {
+	n := ChernoffTrials(0.1, 0.05)
+	// ln(40)/(2·0.01) ≈ 184.4 → 185.
+	if n != 185 {
+		t.Fatalf("ChernoffTrials = %d, want 185", n)
+	}
+	if ChernoffTrials(0, 0.05) != 0 || ChernoffTrials(0.1, 0) != 0 || ChernoffTrials(0.1, 2) != 0 {
+		t.Fatal("invalid inputs should return 0")
+	}
+	// Smaller eps needs more trials.
+	if ChernoffTrials(0.01, 0.05) <= ChernoffTrials(0.1, 0.05) {
+		t.Fatal("trials not monotone in eps")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if MaxInt(nil) != 0 {
+		t.Fatal("empty max")
+	}
+	if got := MaxInt([]int{3, 9, 1}); got != 9 {
+		t.Fatalf("MaxInt = %v", got)
+	}
+	if got := MaxInt([]int{-5, -2}); got != -2 {
+		t.Fatalf("MaxInt = %v", got)
+	}
+}

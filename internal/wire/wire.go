@@ -1,0 +1,213 @@
+// Package wire implements bit-granular message encoding.
+//
+// The complexity measure of the paper is the number of *bits* each node
+// exchanges with the prover (Section 1), so protocol messages in this module
+// are encoded at bit granularity: a vertex identifier costs exactly
+// ceil(log2 n) bits, a hash value in [p] costs exactly ceil(log2 p) bits.
+// Writer and Reader are the two halves of that codec.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// ErrShortMessage is returned by Reader methods when the message ends before
+// the requested field. Protocols treat it as a malformed prover message.
+var ErrShortMessage = errors.New("wire: message too short")
+
+// WidthFor returns the number of bits needed to represent every value in
+// [0, n), i.e. ceil(log2 n). WidthFor(0) and WidthFor(1) return 0: a value
+// from a domain of size <= 1 carries no information and costs no bits.
+func WidthFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// WidthForBig is WidthFor for big domains: the number of bits needed to
+// represent every value in [0, n).
+func WidthForBig(n *big.Int) int {
+	if n.Sign() <= 0 || n.Cmp(big.NewInt(1)) == 0 {
+		return 0
+	}
+	m := new(big.Int).Sub(n, big.NewInt(1))
+	return m.BitLen()
+}
+
+// Writer accumulates a bit string. The zero value is an empty writer ready
+// for use.
+type Writer struct {
+	data []byte
+	nbit int
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// writeBit appends a single bit.
+func (w *Writer) writeBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.data = append(w.data, 0)
+	}
+	if b {
+		w.data[w.nbit/8] |= 1 << (uint(w.nbit) % 8)
+	}
+	w.nbit++
+}
+
+// WriteBool appends one bit.
+func (w *Writer) WriteBool(b bool) { w.writeBit(b) }
+
+// WriteUint appends v using exactly width bits, least-significant bit first.
+// It panics if v does not fit in width bits: callers size fields from the
+// domain, so overflow is a programming error.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("wire: invalid width %d", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("wire: value %d does not fit in %d bits", v, width))
+	}
+	for i := 0; i < width; i++ {
+		w.writeBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// WriteInt appends a non-negative int using exactly width bits.
+func (w *Writer) WriteInt(v, width int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative value %d", v))
+	}
+	w.WriteUint(uint64(v), width)
+}
+
+// WriteBig appends a non-negative big integer using exactly width bits,
+// least-significant bit first. It panics if v is negative or does not fit.
+func (w *Writer) WriteBig(v *big.Int, width int) {
+	if v.Sign() < 0 {
+		panic("wire: negative big value")
+	}
+	if v.BitLen() > width {
+		panic(fmt.Sprintf("wire: big value of %d bits does not fit in %d bits", v.BitLen(), width))
+	}
+	for i := 0; i < width; i++ {
+		w.writeBit(v.Bit(i) == 1)
+	}
+}
+
+// WriteBits appends raw bits from another encoded message.
+func (w *Writer) WriteBits(data []byte, nbit int) {
+	for i := 0; i < nbit; i++ {
+		w.writeBit(data[i/8]&(1<<(uint(i)%8)) != 0)
+	}
+}
+
+// Bytes returns the encoded message. The final byte is zero-padded. The
+// returned slice is a copy; the writer can continue to be used.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.data))
+	copy(out, w.data)
+	return out
+}
+
+// Message packages the encoded bits with their exact bit length, which is
+// what the cost accounting charges.
+type Message struct {
+	Data []byte
+	Bits int
+}
+
+// Message returns the accumulated bits as a Message.
+func (w *Writer) Message() Message {
+	return Message{Data: w.Bytes(), Bits: w.nbit}
+}
+
+// Empty is the zero-bit message.
+var Empty = Message{}
+
+// Reader decodes a bit string produced by Writer.
+type Reader struct {
+	data []byte
+	nbit int
+	pos  int
+}
+
+// NewReader returns a reader over the given message.
+func NewReader(m Message) *Reader {
+	return &Reader{data: m.Data, nbit: m.Bits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// readBit reads a single bit.
+func (r *Reader) readBit() (bool, error) {
+	if r.pos >= r.nbit {
+		return false, ErrShortMessage
+	}
+	b := r.data[r.pos/8]&(1<<(uint(r.pos)%8)) != 0
+	r.pos++
+	return b, nil
+}
+
+// ReadBool reads one bit.
+func (r *Reader) ReadBool() (bool, error) { return r.readBit() }
+
+// ReadUint reads a width-bit unsigned value.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("wire: invalid width %d", width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// ReadInt reads a width-bit value as an int.
+func (r *Reader) ReadInt(width int) (int, error) {
+	v, err := r.ReadUint(width)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(int(^uint(0)>>1)) {
+		return 0, fmt.Errorf("wire: value %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// ReadBig reads a width-bit value as a big integer.
+func (r *Reader) ReadBig(width int) (*big.Int, error) {
+	v := new(big.Int)
+	for i := 0; i < width; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			v.SetBit(v, i, 1)
+		}
+	}
+	return v, nil
+}
+
+// Done returns an error unless every bit of the message has been consumed.
+// Protocols call it after parsing a prover message so that a prover cannot
+// smuggle unread bits (which would make the measured cost unfaithful).
+func (r *Reader) Done() error {
+	if r.pos != r.nbit {
+		return fmt.Errorf("wire: %d unread bits", r.nbit-r.pos)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{256, 8}, {257, 9}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.n); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWidthForBig(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := WidthForBig(big.NewInt(c.n)); got != c.want {
+			t.Errorf("WidthForBig(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 500) // 2^500
+	if got := WidthForBig(huge); got != 500 {
+		t.Errorf("WidthForBig(2^500) = %d, want 500", got)
+	}
+}
+
+func TestRoundTripMixed(t *testing.T) {
+	var w Writer
+	w.WriteBool(true)
+	w.WriteUint(42, 7)
+	w.WriteInt(5, 3)
+	w.WriteBig(big.NewInt(1234567), 21)
+	w.WriteBool(false)
+	wantBits := 1 + 7 + 3 + 21 + 1
+	if w.Len() != wantBits {
+		t.Fatalf("Len = %d, want %d", w.Len(), wantBits)
+	}
+
+	r := NewReader(w.Message())
+	if b, err := r.ReadBool(); err != nil || !b {
+		t.Fatalf("ReadBool = %v, %v", b, err)
+	}
+	if v, err := r.ReadUint(7); err != nil || v != 42 {
+		t.Fatalf("ReadUint = %d, %v", v, err)
+	}
+	if v, err := r.ReadInt(3); err != nil || v != 5 {
+		t.Fatalf("ReadInt = %d, %v", v, err)
+	}
+	if v, err := r.ReadBig(21); err != nil || v.Int64() != 1234567 {
+		t.Fatalf("ReadBig = %v, %v", v, err)
+	}
+	if b, err := r.ReadBool(); err != nil || b {
+		t.Fatalf("ReadBool = %v, %v", b, err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestShortMessage(t *testing.T) {
+	var w Writer
+	w.WriteUint(3, 2)
+	r := NewReader(w.Message())
+	if _, err := r.ReadUint(3); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("err = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestDoneWithUnreadBits(t *testing.T) {
+	var w Writer
+	w.WriteUint(3, 2)
+	r := NewReader(w.Message())
+	if err := r.Done(); err == nil {
+		t.Fatal("Done with unread bits should error")
+	}
+}
+
+func TestWriterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(w *Writer)
+	}{
+		{"uint overflow", func(w *Writer) { w.WriteUint(8, 3) }},
+		{"negative int", func(w *Writer) { w.WriteInt(-1, 8) }},
+		{"negative big", func(w *Writer) { w.WriteBig(big.NewInt(-5), 8) }},
+		{"big overflow", func(w *Writer) { w.WriteBig(big.NewInt(256), 8) }},
+		{"bad width", func(w *Writer) { w.WriteUint(0, 65) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			var w Writer
+			tc.f(&w)
+		})
+	}
+}
+
+func TestZeroWidthFields(t *testing.T) {
+	var w Writer
+	w.WriteUint(0, 0)
+	w.WriteBig(new(big.Int), 0)
+	if w.Len() != 0 {
+		t.Fatalf("zero-width fields cost %d bits", w.Len())
+	}
+	r := NewReader(w.Message())
+	if v, err := r.ReadUint(0); err != nil || v != 0 {
+		t.Fatalf("ReadUint(0) = %d, %v", v, err)
+	}
+}
+
+func TestWriteBits(t *testing.T) {
+	var inner Writer
+	inner.WriteUint(0x2A, 6)
+	m := inner.Message()
+
+	var outer Writer
+	outer.WriteBool(true)
+	outer.WriteBits(m.Data, m.Bits)
+	r := NewReader(outer.Message())
+	if _, err := r.ReadBool(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.ReadUint(6); err != nil || v != 0x2A {
+		t.Fatalf("nested = %d, %v", v, err)
+	}
+}
+
+func TestBytesCopy(t *testing.T) {
+	var w Writer
+	w.WriteUint(0xFF, 8)
+	b := w.Bytes()
+	b[0] = 0
+	if w.Bytes()[0] != 0xFF {
+		t.Fatal("Bytes did not copy")
+	}
+}
+
+func TestReaderWidthErrors(t *testing.T) {
+	r := NewReader(Empty)
+	if _, err := r.ReadUint(65); err == nil {
+		t.Fatal("ReadUint(65) should error")
+	}
+	if _, err := r.ReadUint(-1); err == nil {
+		t.Fatal("ReadUint(-1) should error")
+	}
+}
+
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(vals [8]uint64) bool {
+		var w Writer
+		widths := make([]int, len(vals))
+		for i, v := range vals {
+			width := 64
+			vals[i] = v
+			widths[i] = width
+			w.WriteUint(v, width)
+		}
+		r := NewReader(w.Message())
+		for i := range vals {
+			got, err := r.ReadUint(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBigRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		width := 1 + rng.Intn(300)
+		v := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+		var w Writer
+		w.WriteBig(v, width)
+		if w.Len() != width {
+			t.Fatalf("WriteBig wrote %d bits, want %d", w.Len(), width)
+		}
+		got, err := NewReader(w.Message()).ReadBig(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(v) != 0 {
+			t.Fatalf("big round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestMessageBitsExact(t *testing.T) {
+	// A vertex id in an n-vertex graph must cost exactly ceil(log2 n) bits.
+	n := 100
+	var w Writer
+	w.WriteInt(99, WidthFor(n))
+	if w.Len() != 7 {
+		t.Fatalf("id cost = %d bits, want 7", w.Len())
+	}
+}
