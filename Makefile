@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: verify vet build test race bench tables tables-quick clean
+
+# verify is the tier-1 gate plus the race check on the two packages with
+# real concurrency (the concurrent engine and the trial-harness pool).
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/network/... ./internal/experiments/...
+
+# bench runs the engine-mode comparison (sequential vs goroutine-per-node).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 2s .
+
+# tables regenerates every EXPERIMENTS.md table at full trial counts.
+tables:
+	$(GO) run ./cmd/dipbench -seed 1
+
+tables-quick:
+	$(GO) run ./cmd/dipbench -seed 1 -quick
+
+clean:
+	rm -f dip.test

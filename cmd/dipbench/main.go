@@ -8,6 +8,11 @@
 //	dipbench -experiment E5   # run one experiment
 //	dipbench -quick           # reduced sizes (seconds instead of minutes)
 //	dipbench -seed 7          # change the reproducibility seed
+//	dipbench -trials 500      # override the per-cell trial count
+//	dipbench -parallel 2      # cap the trial-harness worker count
+//
+// Tables are reproducible for a fixed -seed regardless of -parallel: each
+// trial's randomness is derived from (seed, experiment, trial index) alone.
 package main
 
 import (
@@ -28,18 +33,20 @@ func main() {
 
 func run() error {
 	var (
-		which = flag.String("experiment", "all", "experiment ID (E1..E9) or 'all'")
-		seed  = flag.Int64("seed", 1, "reproducibility seed")
-		quick = flag.Bool("quick", false, "reduced sizes and trial counts")
+		which    = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		seed     = flag.Int64("seed", 1, "reproducibility seed")
+		quick    = flag.Bool("quick", false, "reduced sizes and trial counts")
+		trials   = flag.Int("trials", 0, "override the per-cell trial count (0 = experiment default)")
+		parallel = flag.Int("parallel", 0, "trial-harness worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, Parallel: *parallel}
 	runners := experiments.All()
 	if *which != "all" {
 		r, ok := experiments.ByID(*which)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *which)
+			return fmt.Errorf("unknown experiment %q (want E1..E11 or all)", *which)
 		}
 		runners = []experiments.Runner{r}
 	}

@@ -25,9 +25,9 @@ func E10GNIVariants(cfg Config) (*Table, error) {
 		},
 	}
 	n, k := 6, 80
-	trials := 10
+	trials := cfg.TrialCount(DefaultTrials, 4)
 	if cfg.Quick {
-		k, trials = 24, 4
+		k = 24
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 10))
 
@@ -43,6 +43,7 @@ func E10GNIVariants(cfg Config) (*Table, error) {
 	type variant struct {
 		name   string
 		rounds int
+		salt   int64
 		run    func(g0, g1 *graph.Graph, seed int64) (*network.Result, error)
 	}
 	damam, err := core.NewGNIDAMAM(n, k, cfg.Seed)
@@ -59,37 +60,31 @@ func E10GNIVariants(cfg Config) (*Table, error) {
 	}
 
 	measure := func(v variant, g0y, g1y, g0n, g1n *graph.Graph, instance string) error {
-		yesAcc, noAcc, bits := 0, 0, 0
-		for i := 0; i < trials; i++ {
-			res, err := v.run(g0y, g1y, cfg.Seed+int64(i))
-			if err != nil {
-				return err
-			}
-			if res.Accepted {
-				yesAcc++
-			}
-			bits = res.Cost.MaxProverBits()
-			res, err = v.run(g0n, g1n, cfg.Seed+500+int64(i))
-			if err != nil {
-				return err
-			}
-			if res.Accepted {
-				noAcc++
-			}
+		yesStats, err := RunTrials(cfg, v.salt, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return v.run(g0y, g1y, rng.Int63())
+		})
+		if err != nil {
+			return err
+		}
+		noStats, err := RunTrials(cfg, v.salt+500, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return v.run(g0n, g1n, rng.Int63())
+		})
+		if err != nil {
+			return err
 		}
 		t.AddRow(v.name, v.rounds, instance,
-			stats.EstimateBernoulli(yesAcc, trials).String(),
-			stats.EstimateBernoulli(noAcc, trials).String(),
-			bits)
+			yesStats.Estimate().String(),
+			noStats.Estimate().String(),
+			yesStats.Sample.Cost.MaxProverBits())
 		return nil
 	}
 
-	if err := measure(variant{"gni-damam", 4, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+	if err := measure(variant{"gni-damam", 4, 10100, func(a, b *graph.Graph, s int64) (*network.Result, error) {
 		return damam.Run(a, b, damam.HonestProver(), s)
 	}}, yes.G0, yes.G1, no.G0, no.G1, "rigid pair"); err != nil {
 		return nil, err
 	}
-	if err := measure(variant{"gni-dam", 2, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+	if err := measure(variant{"gni-dam", 2, 10200, func(a, b *graph.Graph, s int64) (*network.Result, error) {
 		return dam.Run(a, b, dam.HonestProver(), s)
 	}}, yes.G0, yes.G1, no.G0, no.G1, "rigid pair"); err != nil {
 		return nil, err
@@ -105,7 +100,7 @@ func E10GNIVariants(cfg Config) (*Table, error) {
 	}
 	k33Shuffled, _ := k33.Shuffle(rng)
 	c6Shuffled, _ := c6.Shuffle(rng)
-	if err := measure(variant{"gni-general", 2, func(a, b *graph.Graph, s int64) (*network.Result, error) {
+	if err := measure(variant{"gni-general", 2, 10300, func(a, b *graph.Graph, s int64) (*network.Result, error) {
 		return general.Run(a, b, general.HonestProver(), s)
 	}}, c6, k33Shuffled, c6, c6Shuffled, "symmetric pair"); err != nil {
 		return nil, err
@@ -124,27 +119,22 @@ func E10GNIVariants(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	yesAcc, noAcc, bits := 0, 0, 0
-	for i := 0; i < trials; i++ {
-		res, err := marked.Run(mYesG, mYesMarks, marked.HonestProver(), cfg.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if res.Accepted {
-			yesAcc++
-		}
-		bits = res.Cost.MaxProverBits()
-		res, err = marked.Run(mNoG, mNoMarks, marked.HonestProver(), cfg.Seed+700+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if res.Accepted {
-			noAcc++
-		}
+	mYesStats, err := RunTrials(cfg, 10400, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return marked.Run(mYesG, mYesMarks, marked.HonestProver(), rng.Int63())
+	})
+	if err != nil {
+		return nil, err
+	}
+	mNoStats, err := RunTrials(cfg, 10900, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return marked.Run(mNoG, mNoMarks, marked.HonestProver(), rng.Int63())
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("gni-marked", 4, "marked {0,1,⊥} network",
-		stats.EstimateBernoulli(yesAcc, trials).String(),
-		stats.EstimateBernoulli(noAcc, trials).String(), bits)
+		mYesStats.Estimate().String(),
+		mNoStats.Estimate().String(),
+		mYesStats.Sample.Cost.MaxProverBits())
 	return t, nil
 }
 
@@ -210,13 +200,12 @@ func E11RPLS(cfg Config) (*Table, error) {
 		},
 	}
 	bases := []int{7, 15, 31}
-	trials := 15
+	trials := cfg.TrialCount(DefaultTrials, 6)
 	if cfg.Quick {
 		bases = []int{7}
-		trials = 6
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 11))
-	for _, base := range bases {
+	for bi, base := range bases {
 		g, err := symInstance(base, rng)
 		if err != nil {
 			return nil, err
@@ -241,21 +230,17 @@ func E11RPLS(cfg Config) (*Table, error) {
 		if !lres.Accepted || !rres.Accepted {
 			return nil, fmt.Errorf("E11: honest run rejected at n=%d", n)
 		}
-		caught := 0
-		for i := 0; i < trials; i++ {
-			res, err := rpls.Run(g, rpls.InconsistentAdviceProver(1), cfg.Seed+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if !res.Accepted {
-				caught++
-			}
+		bad, err := RunTrials(cfg, int64(11000+bi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return rpls.Run(g, rpls.InconsistentAdviceProver(1), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
 		lN2N := lres.Cost.MaxNodeToNodeBits()
 		rN2N := rres.Cost.MaxNodeToNodeBits()
 		t.AddRow(n, rpls.AdviceBits(), lN2N, rN2N,
 			fmt.Sprintf("%.0fx", float64(lN2N)/float64(rN2N)),
-			stats.EstimateBernoulli(caught, trials).String())
+			stats.EstimateBernoulli(bad.Rejects(), bad.Trials).String())
 	}
 	return t, nil
 }

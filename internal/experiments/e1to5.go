@@ -10,7 +10,6 @@ import (
 	"dip/internal/lower"
 	"dip/internal/network"
 	"dip/internal/perm"
-	"dip/internal/stats"
 )
 
 // symInstance builds a connected symmetric graph on 2·base+2 vertices.
@@ -37,13 +36,12 @@ func E1SymDMAMCost(cfg Config) (*Table, error) {
 		},
 	}
 	bases := []int{7, 15, 31, 63, 127}
-	trials := 10
+	trials := cfg.TrialCount(DefaultTrials, 4)
 	if cfg.Quick {
 		bases = []int{7, 15}
-		trials = 4
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, base := range bases {
+	for bi, base := range bases {
 		g, err := symInstance(base, rng)
 		if err != nil {
 			return nil, err
@@ -54,38 +52,30 @@ func E1SymDMAMCost(cfg Config) (*Table, error) {
 			return nil, err
 		}
 
-		accepts, bits := 0, 0
-		for i := 0; i < trials; i++ {
-			res, err := proto.Run(g, proto.HonestProver(), cfg.Seed+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if res.Accepted {
-				accepts++
-			}
-			bits = res.Cost.MaxProverBits()
+		honest, err := RunTrials(cfg, int64(1100+bi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return proto.Run(g, proto.HonestProver(), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
+		bits := honest.Sample.Cost.MaxProverBits()
 
 		// Soundness: asymmetric graph of the same size, cheating prover.
 		asym, err := graph.RandomAsymmetricConnected(n, rng)
 		if err != nil {
 			return nil, err
 		}
-		cheats := 0
-		for i := 0; i < trials; i++ {
-			res, err := proto.Run(asym, proto.RandomMappingProver(rng), cfg.Seed+100+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if res.Accepted {
-				cheats++
-			}
+		cheat, err := RunTrials(cfg, int64(1200+bi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return proto.Run(asym, proto.RandomMappingProver(rng), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
 
 		t.AddRow(n, bits,
 			float64(bits)/math.Log2(float64(n)),
-			stats.EstimateBernoulli(accepts, trials).String(),
-			stats.EstimateBernoulli(cheats, trials).String())
+			honest.Estimate().String(),
+			cheat.Estimate().String())
 	}
 	return t, nil
 }
@@ -103,13 +93,12 @@ func E2SymDAMCost(cfg Config) (*Table, error) {
 		},
 	}
 	bases := []int{6, 10, 16, 24}
-	trials := 6
+	trials := cfg.TrialCount(DefaultTrials, 3)
 	if cfg.Quick {
 		bases = []int{6, 10}
-		trials = 3
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	for _, base := range bases {
+	for bi, base := range bases {
 		g, err := symInstance(base, rng)
 		if err != nil {
 			return nil, err
@@ -119,36 +108,28 @@ func E2SymDAMCost(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		accepts, bits := 0, 0
-		for i := 0; i < trials; i++ {
-			res, err := proto.Run(g, proto.HonestProver(), cfg.Seed+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if res.Accepted {
-				accepts++
-			}
-			bits = res.Cost.MaxProverBits()
+		honest, err := RunTrials(cfg, int64(2100+bi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return proto.Run(g, proto.HonestProver(), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
+		bits := honest.Sample.Cost.MaxProverBits()
 		asym, err := graph.RandomAsymmetricConnected(n, rng)
 		if err != nil {
 			return nil, err
 		}
-		cheats := 0
-		for i := 0; i < trials; i++ {
+		cheat, err := RunTrials(cfg, int64(2200+bi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
 			rho := perm.RandomNonIdentity(n, rng)
-			res, err := proto.Run(asym, proto.ProverWithMapping(rho, rho.Moved()), cfg.Seed+200+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if res.Accepted {
-				cheats++
-			}
+			return proto.Run(asym, proto.ProverWithMapping(rho, rho.Moved()), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(n, bits,
 			float64(bits)/(float64(n)*math.Log2(float64(n))),
-			stats.EstimateBernoulli(accepts, trials).String(),
-			stats.EstimateBernoulli(cheats, trials).String())
+			honest.Estimate().String(),
+			cheat.Estimate().String())
 	}
 	return t, nil
 }
@@ -275,13 +256,14 @@ func E5GNI(cfg Config) (*Table, error) {
 			"the optimal cheater on no-instances IS the honest search (success ⟺ preimage exists)",
 		},
 	}
-	type pt struct{ n, k, trials int }
-	points := []pt{{6, 80, 14}, {7, 60, 8}}
+	type pt struct{ n, k int }
+	points := []pt{{6, 80}, {7, 60}}
+	trials := cfg.TrialCount(DefaultTrials, 6)
 	if cfg.Quick {
-		points = []pt{{6, 24, 6}}
+		points = []pt{{6, 24}}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
-	for _, p := range points {
+	for pi, p := range points {
 		proto, err := core.NewGNIDAMAM(p.n, p.k, cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -294,34 +276,24 @@ func E5GNI(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		run := func(inst *core.GNIInstance, seed0 int64) (int, *network.Result, error) {
-			accepts := 0
-			var last *network.Result
-			for i := 0; i < p.trials; i++ {
-				res, err := proto.Run(inst.G0, inst.G1, proto.HonestProver(), seed0+int64(i))
-				if err != nil {
-					return 0, nil, err
-				}
-				if res.Accepted {
-					accepts++
-				}
-				last = res
-			}
-			return accepts, last, nil
+		run := func(inst *core.GNIInstance, salt int64) (TrialStats, error) {
+			return RunTrials(cfg, salt, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+				return proto.Run(inst.G0, inst.G1, proto.HonestProver(), rng.Int63())
+			})
 		}
-		yesAcc, res, err := run(yes, cfg.Seed)
+		yesStats, err := run(yes, int64(5100+pi))
 		if err != nil {
 			return nil, err
 		}
-		noAcc, _, err := run(no, cfg.Seed+1000)
+		noStats, err := run(no, int64(5200+pi))
 		if err != nil {
 			return nil, err
 		}
-		bits := res.Cost.MaxProverBits()
+		bits := yesStats.Sample.Cost.MaxProverBits()
 		norm := float64(bits) / (float64(p.k) * float64(p.n) * math.Log2(float64(p.n)))
 		t.AddRow(p.n, p.k,
-			stats.EstimateBernoulli(yesAcc, p.trials).String(),
-			stats.EstimateBernoulli(noAcc, p.trials).String(),
+			yesStats.Estimate().String(),
+			noStats.Estimate().String(),
 			bits, norm)
 	}
 	return t, nil

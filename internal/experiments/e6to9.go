@@ -30,13 +30,12 @@ func E6HashFamily(cfg Config) (*Table, error) {
 		},
 	}
 	ns := []int{8, 16, 32}
-	trials := 3000
+	trials := cfg.TrialCount(3000, 500)
 	if cfg.Quick {
 		ns = []int{8}
-		trials = 500
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 6))
-	for _, n := range ns {
+	for ni, n := range ns {
 		p, err := prime.ForCubicWindow(n, cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -51,12 +50,12 @@ func E6HashFamily(cfg Config) (*Table, error) {
 		for y[0] == x[0] {
 			y[0] = rng.Intn(n * n)
 		}
-		collisions := 0
-		for i := 0; i < trials; i++ {
+		collisions, err := RunFlagTrials(cfg, int64(6000+ni), trials, func(_ int, rng *rand.Rand) (bool, error) {
 			seed := family.RandomSeed(rng)
-			if family.HashIndicator(seed, x).Cmp(family.HashIndicator(seed, y)) == 0 {
-				collisions++
-			}
+			return family.HashIndicator(seed, x).Cmp(family.HashIndicator(seed, y)) == 0, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		// Linearity on dense vectors.
 		linear := true
@@ -98,10 +97,7 @@ func E7Adversaries(cfg Config) (*Table, error) {
 			"paper requirement: no prover convinces all nodes with probability ≥ 1/3 on a no-instance",
 		},
 	}
-	trials := 20
-	if cfg.Quick {
-		trials = 6
-	}
+	trials := cfg.TrialCount(DefaultTrials, 6)
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 
 	asym, err := graph.RandomAsymmetricConnected(12, rng)
@@ -114,39 +110,33 @@ func E7Adversaries(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	measure := func(name, attack string, run func(i int) (*network.Result, error)) error {
-		accepts := 0
-		for i := 0; i < trials; i++ {
-			res, err := run(i)
-			if err != nil {
-				return err
-			}
-			if res.Accepted {
-				accepts++
-			}
+	measure := func(name, attack string, salt int64, trial NetTrial) error {
+		st, err := RunTrials(cfg, salt, trials, trial)
+		if err != nil {
+			return err
 		}
-		t.AddRow(name, attack, stats.EstimateBernoulli(accepts, trials).String())
+		t.AddRow(name, attack, st.Estimate().String())
 		return nil
 	}
 
-	if err := measure("sym-dmam", "random mapping", func(i int) (*network.Result, error) {
-		return dmam.Run(asym, dmam.RandomMappingProver(rng), cfg.Seed+int64(i))
+	if err := measure("sym-dmam", "random mapping", 7001, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return dmam.Run(asym, dmam.RandomMappingProver(rng), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
-	if err := measure("sym-dmam", "echo forging", func(i int) (*network.Result, error) {
+	if err := measure("sym-dmam", "echo forging", 7002, func(_ int, rng *rand.Rand) (*network.Result, error) {
 		rho := perm.RandomNonIdentity(n, rng)
-		return dmam.Run(asym, dmam.EchoCheatingProver(rho, rho.Moved()), cfg.Seed+int64(i))
+		return dmam.Run(asym, dmam.EchoCheatingProver(rho, rho.Moved()), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
-	if err := measure("sym-dmam", "inconsistent broadcast", func(i int) (*network.Result, error) {
-		return dmam.Run(asym, dmam.InconsistentBroadcastProver(rng), cfg.Seed+int64(i))
+	if err := measure("sym-dmam", "inconsistent broadcast", 7003, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return dmam.Run(asym, dmam.InconsistentBroadcastProver(rng), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
-	if err := measure("sym-dmam", "garbage", func(i int) (*network.Result, error) {
-		return dmam.Run(asym, core.GarbageProver([]int{64, 64}, rng), cfg.Seed+int64(i))
+	if err := measure("sym-dmam", "garbage", 7004, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return dmam.Run(asym, core.GarbageProver([]int{64, 64}, rng), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
@@ -155,31 +145,28 @@ func E7Adversaries(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := measure("sym-dam", "post-hoc search (budget 100)", func(i int) (*network.Result, error) {
-		return dam.Run(asym, dam.PostHocCollisionProver(100, rng), cfg.Seed+int64(i))
+	if err := measure("sym-dam", "post-hoc search (budget 100)", 7005, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return dam.Run(asym, dam.PostHocCollisionProver(100, rng), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
 
-	// DSym: forged aggregate.
+	// DSym: forged aggregate, rotating the forging node through the graph.
 	f := graph.ConnectedGNP(8, 0.5, rng)
 	dg := graph.DSymGraph(f, 1)
 	dsym, err := core.NewDSymDAM(8, 1, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	if err := measure("dsym-dam", "forged subtree sum", func(i int) (*network.Result, error) {
-		return dsym.Run(dg, dsym.ForgingProver(i%dg.N()), cfg.Seed+int64(i))
+	if err := measure("dsym-dam", "forged subtree sum", 7006, func(i int, rng *rand.Rand) (*network.Result, error) {
+		return dsym.Run(dg, dsym.ForgingProver(i%dg.N()), rng.Int63())
 	}); err != nil {
 		return nil, err
 	}
 
 	// GNI: the optimal cheater on an isomorphic pair. Each trial runs a
-	// full preimage search per repetition, so cap the trial count.
-	gniTrials := trials
-	if gniTrials > 10 {
-		gniTrials = 10
-	}
+	// full preimage search per repetition — the parallel harness is what
+	// makes the full trial count affordable here.
 	gni, err := core.NewGNIDAMAM(6, 32, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -188,18 +175,12 @@ func E7Adversaries(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	accepts := 0
-	for i := 0; i < gniTrials; i++ {
-		res, err := gni.Run(no.G0, no.G1, gni.OptimalGNICheater(), cfg.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if res.Accepted {
-			accepts++
-		}
+	if err := measure("gni-damam", "optimal cheater (honest search on iso pair)", 7007,
+		func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return gni.Run(no.G0, no.G1, gni.OptimalGNICheater(), rng.Int63())
+		}); err != nil {
+		return nil, err
 	}
-	t.AddRow("gni-damam", "optimal cheater (honest search on iso pair)",
-		stats.EstimateBernoulli(accepts, gniTrials).String())
 	return t, nil
 }
 
@@ -269,53 +250,42 @@ func E9Ablation(cfg Config) (*Table, error) {
 	}
 	primes := []int64{101, 1009, 10007, 100003}
 	budget := 600
-	trials := 16
+	trials := cfg.TrialCount(DefaultTrials, 6)
 	if cfg.Quick {
 		primes = []int64{101, 1009}
 		budget = 200
-		trials = 6
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 9))
 	asym, err := graph.RandomAsymmetricConnected(10, rng)
 	if err != nil {
 		return nil, err
 	}
-	for _, pv := range primes {
+	for pi, pv := range primes {
 		p := big.NewInt(pv)
 		weak, err := core.NewSymDAMWithPrime(asym.N(), p)
 		if err != nil {
 			return nil, err
 		}
-		accepts := 0
-		for i := 0; i < trials; i++ {
-			res, err := weak.Run(asym, weak.PostHocCollisionProver(budget, rng), cfg.Seed+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			if res.Accepted {
-				accepts++
-			}
+		st, err := RunTrials(cfg, int64(9000+pi), trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+			return weak.Run(asym, weak.PostHocCollisionProver(budget, rng), rng.Int63())
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(p.String(), wire.WidthForBig(p), budget,
-			stats.EstimateBernoulli(accepts, trials).String())
+		t.AddRow(p.String(), wire.WidthForBig(p), budget, st.Estimate().String())
 	}
 	// Reference row: the real Protocol 2 modulus defeats the same attack.
 	real, err := core.NewSymDAM(asym.N(), cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	accepts := 0
-	for i := 0; i < trials; i++ {
-		res, err := real.Run(asym, real.PostHocCollisionProver(50, rng), cfg.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if res.Accepted {
-			accepts++
-		}
+	st, err := RunTrials(cfg, 9100, trials, func(_ int, rng *rand.Rand) (*network.Result, error) {
+		return real.Run(asym, real.PostHocCollisionProver(50, rng), rng.Int63())
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow(fmt.Sprintf("n^{n+2} window (lg p = %d)", wire.WidthForBig(real.P())),
-		wire.WidthForBig(real.P()), 50,
-		stats.EstimateBernoulli(accepts, trials).String())
+		wire.WidthForBig(real.P()), 50, st.Estimate().String())
 	return t, nil
 }

@@ -14,11 +14,18 @@ import (
 
 // Config controls experiment sizes.
 type Config struct {
-	// Seed derives all randomness; equal seeds reproduce tables exactly.
+	// Seed derives all randomness; equal seeds reproduce tables exactly,
+	// independent of worker count and scheduling (per-trial randomness is
+	// derived from (Seed, salt, trial index) — see RunTrials).
 	Seed int64
 	// Quick shrinks instance sizes and trial counts for use in tests; the
 	// published tables use Quick = false.
 	Quick bool
+	// Trials, when positive, overrides every experiment's per-cell trial
+	// count (the -trials flag of cmd/dipbench).
+	Trials int
+	// Parallel caps the trial-harness worker count; 0 means GOMAXPROCS.
+	Parallel int
 }
 
 // Table is one experiment's result, renderable as an aligned text table.

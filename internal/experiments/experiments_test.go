@@ -13,7 +13,9 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep is slow")
 	}
-	cfg := Config{Seed: 1, Quick: true}
+	// Parallel > 1 so `go test -race` exercises the trial pool inside
+	// every experiment, not just the dedicated harness tests.
+	cfg := Config{Seed: 1, Quick: true, Parallel: 4}
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {

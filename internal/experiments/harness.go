@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dip/internal/network"
+	"dip/internal/stats"
+)
+
+// DefaultTrials is the full-size per-cell trial count. It is wired to the
+// Hoeffding plan of stats.CertifyingTrials: 200 trials estimate an
+// acceptance probability within ±1/8 at 99.5% confidence, so an observed
+// rate near 1 (resp. 0) yields a Wilson interval that certifies the
+// paper's completeness > 2/3 (resp. soundness < 1/3) threshold with room
+// to spare. The pre-harness default of ~10 trials produced intervals like
+// [0.72, 1.00] that could not even separate 2/3 from 1/3.
+var DefaultTrials = maxOf(200, stats.CertifyingTrials(1.0/8, 0.005))
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TrialCount resolves a per-cell trial count: the -trials override wins,
+// then Quick mode's reduced count, then the experiment's full default.
+func (c Config) TrialCount(full, quick int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// NetTrial runs one independent trial of a protocol experiment. i is the
+// trial index in [0, k); rng is a private source derived deterministically
+// from (Config.Seed, salt, i) — the trial must draw ALL of its randomness
+// (prover construction and the engine seed alike) from it, so that trial i
+// is a pure function of the configuration regardless of which worker runs
+// it or in what order.
+type NetTrial func(i int, rng *rand.Rand) (*network.Result, error)
+
+// TrialStats summarizes a batch of independent trials.
+type TrialStats struct {
+	Accepts int
+	Trials  int
+	// Sample is trial 0's result, kept for cost inspection: communication
+	// costs are structural, so any single trial is representative.
+	Sample *network.Result
+}
+
+// Estimate returns the acceptance-probability estimate with its 95% Wilson
+// interval.
+func (s TrialStats) Estimate() stats.Estimate {
+	return stats.EstimateBernoulli(s.Accepts, s.Trials)
+}
+
+// Rejects returns the number of rejecting trials.
+func (s TrialStats) Rejects() int { return s.Trials - s.Accepts }
+
+// RunTrials fans k independent trials across Config.Parallel workers
+// (default GOMAXPROCS) and counts acceptances. Per-trial randomness is
+// derived from (Config.Seed, salt, i) alone, so results are bit-for-bit
+// reproducible for a fixed seed no matter the worker count or scheduling;
+// salt separates the independent trial families inside one experiment
+// (honest vs. adversarial sweeps, different table rows, ...).
+//
+// Trials should run the engine in its default sequential mode: a single
+// run has no useful internal parallelism, and the harness supplies all the
+// concurrency the hardware can take one level up.
+func RunTrials(cfg Config, salt int64, k int, trial NetTrial) (TrialStats, error) {
+	out := TrialStats{Trials: k}
+	if k <= 0 {
+		return out, nil
+	}
+	accepted := make([]bool, k)
+	results := make([]*network.Result, 1) // results[0] = sample
+	err := cfg.forEachTrial(salt, k, func(i int, rng *rand.Rand) error {
+		res, err := trial(i, rng)
+		if err != nil {
+			return err
+		}
+		accepted[i] = res.Accepted
+		if i == 0 {
+			results[0] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return TrialStats{}, err
+	}
+	for _, ok := range accepted {
+		if ok {
+			out.Accepts++
+		}
+	}
+	out.Sample = results[0]
+	return out, nil
+}
+
+// RunFlagTrials is RunTrials for trials that yield a plain boolean (hash
+// collision checks and other non-protocol Monte Carlo sweeps). It returns
+// the number of true outcomes.
+func RunFlagTrials(cfg Config, salt int64, k int, trial func(i int, rng *rand.Rand) (bool, error)) (int, error) {
+	if k <= 0 {
+		return 0, nil
+	}
+	flags := make([]bool, k)
+	err := cfg.forEachTrial(salt, k, func(i int, rng *rand.Rand) error {
+		ok, err := trial(i, rng)
+		flags[i] = ok
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, ok := range flags {
+		if ok {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// forEachTrial is the worker pool underneath RunTrials/RunFlagTrials: it
+// claims indices through an atomic counter, derives each trial's RNG from
+// (Seed, salt, i), and stops handing out work after the first failure. The
+// lowest-indexed error is reported, keeping failure output deterministic.
+func (c Config) forEachTrial(salt int64, k int, body func(i int, rng *rand.Rand) error) error {
+	workers := c.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	base := stats.DeriveSeed(c.Seed, salt)
+	errs := make([]error, k)
+
+	var next, aborted int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= k || atomic.LoadInt64(&aborted) != 0 {
+					return
+				}
+				rng := rand.New(rand.NewSource(stats.DeriveSeed(base, int64(i))))
+				if err := body(i, rng); err != nil {
+					errs[i] = err
+					atomic.StoreInt64(&aborted, 1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+	}
+	return nil
+}

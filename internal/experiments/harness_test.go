@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// coinSpec accepts iff the node's single challenge bit is 0 — a protocol
+// whose acceptance is genuinely random, so scheduling bugs would show up
+// as changed counts.
+func coinSpec() *network.Spec {
+	return &network.Spec{
+		Name: "coin",
+		Rounds: []network.Round{{
+			Kind: network.Arthur,
+			Challenge: func(v int, rng *rand.Rand, _ *network.NodeView) wire.Message {
+				var w wire.Writer
+				w.WriteBool(rng.Intn(2) == 1)
+				return w.Message()
+			},
+		}, {Kind: network.Merlin}},
+		Decide: func(v int, view *network.NodeView) bool {
+			r := wire.NewReader(view.MyChallenges[0])
+			b, err := r.ReadBool()
+			return err == nil && !b
+		},
+	}
+}
+
+type nopProver struct{}
+
+func (nopProver) Respond(_ int, view *network.ProverView) (*network.Response, error) {
+	return network.Broadcast(view.Graph.N(), wire.Empty), nil
+}
+
+func coinTrial(g *graph.Graph) NetTrial {
+	return func(i int, rng *rand.Rand) (*network.Result, error) {
+		return network.Run(coinSpec(), g, nil, nopProver{}, network.Options{Seed: rng.Int63()})
+	}
+}
+
+// TestRunTrialsDeterministicAcrossWorkerCounts is the harness's core
+// guarantee: identical acceptance counts for any parallelism level.
+func TestRunTrialsDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := graph.Path(2)
+	const k = 64
+	var want TrialStats
+	for run, workers := range []int{1, 2, 7, 64} {
+		cfg := Config{Seed: 5, Parallel: workers}
+		got, err := RunTrials(cfg, 99, k, coinTrial(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Trials != k || got.Sample == nil {
+			t.Fatalf("workers=%d: malformed stats %+v", workers, got)
+		}
+		if run == 0 {
+			want = got
+			// A 2-node coin protocol accepts with probability 1/4: the
+			// count must be interior, or the determinism check is vacuous.
+			if want.Accepts == 0 || want.Accepts == k {
+				t.Fatalf("degenerate acceptance count %d/%d", want.Accepts, k)
+			}
+			continue
+		}
+		if got.Accepts != want.Accepts {
+			t.Fatalf("workers=%d: accepts %d, want %d (scheduling leaked into results)",
+				workers, got.Accepts, want.Accepts)
+		}
+	}
+}
+
+// TestRunTrialsSaltSeparatesFamilies checks that distinct salts give
+// distinct trial families under one seed.
+func TestRunTrialsSaltSeparatesFamilies(t *testing.T) {
+	g := graph.Path(2)
+	cfg := Config{Seed: 5}
+	a, err := RunTrials(cfg, 1, 64, coinTrial(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(cfg, 2, 64, coinTrial(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepts == b.Accepts {
+		t.Logf("salts collided on counts (possible but unlikely): %d", a.Accepts)
+	}
+	if a.Rejects() != a.Trials-a.Accepts {
+		t.Fatal("Rejects inconsistent")
+	}
+	if est := a.Estimate(); est.Trials != 64 || est.Successes != a.Accepts {
+		t.Fatalf("estimate inconsistent: %+v", est)
+	}
+}
+
+// TestRunTrialsErrorIsLowestIndex pins deterministic error reporting.
+func TestRunTrialsErrorIsLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Config{Seed: 1, Parallel: 4}
+	_, err := RunTrials(cfg, 0, 32, func(i int, rng *rand.Rand) (*network.Result, error) {
+		if i >= 10 {
+			return nil, boom
+		}
+		return &network.Result{Accepted: true}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestRunTrialsAbortStopsNewWork ensures a failure stops the pool from
+// claiming the whole index space.
+func TestRunTrialsAbortStopsNewWork(t *testing.T) {
+	var ran int64
+	cfg := Config{Seed: 1, Parallel: 1}
+	_, err := RunTrials(cfg, 0, 1<<20, func(i int, rng *rand.Rand) (*network.Result, error) {
+		atomic.AddInt64(&ran, 1)
+		return nil, errors.New("fail fast")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt64(&ran); n > 8 {
+		t.Fatalf("pool kept running after failure: %d trials", n)
+	}
+}
+
+func TestRunFlagTrials(t *testing.T) {
+	cfg := Config{Seed: 3}
+	count, err := RunFlagTrials(cfg, 7, 100, func(i int, rng *rand.Rand) (bool, error) {
+		return rng.Intn(4) == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 || count == 100 {
+		t.Fatalf("degenerate count %d", count)
+	}
+	again, err := RunFlagTrials(cfg, 7, 100, func(i int, rng *rand.Rand) (bool, error) {
+		return rng.Intn(4) == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != count {
+		t.Fatalf("flag trials not reproducible: %d vs %d", again, count)
+	}
+}
+
+func TestTrialCountResolution(t *testing.T) {
+	if got := (Config{}).TrialCount(200, 6); got != 200 {
+		t.Fatalf("full default: %d", got)
+	}
+	if got := (Config{Quick: true}).TrialCount(200, 6); got != 6 {
+		t.Fatalf("quick default: %d", got)
+	}
+	if got := (Config{Quick: true, Trials: 77}).TrialCount(200, 6); got != 77 {
+		t.Fatalf("override: %d", got)
+	}
+	if DefaultTrials < 200 {
+		t.Fatalf("DefaultTrials = %d, must certify the 2/3 vs 1/3 gap", DefaultTrials)
+	}
+}

@@ -1,8 +1,8 @@
 // Package network implements the distributed interactive proof engine: the
 // runtime in which the paper's protocols execute.
 //
-// A run consists of a network graph G, one verifier goroutine per node, and
-// an untrusted prover. Rounds alternate between Arthur rounds (every node
+// A run consists of a network graph G, one verifier per node, and an
+// untrusted prover. Rounds alternate between Arthur rounds (every node
 // sends the prover an independent random challenge) and Merlin rounds (the
 // prover sends every node a response). After each Merlin round, every node
 // forwards the response it received to its neighbors, so that — as in
@@ -13,6 +13,21 @@
 // reject when a neighbor's copy differs, which is precisely the paper's
 // semantics (a cheating prover is free to send different "broadcast" values
 // and must be caught).
+//
+// Two interchangeable executors realize the model:
+//
+//   - The concurrent engine (Options.Concurrent) spawns one goroutine per
+//     node plus a prover driver and moves every message over a channel — a
+//     literal realization of the distributed system.
+//   - The sequential engine plays the same node steps round-robin on a
+//     single goroutine with no channels. Because every node draws from its
+//     own seeded RNG and the round structure is a global synchronous
+//     schedule, the two engines produce bit-identical results (Cost,
+//     Decisions, Transcript) for every protocol at a fixed seed; the test
+//     suite asserts this. The sequential engine is the default: a single
+//     run has no intrinsic parallelism, so the goroutine/channel overhead
+//     buys nothing, and independent runs parallelize better one level up
+//     (see internal/experiments.RunTrials).
 //
 // The engine meters every message at bit granularity. The headline figure,
 // Cost.MaxProverBits, is the paper's complexity measure: the maximum over
@@ -116,6 +131,14 @@ func Broadcast(n int, m wire.Message) *Response {
 // and the challenges from every completed Arthur round (indexed
 // [arthurRound][node]).
 type ProverView struct {
+	// Graph is the network graph itself, shared with the engine and the
+	// caller rather than cloned per run. It is read-only by contract:
+	// provers may inspect it freely (N, Neighbors, HasEdge, Clone, ...) but
+	// must not mutate it. The engine snapshots the adjacency lists before
+	// the first prover call, so a contract-violating prover cannot alter
+	// message routing or verifier decisions within the run — but it would
+	// corrupt the caller's graph for later runs, exactly as any caller
+	// mutating a shared *graph.Graph would.
 	Graph      *graph.Graph
 	Inputs     []wire.Message
 	Challenges [][]wire.Message
@@ -227,12 +250,21 @@ type Options struct {
 	Corrupt Corruptor
 	// RecordTranscript attaches a full message transcript to the Result.
 	RecordTranscript bool
+	// Sequential forces the single-goroutine scheduler; Concurrent forces
+	// the goroutine-per-node engine. Setting both is an error. When neither
+	// is set the engine auto-selects sequential: transcript recording and
+	// corruption injection are both driven synchronously by the round
+	// schedule, so no option requires real interleaving, and the two
+	// engines are bit-identical by construction (and by test).
+	Sequential bool
+	Concurrent bool
 }
 
 // validation errors returned by Run.
 var (
 	errNilGraph  = errors.New("network: nil graph")
 	errNilDecide = errors.New("network: spec has no Decide function")
+	errBothModes = errors.New("network: Options.Sequential and Options.Concurrent both set")
 )
 
 // Run executes the protocol described by spec on graph g with the given
@@ -246,6 +278,9 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 	}
 	if spec.Decide == nil {
 		return nil, errNilDecide
+	}
+	if opts.Sequential && opts.Concurrent {
+		return nil, errBothModes
 	}
 	n := g.N()
 	if inputs != nil && len(inputs) != n {
@@ -266,15 +301,37 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 		return &Result{Accepted: true, Cost: Cost{}}, nil
 	}
 
+	// Snapshot every adjacency list up front: both engines route messages
+	// exclusively through this snapshot, never through g after this point,
+	// which (a) removes the per-exchange Neighbors allocations and (b)
+	// insulates verifier decisions from a prover that violates the
+	// ProverView.Graph read-only contract mid-run.
+	nbrs := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbrs[v] = g.Neighbors(v)
+	}
+
 	e := &engine{
 		spec:   spec,
 		g:      g,
+		nbrs:   nbrs,
 		inputs: inputs,
 		prover: p,
 		opts:   opts,
 		n:      n,
 	}
-	return e.run()
+	e.cost = Cost{
+		ToProver:   make([]int, n),
+		FromProver: make([]int, n),
+		NodeToNode: make([]int, n),
+	}
+	if opts.RecordTranscript {
+		e.transcript = &Transcript{Name: spec.Name}
+	}
+	if opts.Concurrent {
+		return e.runConcurrent()
+	}
+	return e.runSequential()
 }
 
 // exchangeMsg is a neighbor-to-neighbor forwarded message. Messages carry
@@ -295,6 +352,7 @@ type challengeMsg struct {
 type engine struct {
 	spec   *Spec
 	g      *graph.Graph
+	nbrs   [][]int // adjacency snapshot, read-only during the run
 	inputs []wire.Message
 	prover Prover
 	opts   Options
@@ -321,7 +379,7 @@ type decision struct {
 	accept bool
 }
 
-func (e *engine) run() (*Result, error) {
+func (e *engine) runConcurrent() (*Result, error) {
 	e.challengeCh = make(chan challengeMsg, e.n)
 	e.respCh = make([]chan wire.Message, e.n)
 	e.exchCh = make([]chan exchangeMsg, e.n)
@@ -330,15 +388,10 @@ func (e *engine) run() (*Result, error) {
 		// A neighbor can run at most one exchange ahead (it cannot start
 		// exchange k+1 before receiving our exchange-k message), so two
 		// rounds of buffering make send-all-then-receive-all deadlock-free.
-		e.exchCh[v] = make(chan exchangeMsg, 2*e.g.Degree(v))
+		e.exchCh[v] = make(chan exchangeMsg, 2*len(e.nbrs[v]))
 	}
 	e.decisionCh = make(chan decision, e.n)
 	e.abortCh = make(chan struct{})
-	e.cost = Cost{
-		ToProver:   make([]int, e.n),
-		FromProver: make([]int, e.n),
-		NodeToNode: make([]int, e.n),
-	}
 
 	var wg sync.WaitGroup
 	for v := 0; v < e.n; v++ {
@@ -349,10 +402,7 @@ func (e *engine) run() (*Result, error) {
 		}(v)
 	}
 
-	if e.opts.RecordTranscript {
-		e.transcript = &Transcript{Name: e.spec.Name}
-	}
-	pv := &ProverView{Graph: e.g.Clone(), Inputs: e.inputs}
+	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
 	runErr := e.drive(pv)
 	if runErr != nil {
 		close(e.abortCh) // release blocked nodes
@@ -441,15 +491,8 @@ func respLen(r *Response) int {
 
 // nodeMain is the verifier goroutine for node v.
 func (e *engine) nodeMain(v int) {
-	rng := rand.New(rand.NewSource(mix(e.opts.Seed, int64(v))))
-	view := &NodeView{
-		V:           v,
-		NumVertices: e.n,
-		Neighbors:   e.g.Neighbors(v),
-	}
-	if e.inputs != nil {
-		view.Input = e.inputs[v]
-	}
+	rng := nodeRNG(e.opts.Seed, v)
+	view := e.newNodeView(v)
 	deg := len(view.Neighbors)
 	exchangeIdx := 0
 	var stash []exchangeMsg
@@ -504,7 +547,7 @@ func (e *engine) nodeMain(v int) {
 // idx-tagged message from each; messages from the next exchange that arrive
 // early are stashed. It returns false if the run was aborted.
 func (e *engine) exchange(v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
-	for _, u := range e.g.Neighbors(v) {
+	for _, u := range e.nbrs[v] {
 		select {
 		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: m}:
 		case <-e.abortCh:
@@ -538,6 +581,203 @@ func (e *engine) exchange(v, deg, idx int, m wire.Message, stash *[]exchangeMsg)
 	}
 	return got, true
 }
+
+// newNodeView builds node v's initial view from the adjacency snapshot.
+// The Neighbors slice is shared with the engine and must be treated as
+// read-only by Spec callbacks (all in-repo protocols only read it).
+func (e *engine) newNodeView(v int) *NodeView {
+	view := &NodeView{
+		V:           v,
+		NumVertices: e.n,
+		Neighbors:   e.nbrs[v],
+	}
+	if e.inputs != nil {
+		view.Input = e.inputs[v]
+	}
+	return view
+}
+
+// runSequential plays all node steps round-robin on the calling goroutine:
+// no channels, no per-node goroutines. Each node still owns a private RNG
+// seeded by mix(Seed, v) and its callbacks run in the same per-node order
+// as under the concurrent engine, so every random draw, message, cost
+// increment, transcript entry, and decision is bit-identical to a
+// concurrent run with the same seed and prover.
+func (e *engine) runSequential() (*Result, error) {
+	nA, nM := 0, 0
+	for _, r := range e.spec.Rounds {
+		if r.Kind == Arthur {
+			nA++
+		} else {
+			nM++
+		}
+	}
+	// Every node appends exactly nA challenges and nM responses over the
+	// run, so the per-node view slices can be carved out of shared backing
+	// arrays (capacity-clipped so an append can never cross into the next
+	// node's region). This replaces ~3n first-append allocations per run
+	// with three bulk ones; the node views, RNG sources, and RNGs get the
+	// same treatment.
+	myBack := make([]wire.Message, e.n*nA)
+	respBack := make([]wire.Message, e.n*nM)
+	nbrRespBack := make([]map[int]wire.Message, e.n*nM)
+	var nbrChalBack []map[int]wire.Message
+	if e.spec.ShareChallenges {
+		nbrChalBack = make([]map[int]wire.Message, e.n*nA)
+	}
+	sources := make([]splitmixSource, e.n)
+	rngs := make([]*rand.Rand, e.n)
+	views := make([]NodeView, e.n)
+	for v := 0; v < e.n; v++ {
+		sources[v] = nodeSource(e.opts.Seed, v)
+		rngs[v] = rand.New(&sources[v])
+		views[v] = NodeView{
+			V:                 v,
+			NumVertices:       e.n,
+			Neighbors:         e.nbrs[v],
+			MyChallenges:      myBack[v*nA : v*nA : (v+1)*nA],
+			Responses:         respBack[v*nM : v*nM : (v+1)*nM],
+			NeighborResponses: nbrRespBack[v*nM : v*nM : (v+1)*nM],
+		}
+		if e.spec.ShareChallenges {
+			views[v].NeighborChallenges = nbrChalBack[v*nA : v*nA : (v+1)*nA]
+		}
+		if e.inputs != nil {
+			views[v].Input = e.inputs[v]
+		}
+	}
+	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
+
+	merlinRound := 0
+	for _, round := range e.spec.Rounds {
+		switch round.Kind {
+		case Arthur:
+			challenges := make([]wire.Message, e.n)
+			for v := 0; v < e.n; v++ {
+				c := round.Challenge(v, rngs[v], &views[v])
+				views[v].MyChallenges = append(views[v].MyChallenges, c)
+				challenges[v] = c
+				e.cost.ToProver[v] += c.Bits
+			}
+			pv.Challenges = append(pv.Challenges, challenges)
+			if e.transcript != nil {
+				rec := make([]wire.Message, e.n)
+				copy(rec, challenges)
+				e.transcript.Rounds = append(e.transcript.Rounds,
+					TranscriptRound{Kind: Arthur, PerNode: rec})
+			}
+			if e.spec.ShareChallenges {
+				for v := 0; v < e.n; v++ {
+					views[v].NeighborChallenges = append(views[v].NeighborChallenges,
+						e.gatherSequential(v, challenges))
+				}
+			}
+		case Merlin:
+			resp, err := e.prover.Respond(merlinRound, pv)
+			if err != nil {
+				return nil, fmt.Errorf("network: protocol %q: prover round %d: %w",
+					e.spec.Name, merlinRound, err)
+			}
+			if resp == nil || len(resp.PerNode) != e.n {
+				return nil, fmt.Errorf("network: protocol %q: prover round %d: response for %d nodes, want %d",
+					e.spec.Name, merlinRound, respLen(resp), e.n)
+			}
+			delivered := make([]wire.Message, e.n)
+			for v := 0; v < e.n; v++ {
+				m := resp.PerNode[v]
+				e.cost.FromProver[v] += m.Bits
+				if e.opts.Corrupt != nil {
+					m = e.opts.Corrupt(merlinRound, v, m)
+				}
+				delivered[v] = m
+				views[v].Responses = append(views[v].Responses, m)
+			}
+			if e.transcript != nil {
+				rec := make([]wire.Message, e.n)
+				copy(rec, delivered)
+				e.transcript.Rounds = append(e.transcript.Rounds,
+					TranscriptRound{Kind: Merlin, PerNode: rec})
+			}
+			forwards := delivered
+			if round.Digest != nil {
+				forwards = make([]wire.Message, e.n)
+				for v := 0; v < e.n; v++ {
+					forwards[v] = round.Digest(v, rngs[v], delivered[v])
+				}
+			}
+			for v := 0; v < e.n; v++ {
+				views[v].NeighborResponses = append(views[v].NeighborResponses,
+					e.gatherSequential(v, forwards))
+			}
+			merlinRound++
+		}
+	}
+
+	decisions := make([]bool, e.n)
+	accepted := true
+	for v := 0; v < e.n; v++ {
+		decisions[v] = e.spec.Decide(v, &views[v])
+		accepted = accepted && decisions[v]
+	}
+	return &Result{
+		Accepted:   accepted,
+		Decisions:  decisions,
+		Cost:       e.cost,
+		Transcript: e.transcript,
+	}, nil
+}
+
+// gatherSequential is the sequential counterpart of exchange: node v sends
+// msgs[v] to each neighbor (charged to v's node-to-node cost) and receives
+// each neighbor u's msgs[u].
+func (e *engine) gatherSequential(v int, msgs []wire.Message) map[int]wire.Message {
+	nbrs := e.nbrs[v]
+	e.cost.NodeToNode[v] += len(nbrs) * msgs[v].Bits
+	got := make(map[int]wire.Message, len(nbrs))
+	for _, u := range nbrs {
+		got[u] = msgs[u]
+	}
+	return got
+}
+
+// nodeRNG builds node v's private randomness stream: a splitmix64 sequence
+// seeded by mix(seed, v). Both engines construct node RNGs exclusively
+// through this function — that shared construction is what makes their
+// random draws, and hence their results, bit-identical.
+//
+// The source is deliberately not math/rand's default: the lagged-Fibonacci
+// rngSource pays a ~10µs, 4.8KB initialization per node, which at n=256
+// dominates an entire engine run. splitmix64 seeds in O(1) with 8 bytes of
+// state; engine randomness only needs to be deterministic and
+// well-distributed, not cryptographic.
+func nodeRNG(seed int64, v int) *rand.Rand {
+	src := nodeSource(seed, v)
+	return rand.New(&src)
+}
+
+// nodeSource is nodeRNG's underlying source, exposed so the sequential
+// engine can place all n sources in one backing array.
+func nodeSource(seed int64, v int) splitmixSource {
+	return splitmixSource{state: uint64(mix(seed, int64(v)))}
+}
+
+// splitmixSource is a rand.Source64 running splitmix64 (Steele, Lea &
+// Flood's SplittableRandom output function over a Weyl sequence).
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
 
 // mix derives a per-node seed from the master seed (splitmix64 finalizer).
 func mix(seed, v int64) int64 {

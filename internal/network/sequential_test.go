@@ -1,0 +1,244 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"dip/internal/graph"
+	"dip/internal/wire"
+)
+
+// resultsIdentical fails the test unless a and b agree on acceptance,
+// per-node decisions, every cost counter, and (when recorded) every
+// transcript message bit-for-bit.
+func resultsIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Accepted != b.Accepted {
+		t.Fatalf("%s: Accepted %v vs %v", label, a.Accepted, b.Accepted)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("%s: decision counts differ", label)
+	}
+	for v := range a.Decisions {
+		if a.Decisions[v] != b.Decisions[v] {
+			t.Fatalf("%s: node %d decision %v vs %v", label, v, a.Decisions[v], b.Decisions[v])
+		}
+	}
+	costSlices := [][2][]int{
+		{a.Cost.ToProver, b.Cost.ToProver},
+		{a.Cost.FromProver, b.Cost.FromProver},
+		{a.Cost.NodeToNode, b.Cost.NodeToNode},
+	}
+	for i, pair := range costSlices {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: cost slice %d lengths differ", label, i)
+		}
+		for v := range pair[0] {
+			if pair[0][v] != pair[1][v] {
+				t.Fatalf("%s: cost slice %d node %d: %d vs %d",
+					label, i, v, pair[0][v], pair[1][v])
+			}
+		}
+	}
+	if (a.Transcript == nil) != (b.Transcript == nil) {
+		t.Fatalf("%s: transcript presence differs", label)
+	}
+	if a.Transcript == nil {
+		return
+	}
+	ta, tb := a.Transcript, b.Transcript
+	if len(ta.Rounds) != len(tb.Rounds) {
+		t.Fatalf("%s: transcript round counts %d vs %d", label, len(ta.Rounds), len(tb.Rounds))
+	}
+	for r := range ta.Rounds {
+		ra, rb := ta.Rounds[r], tb.Rounds[r]
+		if ra.Kind != rb.Kind || len(ra.PerNode) != len(rb.PerNode) {
+			t.Fatalf("%s: transcript round %d shape differs", label, r)
+		}
+		for v := range ra.PerNode {
+			ma, mb := ra.PerNode[v], rb.PerNode[v]
+			if ma.Bits != mb.Bits {
+				t.Fatalf("%s: round %d node %d bits %d vs %d", label, r, v, ma.Bits, mb.Bits)
+			}
+			for i := range ma.Data {
+				if ma.Data[i] != mb.Data[i] {
+					t.Fatalf("%s: round %d node %d byte %d differs", label, r, v, i)
+				}
+			}
+		}
+	}
+}
+
+// digestSpec exercises the Digest hook and multi-round RNG consumption.
+func digestSpec() *Spec {
+	return &Spec{
+		Name: "seq-digest",
+		Rounds: []Round{
+			challengeRound(16),
+			{Kind: Merlin, Digest: func(v int, rng *rand.Rand, m wire.Message) wire.Message {
+				var w wire.Writer
+				w.WriteUint(rng.Uint64()&0xFF, 8)
+				return w.Message()
+			}},
+			challengeRound(8),
+			{Kind: Merlin},
+		},
+		Decide: func(v int, view *NodeView) bool {
+			return len(view.Responses) == 2 &&
+				len(view.NeighborResponses[0]) == len(view.Neighbors)
+		},
+	}
+}
+
+// TestSequentialMatchesConcurrent runs a mix of specs, graphs, provers, and
+// options under both engines and requires bit-identical results.
+func TestSequentialMatchesConcurrent(t *testing.T) {
+	corrupt := func(round, node int, m wire.Message) wire.Message {
+		if node%3 != 1 || m.Bits == 0 {
+			return m
+		}
+		out := wire.Message{Data: append([]byte(nil), m.Data...), Bits: m.Bits}
+		out.Data[0] ^= 0x80
+		return out
+	}
+	shareSpec := &Spec{
+		Name:            "seq-share",
+		ShareChallenges: true,
+		Rounds:          []Round{challengeRound(8), {Kind: Merlin}},
+		Decide: func(v int, view *NodeView) bool {
+			return len(view.NeighborChallenges[0]) == len(view.Neighbors)
+		},
+	}
+	cases := []struct {
+		name   string
+		spec   *Spec
+		g      *graph.Graph
+		prover Prover
+		opts   Options
+	}{
+		{"echo-cycle", echoSpec(16), graph.Cycle(9), echoProver{}, Options{Seed: 1}},
+		{"echo-complete", echoSpec(32), graph.Complete(7), echoProver{}, Options{Seed: 2}},
+		{"echo-path-transcript", echoSpec(24), graph.Path(6), echoProver{},
+			Options{Seed: 3, RecordTranscript: true}},
+		{"lying", echoSpec(16), graph.Cycle(5), lyingProver{}, Options{Seed: 4}},
+		{"broadcast-liar", broadcastSpec(), graph.Path(5), broadcastProver{liar: 2}, Options{Seed: 5}},
+		{"corrupted", echoSpec(16), graph.Cycle(6), echoProver{},
+			Options{Seed: 6, Corrupt: corrupt, RecordTranscript: true}},
+		{"share-challenges", shareSpec, graph.Path(4), echoProver{}, Options{Seed: 7}},
+		{"digest-amam", digestSpec(), graph.Cycle(8), echoProver{},
+			Options{Seed: 8, RecordTranscript: true}},
+		{"single-node", echoSpec(8), graph.New(1), echoProver{}, Options{Seed: 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				opts := tc.opts
+				opts.Seed += seed * 1000
+				seqOpts, conOpts := opts, opts
+				seqOpts.Sequential = true
+				conOpts.Concurrent = true
+				seqRes, err := Run(tc.spec, tc.g, nil, tc.prover, seqOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conRes, err := Run(tc.spec, tc.g, nil, tc.prover, conOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsIdentical(t, tc.name, seqRes, conRes)
+			}
+		})
+	}
+}
+
+// TestAutoSelectsSequential pins the default: with neither mode forced, the
+// engine behaves exactly like the forced-sequential engine.
+func TestAutoSelectsSequential(t *testing.T) {
+	g := graph.Cycle(6)
+	auto, err := Run(echoSpec(16), g, nil, echoProver{}, Options{Seed: 11, RecordTranscript: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(echoSpec(16), g, nil, echoProver{},
+		Options{Seed: 11, RecordTranscript: true, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "auto-vs-sequential", auto, seq)
+}
+
+func TestBothModesRejected(t *testing.T) {
+	g := graph.Path(3)
+	_, err := Run(echoSpec(8), g, nil, echoProver{},
+		Options{Sequential: true, Concurrent: true})
+	if err == nil {
+		t.Fatal("conflicting mode options accepted")
+	}
+}
+
+// TestSequentialProverErrors mirrors the concurrent-engine error paths.
+func TestSequentialProverErrors(t *testing.T) {
+	g := graph.Path(3)
+	spec := &Spec{
+		Name:   "seq-err",
+		Rounds: []Round{{Kind: Merlin}},
+		Decide: func(int, *NodeView) bool { return true },
+	}
+	wrongShape := proverFunc(func(int, *ProverView) (*Response, error) {
+		return &Response{PerNode: make([]wire.Message, 1)}, nil
+	})
+	if _, err := Run(spec, g, nil, wrongShape, Options{Sequential: true}); err == nil {
+		t.Fatal("wrong-shape response accepted by sequential engine")
+	}
+}
+
+// mutatingProver echoes correctly but vandalizes the shared graph through
+// its view, violating the ProverView.Graph read-only contract. The engine
+// snapshot must keep routing and decisions unaffected within the run.
+type mutatingProver struct{}
+
+func (mutatingProver) Respond(_ int, view *ProverView) (*Response, error) {
+	n := view.Graph.N()
+	for v := 1; v < n; v++ {
+		view.Graph.RemoveEdge(0, v)
+	}
+	for v := 1; v < n; v++ {
+		if !view.Graph.HasEdge(0, v) && v > 1 {
+			view.Graph.AddEdge(0, v)
+		}
+	}
+	last := view.Challenges[len(view.Challenges)-1]
+	resp := &Response{PerNode: make([]wire.Message, len(last))}
+	copy(resp.PerNode, last)
+	return resp, nil
+}
+
+// TestProverMutationCannotAffectDecisions runs the echo protocol with a
+// prover that rewires the graph mid-run, under both engines: every node
+// must still receive its echo over the original topology and accept, with
+// costs identical to an honest run on the pristine graph.
+func TestProverMutationCannotAffectDecisions(t *testing.T) {
+	for _, mode := range []string{"sequential", "concurrent"} {
+		t.Run(mode, func(t *testing.T) {
+			opts := Options{Seed: 21}
+			if mode == "sequential" {
+				opts.Sequential = true
+			} else {
+				opts.Concurrent = true
+			}
+			honest, err := Run(echoSpec(16), graph.Cycle(8), nil, echoProver{}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := graph.Cycle(8)
+			mutated, err := Run(echoSpec(16), g, nil, mutatingProver{}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mutated.Accepted {
+				t.Fatalf("mutating prover changed decisions: %v", mutated.Decisions)
+			}
+			resultsIdentical(t, "mutation-immunity", honest, mutated)
+		})
+	}
+}

@@ -71,6 +71,32 @@ func ChernoffTrials(eps, delta float64) int {
 	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
 }
 
+// CertifyingTrials returns a trial count sufficient to separate the
+// paper's completeness (> 2/3) and soundness (< 1/3) thresholds: enough
+// repetitions that a protocol whose true acceptance probability is at
+// least atLeast bounded away from the threshold yields a Wilson interval
+// excluding it. Concretely it takes the Hoeffding count for estimating
+// within margin at confidence 1-delta, so an observed rate of 1.0 (resp.
+// 0.0) certifies p > 1 - 2·margin (resp. p < 2·margin).
+func CertifyingTrials(margin, delta float64) int {
+	return ChernoffTrials(margin, delta)
+}
+
+// DeriveSeed deterministically derives the seed of an independent random
+// stream from a base seed and a stream index, using the splitmix64
+// finalizer. Trial i of an experiment draws all randomness from
+// DeriveSeed(seed, i), making per-trial results independent of worker
+// scheduling: the harness can replay any trial in isolation.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(stream)*0xD1342543DE82EF95 + 0x2545F4914F6CDD1D
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

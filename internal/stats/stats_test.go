@@ -82,3 +82,42 @@ func TestMaxInt(t *testing.T) {
 		t.Fatalf("MaxInt = %v", got)
 	}
 }
+
+// TestDeriveSeedStreams pins the properties RunTrials depends on:
+// determinism, and distinct streams for distinct (seed, index) pairs.
+func TestDeriveSeedStreams(t *testing.T) {
+	if DeriveSeed(1, 2) != DeriveSeed(1, 2) {
+		t.Fatal("not deterministic")
+	}
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		for stream := int64(0); stream < 256; stream++ {
+			z := DeriveSeed(seed, stream)
+			if seen[z] {
+				t.Fatalf("collision at (%d, %d)", seed, stream)
+			}
+			seen[z] = true
+		}
+	}
+	// Nearby inputs must not give nearby outputs (the harness feeds
+	// consecutive trial indices).
+	if d := DeriveSeed(1, 0) - DeriveSeed(1, 1); d > -1000 && d < 1000 {
+		t.Fatalf("consecutive streams too close: delta %d", d)
+	}
+}
+
+// TestCertifyingTrials checks that the planned count separates the paper's
+// 2/3 vs 1/3 thresholds: an observed rate of 1 over that many trials has a
+// Wilson lower bound above 2/3, and rate 0 an upper bound below 1/3.
+func TestCertifyingTrials(t *testing.T) {
+	n := CertifyingTrials(1.0/8, 0.005)
+	if n <= 0 {
+		t.Fatal("no trials planned")
+	}
+	if lo, _ := WilsonInterval(n, n, 1.96); lo <= 2.0/3 {
+		t.Fatalf("lo = %v at %d/%d: cannot certify completeness > 2/3", lo, n, n)
+	}
+	if _, hi := WilsonInterval(0, n, 1.96); hi >= 1.0/3 {
+		t.Fatalf("hi = %v at 0/%d: cannot certify soundness < 1/3", hi, n)
+	}
+}
