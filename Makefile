@@ -1,10 +1,19 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench tables tables-quick clean
+.PHONY: verify lint vet build test race smoke bench tables tables-quick clean
 
-# verify is the tier-1 gate plus the race check on the two packages with
-# real concurrency (the concurrent engine and the trial-harness pool).
-verify: vet build test race
+# verify is the tier-1 gate: lint, build, tests, the race check on the two
+# packages with real concurrency (the concurrent engine and the
+# trial-harness pool), and a results-file smoke round-trip.
+verify: lint build test race smoke
+
+# lint fails on unformatted files or vet findings.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -18,13 +27,21 @@ test:
 race:
 	$(GO) test -race ./internal/network/... ./internal/experiments/...
 
+# smoke emits a quick machine-readable benchmark file and round-trips it
+# through the schema validator.
+smoke:
+	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json /tmp/dip-bench-smoke.json >/dev/null
+	$(GO) run ./cmd/dipbench -validate /tmp/dip-bench-smoke.json
+
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 2s .
 
-# tables regenerates every EXPERIMENTS.md table at full trial counts.
+# tables regenerates every EXPERIMENTS.md table at full trial counts and
+# the committed BENCH_seed1.json sidecar (quick sizes, like CI checks).
 tables:
 	$(GO) run ./cmd/dipbench -seed 1
+	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json BENCH_seed1.json >/dev/null
 
 tables-quick:
 	$(GO) run ./cmd/dipbench -seed 1 -quick

@@ -10,18 +10,30 @@
 //	dipbench -seed 7          # change the reproducibility seed
 //	dipbench -trials 500      # override the per-cell trial count
 //	dipbench -parallel 2      # cap the trial-harness worker count
+//	dipbench -json out.json   # also emit machine-readable results
+//	dipbench -validate x.json # check a results file against the schema
+//	dipbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Tables are reproducible for a fixed -seed regardless of -parallel: each
-// trial's randomness is derived from (seed, experiment, trial index) alone.
+// trial's randomness is derived from (seed, experiment, trial index)
+// alone. The -json file is likewise byte-identical across -parallel and
+// GOMAXPROCS settings, so committed BENCH_*.json artifacts diff cleanly
+// across PRs; -json-timings adds a non-reproducible timings block (wall
+// times, worker count, engine meters) for profiling sessions. Long runs
+// report live progress (trials per cell, ETA) on stderr; silence it with
+// -progress=false.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dip/internal/experiments"
+	"dip/internal/obs"
 )
 
 func main() {
@@ -33,15 +45,50 @@ func main() {
 
 func run() error {
 	var (
-		which    = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
-		seed     = flag.Int64("seed", 1, "reproducibility seed")
-		quick    = flag.Bool("quick", false, "reduced sizes and trial counts")
-		trials   = flag.Int("trials", 0, "override the per-cell trial count (0 = experiment default)")
-		parallel = flag.Int("parallel", 0, "trial-harness worker count (0 = GOMAXPROCS)")
+		which       = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		seed        = flag.Int64("seed", 1, "reproducibility seed")
+		quick       = flag.Bool("quick", false, "reduced sizes and trial counts")
+		trials      = flag.Int("trials", 0, "override the per-cell trial count (0 = experiment default)")
+		parallel    = flag.Int("parallel", 0, "trial-harness worker count (0 = GOMAXPROCS)")
+		jsonPath    = flag.String("json", "", "write machine-readable results to this path")
+		jsonTimings = flag.Bool("json-timings", false, "include the non-reproducible timings block in -json output")
+		progress    = flag.Bool("progress", true, "report live per-cell progress on stderr")
+		validate    = flag.String("validate", "", "validate an existing results file against the schema and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
+	if *validate != "" {
+		f, err := experiments.ReadResultsFile(*validate)
+		if err != nil {
+			return err
+		}
+		cells := 0
+		for _, e := range f.Experiments {
+			cells += len(e.Cells)
+		}
+		fmt.Printf("%s: valid %s results (seed %d, %d experiments, %d cells)\n",
+			*validate, f.Schema, f.Seed, len(f.Experiments), cells)
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, Parallel: *parallel}
+	if *progress {
+		cfg.Progress = obs.NewReporter(os.Stderr)
+	}
 	runners := experiments.All()
 	if *which != "all" {
 		r, ok := experiments.ByID(*which)
@@ -51,14 +98,71 @@ func run() error {
 		runners = []experiments.Runner{r}
 	}
 
+	results := &experiments.ResultsFile{
+		Schema:         experiments.Schema,
+		Tool:           "dipbench",
+		Seed:           *seed,
+		Quick:          *quick,
+		TrialsOverride: *trials,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+	}
+	var timings experiments.Timings
+	totalStart := time.Now()
+
 	for _, r := range runners {
 		start := time.Now()
+		rec := &experiments.Recorder{}
+		cfg.Recorder = rec
+		cfg.Progress.SetLabel(r.ID)
 		table, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(table.Format())
-		fmt.Printf("(%s finished in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
+
+		results.Experiments = append(results.Experiments, experiments.ExperimentResult{
+			ID:      table.ID,
+			Title:   table.Title,
+			Columns: table.Columns,
+			Rows:    table.Rows,
+			Notes:   table.Notes,
+			Cells:   rec.Cells(),
+		})
+		timings.Experiments = append(timings.Experiments, experiments.ExperimentTiming{
+			ID:     table.ID,
+			WallMS: elapsed.Milliseconds(),
+		})
+	}
+
+	if *jsonPath != "" {
+		if *jsonTimings {
+			timings.Parallel = *parallel
+			timings.GoVersion = runtime.Version()
+			timings.TotalWallMS = time.Since(totalStart).Milliseconds()
+			timings.Engine = obs.Snapshot()
+			results.Timings = &timings
+		}
+		if err := results.Validate(); err != nil {
+			return fmt.Errorf("internal: generated results fail validation: %w", err)
+		}
+		if err := results.WriteFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

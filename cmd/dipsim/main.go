@@ -1,6 +1,7 @@
 // Command dipsim runs a single interactive distributed proof on a single
 // generated graph and prints the outcome and the exact per-node
-// communication cost.
+// communication cost, including the per-round breakdown at the
+// worst-cost node.
 //
 // Usage:
 //
@@ -10,63 +11,110 @@
 //	dipsim -protocol gni      -n 6 -k 30
 //	dipsim -protocol gni-marked -n 6 -k 30
 //	dipsim -protocol sym-lcp  -graph doubled -n 20
+//	dipsim -protocol gni -n 6 -json -        # machine-readable result
 //
 // Graph kinds for the Sym protocols: cycle, complete, star, path, doubled
 // (a random rigid graph and its mirror joined by a bridge — always
-// symmetric), asymmetric (a random rigid graph — never symmetric).
+// symmetric; requires an even -n ≥ 14), asymmetric (a random rigid graph
+// — never symmetric; requires -n ≥ 6).
+//
+// -json writes a versioned JSON record of the run to the given path
+// ("-" for stdout) alongside the human-readable report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"dip/internal/core"
+	"dip/internal/experiments"
 	"dip/internal/graph"
 	"dip/internal/network"
 )
 
 func main() {
-	if err := run(); err != nil {
+	opts := parseFlags(os.Args[1:])
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dipsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		protocol = flag.String("protocol", "sym-dmam", "sym-dmam | sym-dam | dsym-dam | gni | gni-marked | sym-lcp | gni-lcp")
-		kind     = flag.String("graph", "doubled", "cycle | complete | star | path | doubled | asymmetric")
-		n        = flag.Int("n", 16, "graph size (total vertices; for doubled/asymmetric the rigid core is sized to match)")
-		side     = flag.Int("side", 8, "DSym: vertices per dumbbell side")
-		half     = flag.Int("half", 1, "DSym: half-length of the connecting path")
-		k        = flag.Int("k", 30, "GNI: parallel repetitions")
-		seed     = flag.Int64("seed", 1, "reproducibility seed")
-		verbose  = flag.Bool("v", false, "print the full message transcript")
-	)
-	flag.Parse()
-	rng := rand.New(rand.NewSource(*seed))
-	opts := network.Options{Seed: *seed, RecordTranscript: *verbose}
+// simOptions carries the parsed command line; separated from flag
+// parsing so tests can drive run() directly.
+type simOptions struct {
+	protocol string
+	kind     string
+	n        int
+	side     int
+	half     int
+	k        int
+	seed     int64
+	verbose  bool
+	jsonPath string
+}
+
+func parseFlags(args []string) simOptions {
+	var o simOptions
+	fs := flag.NewFlagSet("dipsim", flag.ExitOnError)
+	fs.StringVar(&o.protocol, "protocol", "sym-dmam", "sym-dmam | sym-dam | dsym-dam | gni | gni-marked | sym-lcp | gni-lcp")
+	fs.StringVar(&o.kind, "graph", "doubled", "cycle | complete | star | path | doubled | asymmetric")
+	fs.IntVar(&o.n, "n", 16, "graph size (total vertices; doubled needs an even n >= 14, asymmetric n >= 6)")
+	fs.IntVar(&o.side, "side", 8, "DSym: vertices per dumbbell side")
+	fs.IntVar(&o.half, "half", 1, "DSym: half-length of the connecting path")
+	fs.IntVar(&o.k, "k", core.DefaultGNIRepetitions, "GNI: parallel repetitions")
+	fs.Int64Var(&o.seed, "seed", 1, "reproducibility seed")
+	fs.BoolVar(&o.verbose, "v", false, "print the full message transcript")
+	fs.StringVar(&o.jsonPath, "json", "", "write a machine-readable result to this path ('-' for stdout)")
+	fs.Parse(args)
+	return o
+}
+
+// simRecord is the versioned machine-readable record of a single run.
+type simRecord struct {
+	Schema    string                   `json:"schema"`
+	Protocol  string                   `json:"protocol"`
+	Graph     string                   `json:"graph"`
+	Nodes     int                      `json:"nodes"`
+	Seed      int64                    `json:"seed"`
+	Accepted  bool                     `json:"accepted"`
+	Rejecting int                      `json:"rejecting_nodes"`
+	Cost      *experiments.CostSummary `json:"cost"`
+}
+
+// simSchema versions the -json output of dipsim.
+const simSchema = "dip-sim/v1"
+
+func run(o simOptions, stdout io.Writer) error {
+	rng := rand.New(rand.NewSource(o.seed))
+	opts := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
 
 	var res *network.Result
 	var err error
-	switch *protocol {
+	graphDesc := ""
+	nodes := 0
+	switch o.protocol {
 	case "sym-dmam", "sym-dam", "sym-lcp":
-		g, gerr := makeGraph(*kind, *n, rng)
+		g, gerr := makeGraph(o.kind, o.n, rng)
 		if gerr != nil {
 			return gerr
 		}
-		fmt.Printf("graph: %s (%d vertices, %d edges)\n", *kind, g.N(), g.NumEdges())
-		switch *protocol {
+		nodes = g.N()
+		graphDesc = fmt.Sprintf("%s (%d vertices, %d edges)", o.kind, g.N(), g.NumEdges())
+		fmt.Fprintf(stdout, "graph: %s\n", graphDesc)
+		switch o.protocol {
 		case "sym-dmam":
-			proto, perr := core.NewSymDMAM(g.N(), *seed)
+			proto, perr := core.NewSymDMAM(g.N(), o.seed)
 			if perr != nil {
 				return perr
 			}
 			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
 		case "sym-dam":
-			proto, perr := core.NewSymDAM(g.N(), *seed)
+			proto, perr := core.NewSymDAM(g.N(), o.seed)
 			if perr != nil {
 				return perr
 			}
@@ -79,31 +127,35 @@ func run() error {
 			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
 		}
 	case "dsym-dam":
-		f := graph.ConnectedGNP(*side, 0.5, rng)
-		g := graph.DSymGraph(f, *half)
-		fmt.Printf("graph: DSym dumbbell (side %d, path half-length %d, %d vertices)\n",
-			*side, *half, g.N())
-		proto, perr := core.NewDSymDAM(*side, *half, *seed)
+		f := graph.ConnectedGNP(o.side, 0.5, rng)
+		g := graph.DSymGraph(f, o.half)
+		nodes = g.N()
+		graphDesc = fmt.Sprintf("DSym dumbbell (side %d, path half-length %d, %d vertices)",
+			o.side, o.half, g.N())
+		fmt.Fprintf(stdout, "graph: %s\n", graphDesc)
+		proto, perr := core.NewDSymDAM(o.side, o.half, o.seed)
 		if perr != nil {
 			return perr
 		}
 		res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
 	case "gni", "gni-lcp":
-		inst, ierr := core.NewGNIYesInstance(*n, rng)
+		inst, ierr := core.NewGNIYesInstance(o.n, rng)
 		if ierr != nil {
 			return ierr
 		}
-		fmt.Printf("instance: two non-isomorphic rigid graphs on %d vertices\n", *n)
-		if *protocol == "gni" {
-			proto, perr := core.NewGNIDAMAM(*n, *k, *seed)
+		nodes = inst.G0.N()
+		graphDesc = fmt.Sprintf("two non-isomorphic rigid graphs on %d vertices", o.n)
+		fmt.Fprintf(stdout, "instance: %s\n", graphDesc)
+		if o.protocol == "gni" {
+			proto, perr := core.NewGNIDAMAM(o.n, o.k, o.seed)
 			if perr != nil {
 				return perr
 			}
-			fmt.Printf("repetitions: %d (threshold %d)\n", proto.K(), proto.Threshold())
+			fmt.Fprintf(stdout, "repetitions: %d (threshold %d)\n", proto.K(), proto.Threshold())
 			res, err = network.Run(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
 				proto.HonestProver(), opts)
 		} else {
-			proto, perr := core.NewGNILCP(*n)
+			proto, perr := core.NewGNILCP(o.n)
 			if perr != nil {
 				return perr
 			}
@@ -111,14 +163,14 @@ func run() error {
 				proto.HonestProver(), opts)
 		}
 	case "gni-marked":
-		a, aerr := graph.RandomAsymmetricConnected(*n, rng)
+		a, aerr := graph.RandomAsymmetricConnected(o.n, rng)
 		if aerr != nil {
 			return aerr
 		}
 		var b *graph.Graph
 		for {
 			var berr error
-			if b, berr = graph.RandomAsymmetricConnected(*n, rng); berr != nil {
+			if b, berr = graph.RandomAsymmetricConnected(o.n, rng); berr != nil {
 				return berr
 			}
 			if !graph.AreIsomorphic(a, b) {
@@ -127,65 +179,104 @@ func run() error {
 		}
 		b, _ = b.Shuffle(rng)
 		const hubs = 3
-		total := 2*(*n) + hubs
+		total := 2*o.n + hubs
 		g := graph.New(total)
 		marks := make([]core.Mark, total)
-		for v := 0; v < *n; v++ {
+		for v := 0; v < o.n; v++ {
 			marks[v] = core.MarkZero
-			marks[v+*n] = core.MarkOne
+			marks[v+o.n] = core.MarkOne
 		}
-		for v := 2 * (*n); v < total; v++ {
+		for v := 2 * o.n; v < total; v++ {
 			marks[v] = core.MarkNone
 		}
 		for _, e := range a.Edges() {
 			g.AddEdge(e[0], e[1])
 		}
 		for _, e := range b.Edges() {
-			g.AddEdge(e[0]+*n, e[1]+*n)
+			g.AddEdge(e[0]+o.n, e[1]+o.n)
 		}
-		for v := 0; v < 2*(*n); v++ {
-			g.AddEdge(v, 2*(*n)+v%hubs)
+		for v := 0; v < 2*o.n; v++ {
+			g.AddEdge(v, 2*o.n+v%hubs)
 		}
 		for h := 1; h < hubs; h++ {
-			g.AddEdge(2*(*n), 2*(*n)+h)
+			g.AddEdge(2*o.n, 2*o.n+h)
 		}
-		fmt.Printf("instance: %d-node network, two rigid non-isomorphic induced %d-vertex subgraphs\n",
-			total, *n)
-		proto, perr := core.NewMarkedGNI(total, *n, *k, *seed)
+		nodes = total
+		graphDesc = fmt.Sprintf("%d-node network, two rigid non-isomorphic induced %d-vertex subgraphs",
+			total, o.n)
+		fmt.Fprintf(stdout, "instance: %s\n", graphDesc)
+		proto, perr := core.NewMarkedGNI(total, o.n, o.k, o.seed)
 		if perr != nil {
 			return perr
 		}
-		fmt.Printf("repetitions: %d (threshold %d)\n", proto.Reps(), proto.Threshold())
+		fmt.Fprintf(stdout, "repetitions: %d (threshold %d)\n", proto.Reps(), proto.Threshold())
 		inputs, ierr := core.EncodeMarks(marks)
 		if ierr != nil {
 			return ierr
 		}
 		res, err = network.Run(proto.Spec(), g, inputs, proto.HonestProver(), opts)
 	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+		return fmt.Errorf("unknown protocol %q", o.protocol)
 	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("accepted: %v\n", res.Accepted)
 	rejecting := 0
 	for _, d := range res.Decisions {
 		if !d {
 			rejecting++
 		}
 	}
-	fmt.Printf("rejecting nodes: %d / %d\n", rejecting, len(res.Decisions))
-	fmt.Printf("max prover bits per node: %d\n", res.Cost.MaxProverBits())
-	fmt.Printf("total prover bits:        %d\n", res.Cost.TotalProverBits())
-	fmt.Printf("max node-to-node bits:    %d\n", res.Cost.MaxNodeToNodeBits())
-	if *verbose && res.Transcript != nil {
-		fmt.Println()
-		fmt.Print(res.Transcript)
+	cost := experiments.SummarizeCost(&res.Cost)
+
+	fmt.Fprintf(stdout, "accepted: %v\n", res.Accepted)
+	fmt.Fprintf(stdout, "rejecting nodes: %d / %d\n", rejecting, len(res.Decisions))
+	fmt.Fprintf(stdout, "max prover bits per node: %d\n", cost.MaxProverBits)
+	fmt.Fprintf(stdout, "total prover bits:        %d\n", cost.TotalProverBits)
+	fmt.Fprintf(stdout, "max node-to-node bits:    %d\n", cost.MaxNodeToNodeBits)
+	fmt.Fprintf(stdout, "per-round bits at node %d (the max-cost node):\n", cost.MaxNode)
+	for ri, r := range cost.PerRound {
+		fmt.Fprintf(stdout, "  round %d (%s): to prover %d, from prover %d, to neighbors %d\n",
+			ri, r.Kind, r.ToProver, r.FromProver, r.NodeToNode)
+	}
+	if o.verbose && res.Transcript != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, res.Transcript)
+	}
+
+	if o.jsonPath != "" {
+		rec := simRecord{
+			Schema:    simSchema,
+			Protocol:  o.protocol,
+			Graph:     graphDesc,
+			Nodes:     nodes,
+			Seed:      o.seed,
+			Accepted:  res.Accepted,
+			Rejecting: rejecting,
+			Cost:      cost,
+		}
+		data, merr := json.MarshalIndent(&rec, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		data = append(data, '\n')
+		if o.jsonPath == "-" {
+			_, werr := stdout.Write(data)
+			return werr
+		}
+		if werr := os.WriteFile(o.jsonPath, data, 0o644); werr != nil {
+			return werr
+		}
 	}
 	return nil
 }
 
+// makeGraph builds the network graph for the Sym protocols. For the
+// random kinds it validates n instead of silently resizing: "doubled"
+// graphs have 2·base+2 vertices with a rigid core of base ≥ 6 vertices,
+// so n must be even and at least 14 (and then g.N() == n exactly);
+// "asymmetric" needs n ≥ 6 (no rigid graph exists below that).
 func makeGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {
 	switch kind {
 	case "cycle":
@@ -197,18 +288,17 @@ func makeGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {
 	case "path":
 		return graph.Path(n), nil
 	case "doubled":
-		base := (n - 2) / 2
-		if base < 6 {
-			base = 6
+		if n < 14 || n%2 != 0 {
+			return nil, fmt.Errorf("graph kind %q needs an even size of at least 14 (2·base+2 with a rigid base of >= 6 vertices), got -n %d", kind, n)
 		}
-		core, err := graph.RandomAsymmetricConnected(base, rng)
+		core, err := graph.RandomAsymmetricConnected((n-2)/2, rng)
 		if err != nil {
 			return nil, err
 		}
 		return graph.Doubled(core, 0), nil
 	case "asymmetric":
 		if n < 6 {
-			n = 6
+			return nil, fmt.Errorf("graph kind %q needs a size of at least 6 (no rigid connected graph is smaller), got -n %d", kind, n)
 		}
 		return graph.RandomAsymmetricConnected(n, rng)
 	default:

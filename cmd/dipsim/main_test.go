@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dip/internal/core"
+)
+
+// TestMakeGraphValidatesRandomKinds is the regression test for the
+// silent-resize bug: unsatisfiable -n values must error instead of
+// producing a graph of a different size.
+func TestMakeGraphValidatesRandomKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		kind string
+		n    int
+		want string // substring of the error; "" = must succeed with g.N()==n
+	}{
+		{"doubled", 12, "at least 14"},
+		{"doubled", 15, "even size"},
+		{"doubled", 14, ""},
+		{"doubled", 16, ""},
+		{"asymmetric", 4, "at least 6"},
+		{"asymmetric", 6, ""},
+		{"nonsense", 10, "unknown graph kind"},
+	}
+	for _, tc := range cases {
+		g, err := makeGraph(tc.kind, tc.n, rng)
+		if tc.want != "" {
+			if err == nil {
+				t.Fatalf("makeGraph(%q, %d) succeeded, want error", tc.kind, tc.n)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("makeGraph(%q, %d) error %q, want mention of %q", tc.kind, tc.n, err, tc.want)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("makeGraph(%q, %d): %v", tc.kind, tc.n, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("makeGraph(%q, %d) built %d vertices, want exactly %d", tc.kind, tc.n, g.N(), tc.n)
+		}
+	}
+}
+
+// TestRunReportsGraphErrors drives the CLI entry point end to end with an
+// unsatisfiable size.
+func TestRunReportsGraphErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := run(simOptions{protocol: "sym-dmam", kind: "doubled", n: 12, seed: 1}, &out)
+	if err == nil || !strings.Contains(err.Error(), "at least 14") {
+		t.Fatalf("run with -n 12 returned %v, want the size error", err)
+	}
+}
+
+// TestKFlagDefaultsToSharedConstant pins the -k default to the shared
+// repetition constant (it used to be an out-of-sync literal 30 while the
+// library used 40).
+func TestKFlagDefaultsToSharedConstant(t *testing.T) {
+	o := parseFlags(nil)
+	if o.k != core.DefaultGNIRepetitions {
+		t.Fatalf("-k default = %d, want core.DefaultGNIRepetitions (%d)", o.k, core.DefaultGNIRepetitions)
+	}
+}
+
+// TestRunEmitsJSON smoke-tests the machine-readable output: valid JSON,
+// right schema, and per-round prover bits that sum to the aggregate.
+func TestRunEmitsJSON(t *testing.T) {
+	var out bytes.Buffer
+	o := simOptions{protocol: "sym-dmam", kind: "cycle", n: 8, k: 1, seed: 1, jsonPath: "-"}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	start := strings.Index(text, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", text)
+	}
+	var rec simRecord
+	if err := json.Unmarshal([]byte(text[start:]), &rec); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, text[start:])
+	}
+	if rec.Schema != simSchema {
+		t.Fatalf("schema %q, want %q", rec.Schema, simSchema)
+	}
+	if rec.Nodes != 8 || rec.Cost == nil {
+		t.Fatalf("malformed record: %+v", rec)
+	}
+	sum := 0
+	for _, r := range rec.Cost.PerRound {
+		sum += r.ToProver + r.FromProver
+	}
+	if sum != rec.Cost.MaxProverBits {
+		t.Fatalf("per-round sum %d != max_prover_bits %d", sum, rec.Cost.MaxProverBits)
+	}
+	if !strings.Contains(text, "per-round bits at node") {
+		t.Fatalf("human-readable per-round section missing:\n%s", text)
+	}
+}

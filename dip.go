@@ -31,9 +31,23 @@ type Options struct {
 	// yield identical node randomness. The prover additionally derives its
 	// hash moduli from Seed.
 	Seed int64
-	// Repetitions is the parallel-repetition count of the GNI protocol
-	// (ignored elsewhere). 0 selects the default of 40.
+	// Repetitions is the parallel-repetition count of the GNI protocols
+	// (ignored elsewhere). 0 selects core.DefaultGNIRepetitions;
+	// negative values are rejected with an error.
 	Repetitions int
+}
+
+// resolveRepetitions maps Options.Repetitions onto a concrete count: 0
+// selects the shared default, negatives are invalid.
+func resolveRepetitions(reps int) (int, error) {
+	if reps < 0 {
+		return 0, fmt.Errorf("dip: Repetitions must be non-negative, got %d (0 selects the default of %d)",
+			reps, core.DefaultGNIRepetitions)
+	}
+	if reps == 0 {
+		return core.DefaultGNIRepetitions, nil
+	}
+	return reps, nil
 }
 
 // Report summarizes a protocol run.
@@ -163,9 +177,9 @@ func ProveNonIsomorphism(n int, edges0, edges1 [][2]int, opts Options) (Report, 
 	if err != nil {
 		return Report{}, err
 	}
-	k := opts.Repetitions
-	if k == 0 {
-		k = 40
+	k, err := resolveRepetitions(opts.Repetitions)
+	if err != nil {
+		return Report{}, err
 	}
 	proto, err := core.NewGNIDAMAM(n, k, opts.Seed)
 	if err != nil {
@@ -243,9 +257,9 @@ func ProveNonIsomorphismGeneral(n int, edges0, edges1 [][2]int, opts Options) (R
 	if err != nil {
 		return Report{}, err
 	}
-	k := opts.Repetitions
-	if k == 0 {
-		k = 40
+	k, err := resolveRepetitions(opts.Repetitions)
+	if err != nil {
+		return Report{}, err
 	}
 	proto, err := core.NewGNIGeneral(n, k, opts.Seed)
 	if err != nil {
@@ -309,9 +323,9 @@ func ProveInducedNonIsomorphism(n int, edges [][2]int, marks []int, opts Options
 			return Report{}, fmt.Errorf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
 		}
 	}
-	reps := opts.Repetitions
-	if reps == 0 {
-		reps = 40
+	reps, err := resolveRepetitions(opts.Repetitions)
+	if err != nil {
+		return Report{}, err
 	}
 	proto, err := core.NewMarkedGNI(n, k, reps, opts.Seed)
 	if err != nil {

@@ -2,8 +2,10 @@ package dip
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"dip/internal/core"
 	"dip/internal/graph"
 )
 
@@ -264,5 +266,29 @@ func TestProveInducedNonIsomorphism(t *testing.T) {
 	}
 	if _, err := ProveInducedNonIsomorphism(2, nil, []int{0, 7}, Options{}); err == nil {
 		t.Fatal("invalid mark accepted")
+	}
+}
+
+// TestRepetitionsValidation pins the shared repetition-count resolution:
+// negatives are rejected up front with a clear error, zero selects the
+// library-wide default (which dipsim's -k flag shares).
+func TestRepetitionsValidation(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	_, err := ProveNonIsomorphism(3, edges, edges, Options{Repetitions: -1})
+	if err == nil || !strings.Contains(err.Error(), "must be non-negative") {
+		t.Fatalf("negative Repetitions returned %v, want validation error", err)
+	}
+	if _, err := ProveNonIsomorphismGeneral(3, edges, edges, Options{Repetitions: -7}); err == nil {
+		t.Fatal("negative Repetitions accepted by ProveNonIsomorphismGeneral")
+	}
+	if _, err := ProveInducedNonIsomorphism(3, edges, []int{0, 1, -1}, Options{Repetitions: -7}); err == nil {
+		t.Fatal("negative Repetitions accepted by ProveInducedNonIsomorphism")
+	}
+	if k, err := resolveRepetitions(0); err != nil || k != core.DefaultGNIRepetitions {
+		t.Fatalf("resolveRepetitions(0) = %d, %v; want the shared default %d",
+			k, err, core.DefaultGNIRepetitions)
+	}
+	if k, err := resolveRepetitions(12); err != nil || k != 12 {
+		t.Fatalf("resolveRepetitions(12) = %d, %v", k, err)
 	}
 }

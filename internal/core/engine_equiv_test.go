@@ -150,8 +150,41 @@ func TestEngineEquivalenceAllProtocols(t *testing.T) {
 						seqRes.Accepted, seqRes.Decisions, seqRes.Cost,
 						conRes.Accepted, conRes.Decisions, conRes.Cost)
 				}
+				// The DeepEqual above proves the engines agree on the
+				// per-round breakdown; check it is also internally
+				// consistent — every round charged, nothing double-counted.
+				checkPerRoundSums(t, seed, &seqRes.Cost)
 			}
 		})
+	}
+}
+
+// checkPerRoundSums asserts that a run's per-round cost breakdown
+// decomposes the aggregate accounting exactly: for every node and every
+// direction, the per-round entries sum to the aggregate slice, and the
+// per-round prover bits at the argmax node reconstruct MaxProverBits.
+func checkPerRoundSums(t *testing.T, seed int64, c *network.Cost) {
+	t.Helper()
+	for v := range c.ToProver {
+		to, from, nbr := 0, 0, 0
+		for k := range c.PerRound {
+			to += c.PerRound[k].ToProver[v]
+			from += c.PerRound[k].FromProver[v]
+			nbr += c.PerRound[k].NodeToNode[v]
+		}
+		if to != c.ToProver[v] || from != c.FromProver[v] || nbr != c.NodeToNode[v] {
+			t.Fatalf("seed %d node %d: per-round sums (%d,%d,%d) != aggregates (%d,%d,%d)",
+				seed, v, to, from, nbr, c.ToProver[v], c.FromProver[v], c.NodeToNode[v])
+		}
+	}
+	arg := c.ArgMaxProverNode()
+	sum := 0
+	for _, b := range c.ProverBitsByRound(arg) {
+		sum += b
+	}
+	if sum != c.MaxProverBits() {
+		t.Fatalf("seed %d: per-round prover bits at node %d sum to %d, MaxProverBits is %d",
+			seed, arg, sum, c.MaxProverBits())
 	}
 }
 

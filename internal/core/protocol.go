@@ -20,6 +20,15 @@ import (
 	"dip/internal/wire"
 )
 
+// DefaultGNIRepetitions is the default parallel-repetition count of the
+// GNI protocols (dAMAM, promise-free, marked). 40 repetitions push the
+// per-repetition constant-gap acceptance difference of the
+// Goldwasser–Sipser set-size test far past the paper's 2/3 vs 1/3
+// thresholds. Every GNI entry point — dip.Options.Repetitions and the
+// cmd/dipsim -k flag alike — resolves its default from this constant, so
+// the library and the CLI cannot drift apart.
+const DefaultGNIRepetitions = 40
+
 // msgEqual reports whether two wire messages carry identical bit strings.
 func msgEqual(a, b wire.Message) bool {
 	if a.Bits != b.Bits {

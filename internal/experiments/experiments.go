@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"dip/internal/obs"
 )
 
 // Config controls experiment sizes.
@@ -26,6 +28,12 @@ type Config struct {
 	Trials int
 	// Parallel caps the trial-harness worker count; 0 means GOMAXPROCS.
 	Parallel int
+	// Progress, when non-nil, receives live per-cell progress (trials
+	// completed, ETA) from the trial harness; nil runs silently.
+	Progress *obs.Reporter
+	// Recorder, when non-nil, collects the structured Cell record of
+	// every trial batch for machine-readable output (see ResultsFile).
+	Recorder *Recorder
 }
 
 // Table is one experiment's result, renderable as an aligned text table.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"dip/internal/network"
+	"dip/internal/obs"
 	"dip/internal/stats"
 )
 
@@ -102,6 +103,16 @@ func RunTrials(cfg Config, salt int64, k int, trial NetTrial) (TrialStats, error
 		}
 	}
 	out.Sample = results[0]
+	if cfg.Recorder != nil {
+		cfg.Recorder.record(Cell{
+			Salt:      salt,
+			Kind:      "protocol",
+			Trials:    k,
+			Successes: out.Accepts,
+			Estimate:  intervalOf(out.Estimate()),
+			Cost:      SummarizeCost(&out.Sample.Cost),
+		})
+	}
 	return out, nil
 }
 
@@ -127,13 +138,33 @@ func RunFlagTrials(cfg Config, salt int64, k int, trial func(i int, rng *rand.Ra
 			count++
 		}
 	}
+	if cfg.Recorder != nil {
+		cfg.Recorder.record(Cell{
+			Salt:      salt,
+			Kind:      "flag",
+			Trials:    k,
+			Successes: count,
+			Estimate:  intervalOf(stats.EstimateBernoulli(count, k)),
+		})
+	}
 	return count, nil
 }
 
 // forEachTrial is the worker pool underneath RunTrials/RunFlagTrials: it
-// claims indices through an atomic counter, derives each trial's RNG from
-// (Seed, salt, i), and stops handing out work after the first failure. The
-// lowest-indexed error is reported, keeping failure output deterministic.
+// claims indices through an atomic counter and derives each trial's RNG
+// from (Seed, salt, i).
+//
+// Failure attribution is deterministic by construction: on the first
+// failure at index f, workers stop claiming indices ≥ f but keep running
+// every index < f (all of which were claimed before f, since the counter
+// hands out indices in order), recording any further failures. The
+// reported "trial %d" is therefore always the lowest-indexed failing
+// trial of the whole batch — the same index at any Parallel setting and
+// under any scheduling, matching the harness's reproducibility contract.
+// (The previous implementation aborted on a single flag checked between
+// claim and execution, so a low-indexed failing trial could be skipped
+// when a higher-indexed trial failed first, and the reported index could
+// vary across -parallel values.)
 func (c Config) forEachTrial(salt int64, k int, body func(i int, rng *rand.Rand) error) error {
 	workers := c.Parallel
 	if workers <= 0 {
@@ -144,8 +175,11 @@ func (c Config) forEachTrial(salt int64, k int, body func(i int, rng *rand.Rand)
 	}
 	base := stats.DeriveSeed(c.Seed, salt)
 	errs := make([]error, k)
+	c.Progress.StartCell(k)
+	defer c.Progress.FinishCell()
 
-	var next, aborted int64
+	var next int64
+	minFail := int64(k) // lowest failing index seen so far; k = none
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -153,14 +187,19 @@ func (c Config) forEachTrial(salt int64, k int, body func(i int, rng *rand.Rand)
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= k || atomic.LoadInt64(&aborted) != 0 {
+				// Every index below the current lowest failure was claimed
+				// before it (the counter is monotonic) and runs to
+				// completion; indices at or above it are abandoned.
+				if i >= k || int64(i) >= atomic.LoadInt64(&minFail) {
 					return
 				}
 				rng := rand.New(rand.NewSource(stats.DeriveSeed(base, int64(i))))
-				if err := body(i, rng); err != nil {
+				err := body(i, rng)
+				obs.RecordTrial()
+				c.Progress.Tick()
+				if err != nil {
 					errs[i] = err
-					atomic.StoreInt64(&aborted, 1)
-					return
+					lowerMin(&minFail, int64(i))
 				}
 			}
 		}()
@@ -173,4 +212,14 @@ func (c Config) forEachTrial(salt int64, k int, body func(i int, rng *rand.Rand)
 		}
 	}
 	return nil
+}
+
+// lowerMin atomically lowers *addr to v if v is smaller.
+func lowerMin(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v >= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
 }

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dip/internal/graph"
 	"dip/internal/network"
@@ -166,5 +169,45 @@ func TestTrialCountResolution(t *testing.T) {
 	}
 	if DefaultTrials < 200 {
 		t.Fatalf("DefaultTrials = %d, must certify the 2/3 vs 1/3 gap", DefaultTrials)
+	}
+}
+
+// TestRunTrialsFailureAttributionAcrossWorkerCounts is the regression
+// test for the misattribution race: when several trials fail, the
+// reported index must be the lowest-indexed failing trial — identically
+// at every Parallel setting, even when a higher-indexed failure lands
+// first in wall-clock time (forced here by delaying the low failure).
+func TestRunTrialsFailureAttributionAcrossWorkerCounts(t *testing.T) {
+	const lowest = 5
+	failing := map[int]bool{lowest: true, 11: true, 29: true}
+	trial := func(i int, rng *rand.Rand) (*network.Result, error) {
+		if failing[i] {
+			if i == lowest {
+				// Let the higher-indexed failures win the race.
+				time.Sleep(10 * time.Millisecond)
+			}
+			return nil, fmt.Errorf("injected failure at %d", i)
+		}
+		return &network.Result{Accepted: true}, nil
+	}
+	want := ""
+	for _, workers := range []int{1, 2, 8} {
+		for round := 0; round < 3; round++ {
+			cfg := Config{Seed: 1, Parallel: workers}
+			_, err := RunTrials(cfg, 0, 32, trial)
+			if err == nil {
+				t.Fatalf("workers=%d: expected error", workers)
+			}
+			if want == "" {
+				want = err.Error()
+				if !strings.Contains(want, fmt.Sprintf("trial %d:", lowest)) {
+					t.Fatalf("error does not name the lowest failing trial: %q", want)
+				}
+			}
+			if err.Error() != want {
+				t.Fatalf("workers=%d round %d: error %q, want %q (attribution depends on scheduling)",
+					workers, round, err.Error(), want)
+			}
+		}
 	}
 }

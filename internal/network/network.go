@@ -41,8 +41,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dip/internal/graph"
+	"dip/internal/obs"
 	"dip/internal/wire"
 )
 
@@ -186,6 +188,30 @@ type Cost struct {
 	FromProver []int
 	// NodeToNode[v] counts bits v sent to its neighbors in exchanges.
 	NodeToNode []int
+	// PerRound[k] is the same accounting restricted to round k of the
+	// spec (one entry per Round, Arthur and Merlin alike). For every node
+	// v and every direction, the per-round entries sum exactly to the
+	// aggregate slices above; both engines fill them identically. This is
+	// the granularity at which the round-vs-certificate trade-off
+	// literature measures protocols.
+	PerRound []RoundCost
+}
+
+// RoundCost is one round's slice of the cost accounting. Slices are
+// indexed by node; directions that cannot occur in a round (e.g.
+// FromProver in an Arthur round) stay zero.
+type RoundCost struct {
+	// Kind records whether the round was Arthur or Merlin.
+	Kind       Kind
+	ToProver   []int
+	FromProver []int
+	NodeToNode []int
+}
+
+// ProverBits returns node v's prover-communication bits in this round
+// (both directions, challenges included).
+func (r *RoundCost) ProverBits(v int) int {
+	return r.ToProver[v] + r.FromProver[v]
 }
 
 // MaxProverBits returns the paper's complexity measure: the maximum over
@@ -220,6 +246,30 @@ func (c *Cost) MaxNodeToNodeBits() int {
 		}
 	}
 	return maxBits
+}
+
+// ArgMaxProverNode returns the lowest-indexed node attaining
+// MaxProverBits (0 for an empty cost).
+func (c *Cost) ArgMaxProverNode() int {
+	arg, maxBits := 0, -1
+	for v := range c.ToProver {
+		if b := c.ToProver[v] + c.FromProver[v]; b > maxBits {
+			arg, maxBits = v, b
+		}
+	}
+	return arg
+}
+
+// ProverBitsByRound returns node v's prover-communication bits round by
+// round. Taken at v = ArgMaxProverNode(), the entries sum exactly to
+// MaxProverBits — the per-round decomposition of the paper's cost
+// measure.
+func (c *Cost) ProverBitsByRound(v int) []int {
+	out := make([]int, len(c.PerRound))
+	for k := range c.PerRound {
+		out[k] = c.PerRound[k].ProverBits(v)
+	}
+	return out
 }
 
 // Result is the outcome of one protocol run.
@@ -273,6 +323,8 @@ var (
 // *implementations* (wrong response shape); a cheating-but-well-formed
 // prover yields a normal Result, typically with Accepted == false.
 func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Options) (*Result, error) {
+	start := time.Now()
+	defer func() { obs.RecordEngineRun(time.Since(start)) }()
 	if g == nil {
 		return nil, errNilGraph
 	}
@@ -320,11 +372,7 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 		opts:   opts,
 		n:      n,
 	}
-	e.cost = Cost{
-		ToProver:   make([]int, n),
-		FromProver: make([]int, n),
-		NodeToNode: make([]int, n),
-	}
+	e.cost = newCost(spec, n)
 	if opts.RecordTranscript {
 		e.transcript = &Transcript{Name: spec.Name}
 	}
@@ -332,6 +380,35 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 		return e.runConcurrent()
 	}
 	return e.runSequential()
+}
+
+// newCost builds a zeroed Cost for an n-node run of spec, with one
+// PerRound entry per round. All per-node slices (aggregate and
+// per-round) are carved out of a single backing array so the per-round
+// breakdown costs one allocation, not 3·rounds.
+func newCost(spec *Spec, n int) Cost {
+	rounds := len(spec.Rounds)
+	back := make([]int, (3+3*rounds)*n)
+	carve := func() []int {
+		s := back[:n:n]
+		back = back[n:]
+		return s
+	}
+	c := Cost{
+		ToProver:   carve(),
+		FromProver: carve(),
+		NodeToNode: carve(),
+		PerRound:   make([]RoundCost, rounds),
+	}
+	for k, r := range spec.Rounds {
+		c.PerRound[k] = RoundCost{
+			Kind:       r.Kind,
+			ToProver:   carve(),
+			FromProver: carve(),
+			NodeToNode: carve(),
+		}
+	}
+	return c
 }
 
 // exchangeMsg is a neighbor-to-neighbor forwarded message. Messages carry
@@ -432,7 +509,7 @@ func (e *engine) runConcurrent() (*Result, error) {
 // drive plays the prover side and routes messages, round by round.
 func (e *engine) drive(pv *ProverView) error {
 	merlinRound := 0
-	for _, round := range e.spec.Rounds {
+	for ri, round := range e.spec.Rounds {
 		switch round.Kind {
 		case Arthur:
 			challenges := make([]wire.Message, e.n)
@@ -440,6 +517,7 @@ func (e *engine) drive(pv *ProverView) error {
 				c := <-e.challengeCh
 				challenges[c.from] = c.m
 				e.cost.ToProver[c.from] += c.m.Bits
+				e.cost.PerRound[ri].ToProver[c.from] += c.m.Bits
 			}
 			pv.Challenges = append(pv.Challenges, challenges)
 			if e.transcript != nil {
@@ -464,6 +542,7 @@ func (e *engine) drive(pv *ProverView) error {
 			for v := 0; v < e.n; v++ {
 				m := resp.PerNode[v]
 				e.cost.FromProver[v] += m.Bits
+				e.cost.PerRound[ri].FromProver[v] += m.Bits
 				if e.opts.Corrupt != nil {
 					m = e.opts.Corrupt(merlinRound, v, m)
 				}
@@ -497,7 +576,7 @@ func (e *engine) nodeMain(v int) {
 	exchangeIdx := 0
 	var stash []exchangeMsg
 
-	for _, round := range e.spec.Rounds {
+	for ri, round := range e.spec.Rounds {
 		switch round.Kind {
 		case Arthur:
 			c := round.Challenge(v, rng, view)
@@ -508,7 +587,7 @@ func (e *engine) nodeMain(v int) {
 				return
 			}
 			if e.spec.ShareChallenges {
-				got, ok := e.exchange(v, deg, exchangeIdx, c, &stash)
+				got, ok := e.exchange(ri, v, deg, exchangeIdx, c, &stash)
 				if !ok {
 					return
 				}
@@ -527,7 +606,7 @@ func (e *engine) nodeMain(v int) {
 			if round.Digest != nil {
 				forward = round.Digest(v, rng, m)
 			}
-			got, ok := e.exchange(v, deg, exchangeIdx, forward, &stash)
+			got, ok := e.exchange(ri, v, deg, exchangeIdx, forward, &stash)
 			if !ok {
 				return
 			}
@@ -545,8 +624,9 @@ func (e *engine) nodeMain(v int) {
 
 // exchange sends m to all of v's neighbors as exchange idx and collects one
 // idx-tagged message from each; messages from the next exchange that arrive
-// early are stashed. It returns false if the run was aborted.
-func (e *engine) exchange(v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
+// early are stashed. round is the spec round the exchange belongs to (for
+// cost attribution). It returns false if the run was aborted.
+func (e *engine) exchange(round, v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
 	for _, u := range e.nbrs[v] {
 		select {
 		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: m}:
@@ -555,6 +635,7 @@ func (e *engine) exchange(v, deg, idx int, m wire.Message, stash *[]exchangeMsg)
 		}
 	}
 	e.cost.NodeToNode[v] += deg * m.Bits
+	e.cost.PerRound[round].NodeToNode[v] += deg * m.Bits
 
 	got := make(map[int]wire.Message, deg)
 	// Drain previously stashed messages for this exchange first.
@@ -649,7 +730,7 @@ func (e *engine) runSequential() (*Result, error) {
 	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
 
 	merlinRound := 0
-	for _, round := range e.spec.Rounds {
+	for ri, round := range e.spec.Rounds {
 		switch round.Kind {
 		case Arthur:
 			challenges := make([]wire.Message, e.n)
@@ -658,6 +739,7 @@ func (e *engine) runSequential() (*Result, error) {
 				views[v].MyChallenges = append(views[v].MyChallenges, c)
 				challenges[v] = c
 				e.cost.ToProver[v] += c.Bits
+				e.cost.PerRound[ri].ToProver[v] += c.Bits
 			}
 			pv.Challenges = append(pv.Challenges, challenges)
 			if e.transcript != nil {
@@ -669,7 +751,7 @@ func (e *engine) runSequential() (*Result, error) {
 			if e.spec.ShareChallenges {
 				for v := 0; v < e.n; v++ {
 					views[v].NeighborChallenges = append(views[v].NeighborChallenges,
-						e.gatherSequential(v, challenges))
+						e.gatherSequential(ri, v, challenges))
 				}
 			}
 		case Merlin:
@@ -686,6 +768,7 @@ func (e *engine) runSequential() (*Result, error) {
 			for v := 0; v < e.n; v++ {
 				m := resp.PerNode[v]
 				e.cost.FromProver[v] += m.Bits
+				e.cost.PerRound[ri].FromProver[v] += m.Bits
 				if e.opts.Corrupt != nil {
 					m = e.opts.Corrupt(merlinRound, v, m)
 				}
@@ -707,7 +790,7 @@ func (e *engine) runSequential() (*Result, error) {
 			}
 			for v := 0; v < e.n; v++ {
 				views[v].NeighborResponses = append(views[v].NeighborResponses,
-					e.gatherSequential(v, forwards))
+					e.gatherSequential(ri, v, forwards))
 			}
 			merlinRound++
 		}
@@ -728,11 +811,12 @@ func (e *engine) runSequential() (*Result, error) {
 }
 
 // gatherSequential is the sequential counterpart of exchange: node v sends
-// msgs[v] to each neighbor (charged to v's node-to-node cost) and receives
-// each neighbor u's msgs[u].
-func (e *engine) gatherSequential(v int, msgs []wire.Message) map[int]wire.Message {
+// msgs[v] to each neighbor (charged to v's node-to-node cost, attributed
+// to spec round `round`) and receives each neighbor u's msgs[u].
+func (e *engine) gatherSequential(round, v int, msgs []wire.Message) map[int]wire.Message {
 	nbrs := e.nbrs[v]
 	e.cost.NodeToNode[v] += len(nbrs) * msgs[v].Bits
+	e.cost.PerRound[round].NodeToNode[v] += len(nbrs) * msgs[v].Bits
 	got := make(map[int]wire.Message, len(nbrs))
 	for _, u := range nbrs {
 		got[u] = msgs[u]

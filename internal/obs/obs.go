@@ -1,0 +1,172 @@
+// Package obs is the observability layer of the engine and the experiment
+// harness: cheap atomic counters and wall-time accumulators that the hot
+// paths update unconditionally, plus a throttled progress reporter for
+// long command-line runs.
+//
+// The counters are process-global by design — the engine is a library, so
+// the metering has to live somewhere callers cannot forget to thread
+// through. They never influence results: all experiment randomness is
+// derived from seeds, so metering stays strictly observational.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic event counter.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { atomic.AddInt64(&c.v, n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Timer accumulates wall-clock durations of repeated events.
+type Timer struct {
+	ns int64
+	n  int64
+}
+
+// Observe adds one event of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	atomic.AddInt64(&t.ns, int64(d))
+	atomic.AddInt64(&t.n, 1)
+}
+
+// Total returns the accumulated wall time.
+func (t *Timer) Total() time.Duration { return time.Duration(atomic.LoadInt64(&t.ns)) }
+
+// Count returns the number of observed events.
+func (t *Timer) Count() int64 { return atomic.LoadInt64(&t.n) }
+
+// Process-global metrics, updated by the engine and the trial harness.
+var (
+	// engineRuns times every completed network.Run call.
+	engineRuns Timer
+	// trialsRun counts trials executed by the experiments harness.
+	trialsRun Counter
+)
+
+// RecordEngineRun is called by network.Run on every completed run.
+func RecordEngineRun(d time.Duration) { engineRuns.Observe(d) }
+
+// RecordTrial is called by the trial harness once per executed trial.
+func RecordTrial() { trialsRun.Add(1) }
+
+// Metrics is a snapshot of the process-global meters, embeddable in
+// machine-readable result files.
+type Metrics struct {
+	EngineRuns   int64 `json:"engine_runs"`
+	EngineWallMS int64 `json:"engine_wall_ms"`
+	TrialsRun    int64 `json:"trials_run"`
+}
+
+// Snapshot returns the current global metrics.
+func Snapshot() Metrics {
+	return Metrics{
+		EngineRuns:   engineRuns.Count(),
+		EngineWallMS: engineRuns.Total().Milliseconds(),
+		TrialsRun:    trialsRun.Value(),
+	}
+}
+
+// Reset zeroes the global meters (tests only).
+func Reset() {
+	atomic.StoreInt64(&engineRuns.ns, 0)
+	atomic.StoreInt64(&engineRuns.n, 0)
+	atomic.StoreInt64(&trialsRun.v, 0)
+}
+
+// Reporter prints throttled progress lines for batch work to a writer
+// (stderr in the CLIs): label, trials completed in the current cell, and
+// an ETA extrapolated from the cell's own throughput. A nil *Reporter is
+// valid and silent, so call sites need no guards. All methods are safe
+// for concurrent use; Tick is called from worker goroutines.
+type Reporter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	cell  int
+	total int
+	done  int
+	start time.Time
+	last  time.Time
+	wrote bool
+}
+
+// NewReporter returns a Reporter writing to w.
+func NewReporter(w io.Writer) *Reporter {
+	return &Reporter{w: w}
+}
+
+// minInterval throttles progress writes.
+const minInterval = 500 * time.Millisecond
+
+// SetLabel names the work that follows (e.g. an experiment ID) and
+// restarts the per-label cell counter.
+func (r *Reporter) SetLabel(label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.label = label
+	r.cell = 0
+	r.mu.Unlock()
+}
+
+// StartCell begins a batch of total trials under the current label.
+func (r *Reporter) StartCell(total int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cell++
+	r.total = total
+	r.done = 0
+	r.start = time.Now()
+	r.last = time.Time{}
+	r.mu.Unlock()
+}
+
+// Tick records one completed trial and, at most twice a second, rewrites
+// the progress line.
+func (r *Reporter) Tick() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	now := time.Now()
+	if now.Sub(r.last) < minInterval || r.total <= 0 {
+		return
+	}
+	r.last = now
+	eta := "?"
+	if elapsed := now.Sub(r.start); r.done > 0 && elapsed > 0 {
+		rem := time.Duration(float64(elapsed) / float64(r.done) * float64(r.total-r.done))
+		eta = rem.Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(r.w, "\r[%s] cell %d: %d/%d trials (ETA %s)   ",
+		r.label, r.cell, r.done, r.total, eta)
+	r.wrote = true
+}
+
+// FinishCell clears the progress line of the finished cell, if any was
+// written.
+func (r *Reporter) FinishCell() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrote {
+		fmt.Fprintf(r.w, "\r%*s\r", 60, "")
+		r.wrote = false
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimer(t *testing.T) {
+	var c Counter
+	var tm Timer
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add(1)
+				tm.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter = %d, want 800", c.Value())
+	}
+	if tm.Count() != 800 || tm.Total() != 800*time.Millisecond {
+		t.Fatalf("timer = %d events / %v", tm.Count(), tm.Total())
+	}
+}
+
+func TestGlobalSnapshot(t *testing.T) {
+	Reset()
+	defer Reset()
+	RecordEngineRun(2 * time.Millisecond)
+	RecordEngineRun(3 * time.Millisecond)
+	RecordTrial()
+	m := Snapshot()
+	if m.EngineRuns != 2 || m.EngineWallMS != 5 || m.TrialsRun != 1 {
+		t.Fatalf("snapshot = %+v", m)
+	}
+}
+
+// TestNilReporterIsSilent pins the no-guards-at-call-sites contract.
+func TestNilReporterIsSilent(t *testing.T) {
+	var r *Reporter
+	r.SetLabel("x")
+	r.StartCell(10)
+	r.Tick()
+	r.FinishCell()
+}
+
+func TestReporterProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReporter(&buf)
+	r.SetLabel("E1")
+	r.StartCell(4)
+	// Backdate the throttle so the very next Tick writes.
+	r.mu.Lock()
+	r.last = time.Now().Add(-time.Hour)
+	r.start = time.Now().Add(-time.Second)
+	r.mu.Unlock()
+	r.Tick()
+	out := buf.String()
+	if !strings.Contains(out, "[E1] cell 1: 1/4 trials") {
+		t.Fatalf("progress line = %q", out)
+	}
+	r.FinishCell()
+	if !strings.HasSuffix(buf.String(), "\r") {
+		t.Fatalf("finish did not clear the line: %q", buf.String())
+	}
+}
+
+func TestReporterThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReporter(&buf)
+	r.StartCell(1000)
+	for i := 0; i < 100; i++ {
+		r.Tick()
+	}
+	// All ticks land within the throttle window of StartCell, so at most
+	// one line is written.
+	if n := strings.Count(buf.String(), "trials"); n > 1 {
+		t.Fatalf("throttle failed: %d progress lines", n)
+	}
+}
