@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke bench tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke bench tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check on the two
 # packages with real concurrency (the concurrent engine and the
-# trial-harness pool), and a results-file smoke round-trip.
-verify: lint build test race smoke
+# trial-harness pool), a results-file smoke round-trip, a short mutation
+# burst on every decoder fuzz target, and a fault-matrix smoke run.
+verify: lint build test race smoke fuzz-short fault-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -33,15 +34,35 @@ smoke:
 	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json /tmp/dip-bench-smoke.json >/dev/null
 	$(GO) run ./cmd/dipbench -validate /tmp/dip-bench-smoke.json
 
+# fuzz-short gives each decoder fuzz target a brief mutation burst on top
+# of the checked-in seed corpus (go only allows one -fuzz pattern per
+# invocation, hence the loop).
+FUZZ_TIME ?= 2s
+fuzz-short:
+	@for target in FuzzReader FuzzRoundTrip FuzzSymDecoders FuzzDSymDecoder FuzzGNIDecoders FuzzLCPDecoders; do \
+		pkg=./internal/core; \
+		case $$target in FuzzReader|FuzzRoundTrip) pkg=./internal/wire;; esac; \
+		$(GO) test -run xxx -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) $$pkg || exit 1; \
+	done
+
+# fault-smoke runs the quick fault matrix (E12) end to end and round-trips
+# the dip-fault/v1 file through the schema validator.
+fault-smoke:
+	$(GO) run ./cmd/dipbench -faults -quick -seed 1 -progress=false -json /tmp/dip-fault-smoke.json >/dev/null
+	$(GO) run ./cmd/dipbench -validate /tmp/dip-fault-smoke.json
+
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 2s .
 
 # tables regenerates every EXPERIMENTS.md table at full trial counts and
-# the committed BENCH_seed1.json sidecar (quick sizes, like CI checks).
+# the committed BENCH_seed1.json / FAULT_seed1.json sidecars (quick sizes,
+# like CI checks).
 tables:
 	$(GO) run ./cmd/dipbench -seed 1
+	$(GO) run ./cmd/dipbench -faults -seed 1
 	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json BENCH_seed1.json >/dev/null
+	$(GO) run ./cmd/dipbench -faults -quick -seed 1 -progress=false -json FAULT_seed1.json >/dev/null
 
 tables-quick:
 	$(GO) run ./cmd/dipbench -seed 1 -quick

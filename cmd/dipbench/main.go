@@ -11,7 +11,8 @@
 //	dipbench -trials 500      # override the per-cell trial count
 //	dipbench -parallel 2      # cap the trial-harness worker count
 //	dipbench -json out.json   # also emit machine-readable results
-//	dipbench -validate x.json # check a results file against the schema
+//	dipbench -faults          # run the fault matrix (E12) instead of E1..E11
+//	dipbench -validate x.json # check a results file against its schema
 //	dipbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Tables are reproducible for a fixed -seed regardless of -parallel: each
@@ -45,7 +46,7 @@ func main() {
 
 func run() error {
 	var (
-		which       = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		which       = flag.String("experiment", "all", "experiment ID (E1..E12) or 'all'")
 		seed        = flag.Int64("seed", 1, "reproducibility seed")
 		quick       = flag.Bool("quick", false, "reduced sizes and trial counts")
 		trials      = flag.Int("trials", 0, "override the per-cell trial count (0 = experiment default)")
@@ -53,24 +54,15 @@ func run() error {
 		jsonPath    = flag.String("json", "", "write machine-readable results to this path")
 		jsonTimings = flag.Bool("json-timings", false, "include the non-reproducible timings block in -json output")
 		progress    = flag.Bool("progress", true, "report live per-cell progress on stderr")
-		validate    = flag.String("validate", "", "validate an existing results file against the schema and exit")
+		faultsMode  = flag.Bool("faults", false, "run the fault-injection matrix (E12); -json emits dip-fault/v1")
+		validate    = flag.String("validate", "", "validate an existing results file against its schema and exit")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
 	if *validate != "" {
-		f, err := experiments.ReadResultsFile(*validate)
-		if err != nil {
-			return err
-		}
-		cells := 0
-		for _, e := range f.Experiments {
-			cells += len(e.Cells)
-		}
-		fmt.Printf("%s: valid %s results (seed %d, %d experiments, %d cells)\n",
-			*validate, f.Schema, f.Seed, len(f.Experiments), cells)
-		return nil
+		return validateFile(*validate)
 	}
 
 	if *cpuprofile != "" {
@@ -89,11 +81,16 @@ func run() error {
 	if *progress {
 		cfg.Progress = obs.NewReporter(os.Stderr)
 	}
+
+	if *faultsMode {
+		return runFaults(cfg, *jsonPath)
+	}
+
 	runners := experiments.All()
 	if *which != "all" {
 		r, ok := experiments.ByID(*which)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E11 or all)", *which)
+			return fmt.Errorf("unknown experiment %q (want E1..E12 or all)", *which)
 		}
 		runners = []experiments.Runner{r}
 	}
@@ -165,4 +162,63 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runFaults runs the E12 fault matrix and optionally writes the
+// dip-fault/v1 results file.
+func runFaults(cfg experiments.Config, jsonPath string) error {
+	cfg.Progress.SetLabel("E12")
+	start := time.Now()
+	file, table, err := experiments.RunFaultMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.Format())
+	fmt.Printf("(E12 finished in %v)\n", time.Since(start).Round(time.Millisecond))
+	if bad := file.GateViolations(); len(bad) > 0 {
+		fmt.Printf("WARNING: %d cell(s) fail the 1/3 gate\n", len(bad))
+	}
+	if jsonPath != "" {
+		if err := file.Validate(); err != nil {
+			return fmt.Errorf("internal: generated fault results fail validation: %w", err)
+		}
+		if err := file.WriteFile(jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// validateFile dispatches on the file's schema field: dip-bench/v1 and
+// dip-fault/v1 files are both accepted.
+func validateFile(path string) error {
+	schema, err := experiments.SniffSchema(path)
+	if err != nil {
+		return err
+	}
+	switch schema {
+	case experiments.Schema:
+		f, err := experiments.ReadResultsFile(path)
+		if err != nil {
+			return err
+		}
+		cells := 0
+		for _, e := range f.Experiments {
+			cells += len(e.Cells)
+		}
+		fmt.Printf("%s: valid %s results (seed %d, %d experiments, %d cells)\n",
+			path, f.Schema, f.Seed, len(f.Experiments), cells)
+		return nil
+	case experiments.FaultSchema:
+		f, err := experiments.ReadFaultResultsFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s results (seed %d, %d cells, %d gate violations)\n",
+			path, f.Schema, f.Seed, len(f.Cells), len(f.GateViolations()))
+		return nil
+	default:
+		return fmt.Errorf("%s: unknown schema %q", path, schema)
+	}
 }

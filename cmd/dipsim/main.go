@@ -12,6 +12,15 @@
 //	dipsim -protocol gni-marked -n 6 -k 30
 //	dipsim -protocol sym-lcp  -graph doubled -n 20
 //	dipsim -protocol gni -n 6 -json -        # machine-readable result
+//	dipsim -protocol sym-dam -fault bitflip  # corrupt prover messages
+//	dipsim -protocol sym-dam -fault equivocate -fault-plane exchange
+//
+// -fault injects a fault class from internal/faults into the honest run
+// (bitflip, truncate, drop, replay, nodeswap, equivocate); -fault-plane
+// picks the corrupted plane (prover = prover→node deliveries, exchange =
+// node→node copies) and -fault-prob the per-delivery injection
+// probability. The fault schedule derives from -seed, so a faulted run is
+// exactly reproducible.
 //
 // Graph kinds for the Sym protocols: cycle, complete, star, path, doubled
 // (a random rigid graph and its mirror joined by a bridge — always
@@ -32,8 +41,10 @@ import (
 
 	"dip/internal/core"
 	"dip/internal/experiments"
+	"dip/internal/faults"
 	"dip/internal/graph"
 	"dip/internal/network"
+	"dip/internal/wire"
 )
 
 func main() {
@@ -56,6 +67,10 @@ type simOptions struct {
 	seed     int64
 	verbose  bool
 	jsonPath string
+
+	fault      string
+	faultPlane string
+	faultProb  float64
 }
 
 func parseFlags(args []string) simOptions {
@@ -70,6 +85,9 @@ func parseFlags(args []string) simOptions {
 	fs.Int64Var(&o.seed, "seed", 1, "reproducibility seed")
 	fs.BoolVar(&o.verbose, "v", false, "print the full message transcript")
 	fs.StringVar(&o.jsonPath, "json", "", "write a machine-readable result to this path ('-' for stdout)")
+	fs.StringVar(&o.fault, "fault", "", "inject a fault class (bitflip | truncate | drop | replay | nodeswap | equivocate)")
+	fs.StringVar(&o.faultPlane, "fault-plane", "prover", "plane to corrupt: prover | exchange")
+	fs.Float64Var(&o.faultProb, "fault-prob", 1, "per-delivery injection probability in [0, 1]")
 	fs.Parse(args)
 	return o
 }
@@ -84,6 +102,11 @@ type simRecord struct {
 	Accepted  bool                     `json:"accepted"`
 	Rejecting int                      `json:"rejecting_nodes"`
 	Cost      *experiments.CostSummary `json:"cost"`
+	// Fault/FaultPlane/FaultProb record the -fault flags when a fault was
+	// injected into the run.
+	Fault      string  `json:"fault,omitempty"`
+	FaultPlane string  `json:"fault_plane,omitempty"`
+	FaultProb  float64 `json:"fault_prob,omitempty"`
 }
 
 // simSchema versions the -json output of dipsim.
@@ -92,6 +115,39 @@ const simSchema = "dip-sim/v1"
 func run(o simOptions, stdout io.Writer) error {
 	rng := rand.New(rand.NewSource(o.seed))
 	opts := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
+
+	// runNet wires the optional fault injector into the engine options;
+	// the graph size is only known here, per protocol branch.
+	runNet := func(spec *network.Spec, g *graph.Graph, inputs []wire.Message, p network.Prover) (*network.Result, error) {
+		ro := opts
+		if o.fault != "" {
+			if o.faultProb < 0 || o.faultProb > 1 {
+				return nil, fmt.Errorf("-fault-prob %v outside [0, 1]", o.faultProb)
+			}
+			class, ok := faults.ByName(o.fault)
+			if !ok {
+				return nil, fmt.Errorf("unknown fault class %q (have %v)", o.fault, faults.Names())
+			}
+			plane := faults.Plane(o.faultPlane)
+			if plane != faults.PlaneProver && plane != faults.PlaneExchange {
+				return nil, fmt.Errorf("unknown fault plane %q (want prover or exchange)", o.faultPlane)
+			}
+			if !class.Supports(plane) {
+				return nil, fmt.Errorf("fault class %q does not support the %s plane", o.fault, plane)
+			}
+			inj := class.New()
+			if o.faultProb < 1 {
+				inj = faults.WithProbability(o.faultProb, inj)
+			}
+			if plane == faults.PlaneProver {
+				ro.Corrupt = faults.Corruptor(o.seed, g.N(), inj)
+			} else {
+				ro.CorruptExchange = faults.ExchangeCorruptor(o.seed, g.N(), inj)
+			}
+			fmt.Fprintf(stdout, "fault: %s on %s plane, probability %v\n", o.fault, plane, o.faultProb)
+		}
+		return network.Run(spec, g, inputs, p, ro)
+	}
 
 	var res *network.Result
 	var err error
@@ -112,19 +168,19 @@ func run(o simOptions, stdout io.Writer) error {
 			if perr != nil {
 				return perr
 			}
-			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
 		case "sym-dam":
 			proto, perr := core.NewSymDAM(g.N(), o.seed)
 			if perr != nil {
 				return perr
 			}
-			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
 		case "sym-lcp":
 			proto, perr := core.NewSymLCP(g.N())
 			if perr != nil {
 				return perr
 			}
-			res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
 		}
 	case "dsym-dam":
 		f := graph.ConnectedGNP(o.side, 0.5, rng)
@@ -137,7 +193,7 @@ func run(o simOptions, stdout io.Writer) error {
 		if perr != nil {
 			return perr
 		}
-		res, err = network.Run(proto.Spec(), g, nil, proto.HonestProver(), opts)
+		res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
 	case "gni", "gni-lcp":
 		inst, ierr := core.NewGNIYesInstance(o.n, rng)
 		if ierr != nil {
@@ -152,15 +208,15 @@ func run(o simOptions, stdout io.Writer) error {
 				return perr
 			}
 			fmt.Fprintf(stdout, "repetitions: %d (threshold %d)\n", proto.K(), proto.Threshold())
-			res, err = network.Run(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
-				proto.HonestProver(), opts)
+			res, err = runNet(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
+				proto.HonestProver())
 		} else {
 			proto, perr := core.NewGNILCP(o.n)
 			if perr != nil {
 				return perr
 			}
-			res, err = network.Run(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
-				proto.HonestProver(), opts)
+			res, err = runNet(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
+				proto.HonestProver())
 		}
 	case "gni-marked":
 		a, aerr := graph.RandomAsymmetricConnected(o.n, rng)
@@ -214,7 +270,7 @@ func run(o simOptions, stdout io.Writer) error {
 		if ierr != nil {
 			return ierr
 		}
-		res, err = network.Run(proto.Spec(), g, inputs, proto.HonestProver(), opts)
+		res, err = runNet(proto.Spec(), g, inputs, proto.HonestProver())
 	default:
 		return fmt.Errorf("unknown protocol %q", o.protocol)
 	}
@@ -255,6 +311,11 @@ func run(o simOptions, stdout io.Writer) error {
 			Accepted:  res.Accepted,
 			Rejecting: rejecting,
 			Cost:      cost,
+		}
+		if o.fault != "" {
+			rec.Fault = o.fault
+			rec.FaultPlane = o.faultPlane
+			rec.FaultProb = o.faultProb
 		}
 		data, merr := json.MarshalIndent(&rec, "", "  ")
 		if merr != nil {

@@ -102,3 +102,56 @@ func TestRunEmitsJSON(t *testing.T) {
 		t.Fatalf("human-readable per-round section missing:\n%s", text)
 	}
 }
+
+// TestRunWithFault drives the -fault path: an honest sym-dam run with
+// every prover message bit-flipped must be rejected, and the JSON record
+// must carry the fault configuration.
+func TestRunWithFault(t *testing.T) {
+	var out bytes.Buffer
+	o := simOptions{protocol: "sym-dam", kind: "doubled", n: 14, seed: 1, jsonPath: "-",
+		fault: "bitflip", faultPlane: "prover", faultProb: 1}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fault: bitflip on prover plane") {
+		t.Fatalf("fault banner missing:\n%s", text)
+	}
+	var rec simRecord
+	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted {
+		t.Fatal("bit-flipped sym-dam run was accepted")
+	}
+	if rec.Fault != "bitflip" || rec.FaultPlane != "prover" || rec.FaultProb != 1 {
+		t.Fatalf("fault fields not recorded: %+v", rec)
+	}
+}
+
+// TestRunRejectsBadFaultFlags covers the -fault validation paths.
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		o    simOptions
+		want string
+	}{
+		{"unknown class", simOptions{fault: "gamma-ray"}, "unknown fault class"},
+		{"unknown plane", simOptions{fault: "bitflip", faultPlane: "carrier"}, "unknown fault plane"},
+		{"unsupported plane", simOptions{fault: "nodeswap", faultPlane: "exchange"}, "does not support"},
+		{"bad prob", simOptions{fault: "bitflip", faultPlane: "prover", faultProb: 2}, "outside [0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.o.protocol = "sym-dam"
+			tc.o.kind = "doubled"
+			tc.o.n = 14
+			tc.o.seed = 1
+			var out bytes.Buffer
+			err := run(tc.o, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run returned %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

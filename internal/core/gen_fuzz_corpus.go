@@ -1,0 +1,123 @@
+//go:build ignore
+
+// gen_fuzz_corpus regenerates the checked-in fuzz seed corpora under
+// testdata/fuzz/<FuzzTarget>/: one file per honest protocol encoding,
+// harvested from transcript-recorded honest runs at the same instance
+// parameters the fuzz targets in fuzz_test.go use. Honest encodings drive
+// the fuzzer through the deep, fully-valid decode paths that random bytes
+// almost never reach.
+//
+// Usage (from internal/core): go run gen_fuzz_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dip/internal/core"
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Symmetric 14-vertex graph (doubled 6-vertex asymmetric core), shared
+	// by the sym and lcp families.
+	base, err := graph.RandomAsymmetricConnected(6, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sym := graph.Doubled(base, 0)
+	if sym.N() != 14 {
+		log.Fatalf("symmetric instance has %d vertices, want 14", sym.N())
+	}
+
+	dmam, err := core.NewSymDMAM(14, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dam, err := core.NewSymDAM(14, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsym, err := core.NewDSymDAM(4, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsymG := graph.DSymGraph(graph.ConnectedGNP(4, 0.5, rng), 1)
+	gni, err := core.NewGNIDAMAM(6, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gng, err := core.NewGNIGeneral(6, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gniYes, err := core.NewGNIYesInstance(6, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c6 := graph.Cycle(6)
+	c6Shuffled, _ := c6.Shuffle(rng)
+	symLCP, err := core.NewSymLCP(14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gniLCP14, err := core.NewGNILCP(14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcpYes, err := core.NewGNIYesInstance(14, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	harvest := func(target, label string, spec *network.Spec, g *graph.Graph, inputs []wire.Message, p network.Prover) {
+		res, err := network.Run(spec, g, inputs, p, network.Options{Seed: 5, RecordTranscript: true})
+		if err != nil {
+			log.Fatalf("%s/%s: %v", target, label, err)
+		}
+		count := 0
+		for ri, round := range res.Transcript.Rounds {
+			if round.Kind != network.Merlin {
+				continue
+			}
+			// Two distinct receivers per Merlin round cover both broadcast
+			// and per-node-distinct fields.
+			for _, v := range []int{0, len(round.PerNode) - 1} {
+				writeSeed(target, fmt.Sprintf("%s-r%d-v%d", label, ri, v), round.PerNode[v])
+				count++
+			}
+		}
+		fmt.Printf("%s: %d seeds from %s\n", target, count, label)
+	}
+
+	harvest("FuzzSymDecoders", "sym-dmam", dmam.Spec(), sym, nil, dmam.HonestProver())
+	harvest("FuzzSymDecoders", "sym-dam", dam.Spec(), sym, nil, dam.HonestProver())
+	harvest("FuzzDSymDecoder", "dsym-dam", dsym.Spec(), dsymG, nil, dsym.HonestProver())
+	harvest("FuzzGNIDecoders", "gni-damam", gni.Spec(), gniYes.G0, core.EncodeGNIInputs(gniYes.G1), gni.HonestProver())
+	harvest("FuzzGNIDecoders", "gni-general", gng.Spec(), c6, core.EncodeGNIInputs(c6Shuffled), gng.HonestProver())
+	harvest("FuzzLCPDecoders", "sym-lcp", symLCP.Spec(), sym, nil, symLCP.HonestProver())
+	harvest("FuzzLCPDecoders", "gni-lcp", gniLCP14.Spec(), lcpYes.G0, core.EncodeGNIInputs(lcpYes.G1), gniLCP14.HonestProver())
+}
+
+// writeSeed writes one corpus entry in the `go test fuzz v1` format
+// matching the fuzz targets' (data []byte, bits int) signature.
+func writeSeed(target, name string, m wire.Message) {
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n" +
+		"[]byte(" + strconv.Quote(string(m.Data)) + ")\n" +
+		fmt.Sprintf("int(%d)\n", m.Bits)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -121,6 +121,7 @@ func All() []Runner {
 		{"E9", "Ablation: challenge-first needs the giant prime", E9Ablation},
 		{"E10", "GNI variants: round reduction, promise-free extension", E10GNIVariants},
 		{"E11", "Randomized PLS fingerprinting ([4])", E11RPLS},
+		{"E12", "Soundness under injected faults", E12FaultMatrix},
 	}
 }
 

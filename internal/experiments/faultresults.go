@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FaultSchema identifies the machine-readable fault-matrix format emitted
+// by cmd/dipbench -faults. Same contract as Schema ("dip-bench/v1"): the
+// file is a pure function of (seed, quick, trials override), byte-identical
+// at any -parallel / GOMAXPROCS setting.
+const FaultSchema = "dip-fault/v1"
+
+// FaultResultsFile is the versioned record of one RunFaultMatrix sweep:
+// protocols × fault classes × intensities, each cell an acceptance
+// estimate under injected faults (or, for the "none" anchor cells, under
+// a cheating prover with no injection).
+type FaultResultsFile struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	Seed   int64  `json:"seed"`
+	Quick  bool   `json:"quick"`
+	// TrialsOverride echoes the -trials flag (0 = matrix default).
+	TrialsOverride int         `json:"trials_override,omitempty"`
+	GoMaxProcs     int         `json:"gomaxprocs"`
+	Cells          []FaultCell `json:"cells"`
+}
+
+// FaultCell is one matrix cell: a protocol run k times under one fault
+// configuration.
+type FaultCell struct {
+	// Salt is the trial-harness salt of this cell (unique per cell).
+	Salt int64 `json:"salt"`
+	// Protocol names the protocol under test (e.g. "sym-dmam").
+	Protocol string `json:"protocol"`
+	// Fault is the fault class name ("bitflip", ..., or "none" for the
+	// uninjected soundness anchor).
+	Fault string `json:"fault"`
+	// Plane is "prover", "exchange", or "" for anchor cells.
+	Plane string `json:"plane,omitempty"`
+	// Intensity is the per-delivery injection probability (1 = every
+	// delivery; 0 for anchor cells).
+	Intensity float64 `json:"intensity,omitempty"`
+	// Instance is "yes" (honest prover on a yes-instance, corrupted in
+	// flight) or "no" (cheating prover on a no-instance).
+	Instance string `json:"instance"`
+	// Trials / Accepts / Estimate mirror Cell: acceptance means every node
+	// accepted the (corrupted) run.
+	Trials   int      `json:"trials"`
+	Accepts  int      `json:"accepts"`
+	Estimate Interval `json:"estimate"`
+	// Gate records whether the cell satisfies the soundness-under-fault
+	// bound: the Wilson upper bound of the acceptance rate is below 1/3.
+	Gate bool `json:"gate"`
+}
+
+// FaultBound is the acceptance bound every matrix cell is gated against:
+// the paper's soundness threshold.
+const FaultBound = 1.0 / 3
+
+// Validate checks the structural invariants of a decoded fault-matrix
+// file. It does NOT fail on gate violations — quick smoke runs keep their
+// trial counts small — use GateViolations for the regression gate.
+func (f *FaultResultsFile) Validate() error {
+	if f.Schema != FaultSchema {
+		return fmt.Errorf("faults: schema %q, want %q", f.Schema, FaultSchema)
+	}
+	if len(f.Cells) == 0 {
+		return fmt.Errorf("faults: no cells")
+	}
+	seen := make(map[int64]bool, len(f.Cells))
+	for i, c := range f.Cells {
+		if c.Protocol == "" || c.Fault == "" {
+			return fmt.Errorf("faults: cell %d: missing protocol or fault", i)
+		}
+		if c.Instance != "yes" && c.Instance != "no" {
+			return fmt.Errorf("faults: cell %d: instance %q", i, c.Instance)
+		}
+		if c.Accepts < 0 || c.Accepts > c.Trials || c.Trials <= 0 {
+			return fmt.Errorf("faults: cell %d: %d accepts of %d trials", i, c.Accepts, c.Trials)
+		}
+		if c.Estimate.Lo < 0 || c.Estimate.Hi > 1 || c.Estimate.Lo > c.Estimate.Hi {
+			return fmt.Errorf("faults: cell %d: malformed interval [%v, %v]", i, c.Estimate.Lo, c.Estimate.Hi)
+		}
+		if c.Intensity < 0 || c.Intensity > 1 {
+			return fmt.Errorf("faults: cell %d: intensity %v", i, c.Intensity)
+		}
+		if c.Gate != (c.Estimate.Hi < FaultBound) {
+			return fmt.Errorf("faults: cell %d: gate %v inconsistent with interval hi %v", i, c.Gate, c.Estimate.Hi)
+		}
+		if seen[c.Salt] {
+			return fmt.Errorf("faults: cell %d: duplicate salt %d", i, c.Salt)
+		}
+		seen[c.Salt] = true
+	}
+	return nil
+}
+
+// GateViolations lists the cells whose Wilson upper bound reaches 1/3 —
+// the E12 regression condition is that a full-size run has none.
+func (f *FaultResultsFile) GateViolations() []FaultCell {
+	var out []FaultCell
+	for _, c := range f.Cells {
+		if !c.Gate {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Encode writes the file as stable, indented JSON with a trailing newline.
+func (f *FaultResultsFile) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile encodes the results to path.
+func (f *FaultResultsFile) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// DecodeFaultResults parses and validates a fault-matrix file.
+func DecodeFaultResults(r io.Reader) (*FaultResultsFile, error) {
+	var f FaultResultsFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ReadFaultResultsFile decodes and validates the fault-matrix file at
+// path.
+func ReadFaultResultsFile(path string) (*FaultResultsFile, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return DecodeFaultResults(in)
+}
+
+// SniffSchema reads just the schema field of a results file, so callers
+// (dipbench -validate) can dispatch between dip-bench and dip-fault files.
+func SniffSchema(path string) (string, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer in.Close()
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.NewDecoder(in).Decode(&head); err != nil {
+		return "", fmt.Errorf("results: %w", err)
+	}
+	return head.Schema, nil
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"dip/internal/core"
+	"dip/internal/faults"
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/perm"
+	"dip/internal/wire"
+)
+
+// faultTarget is one protocol wired into the fault matrix.
+type faultTarget struct {
+	name   string
+	spec   func() *network.Spec
+	g      *graph.Graph
+	inputs []wire.Message
+	honest func() network.Prover
+	// merlinRounds gates the replay fault (needs ≥ 2 Merlin rounds to
+	// replay anything but a pass-through).
+	merlinRounds int
+	// perNodeAdvice gates nodeswap: shifting deliveries by one node only
+	// bites when per-node messages differ.
+	perNodeAdvice bool
+	// partialNeighborReads excludes the exchange-plane equivocate cell:
+	// a protocol whose decide consumes only a subset of each neighbor
+	// copy (dsym-dam reads just the echo, tree advice, and *children's*
+	// hash sums) lets a single equivocated bit land in don't-care
+	// positions at a non-negligible rate, so "detected below 1/3" is not
+	// a property it has — or claims.
+	partialNeighborReads bool
+	// anchor, when non-nil, runs the protocol's no-instance soundness
+	// anchor (cheating prover, no injected fault) for one trial.
+	anchor NetTrial
+}
+
+// faultMatrixTrials is the quick-mode per-cell trial count. 40 is the
+// smallest round count whose Wilson upper bound can certify < 1/3: even a
+// few stray accepts keep the interval below the gate (0/40 → hi ≈ 0.088),
+// while the 6-trial quick default of other experiments cannot (0/6 → hi ≈
+// 0.39 > 1/3, a gate violation with zero observed accepts).
+const faultMatrixTrials = 40
+
+// proverPlaneFaults lists (class, intensity) pairs injected on the
+// prover→node plane for every protocol; replay and nodeswap are appended
+// per target when applicable.
+var proverPlaneFaults = []struct {
+	class     string
+	intensity float64
+}{
+	{"bitflip", 0.25},
+	{"bitflip", 1},
+	{"truncate", 1},
+	{"drop", 1},
+	{"equivocate", 1},
+}
+
+// exchangePlaneFaults lists the node→node plane injections. The exchange
+// plane only carries copies: bitflip breaks the broadcast-consistency
+// comparisons and equivocate is the targeted version of the same cheat;
+// the blunter classes (drop/truncate) add nothing the prover plane does
+// not already cover, and replaying across rounds with different formats
+// reduces to bitflip-like garbage.
+var exchangePlaneFaults = []struct {
+	class     string
+	intensity float64
+}{
+	{"bitflip", 1},
+	{"equivocate", 1},
+}
+
+// RunFaultMatrix sweeps protocols × fault classes × intensities and
+// estimates the acceptance probability of each cell with the trial
+// harness: yes-instance honest runs corrupted in flight (the fault must be
+// *detected*: acceptance below the soundness bound), plus uninjected
+// no-instance anchors (plain soundness). The output is a pure function of
+// (Seed, Quick, Trials): byte-identical JSON at any Parallel/GOMAXPROCS.
+func RunFaultMatrix(cfg Config) (*FaultResultsFile, *Table, error) {
+	// Fault cells carry their own record format; keep them out of any
+	// attached dip-bench recorder.
+	cfg.Recorder = nil
+	trials := cfg.TrialCount(DefaultTrials, faultMatrixTrials)
+
+	targets, err := faultTargets(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	file := &FaultResultsFile{
+		Schema:         FaultSchema,
+		Tool:           "dipbench",
+		Seed:           cfg.Seed,
+		Quick:          cfg.Quick,
+		TrialsOverride: cfg.Trials,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+	}
+	table := &Table{
+		ID:      "E12",
+		Title:   "Soundness under injected faults (fault matrix)",
+		Columns: []string{"protocol", "fault", "plane", "intensity", "instance", "acceptance", "gate<1/3"},
+		Notes: []string{
+			"yes rows: honest prover on a yes-instance, messages corrupted in flight — the fault must be detected",
+			"no rows: cheating prover on a no-instance, no injection — the plain soundness anchor",
+			fmt.Sprintf("gate: 95%% Wilson upper bound of the acceptance rate below 1/3 (%d trials/cell)", trials),
+			"fault schedules are seed-derived (internal/faults): identical under both engines and any worker count",
+			"dsym-dam skips exchange-plane equivocate: its decide reads only part of each neighbor copy (echo, tree advice, children's hash sums), so a single equivocated bit can land in don't-care positions",
+		},
+	}
+
+	salt := int64(12000)
+	addCell := func(c FaultCell, trial NetTrial) error {
+		c.Salt = salt
+		salt++
+		st, err := RunTrials(cfg, c.Salt, trials, trial)
+		if err != nil {
+			return fmt.Errorf("fault cell %s/%s/%s: %w", c.Protocol, c.Fault, c.Plane, err)
+		}
+		est := st.Estimate()
+		c.Trials = st.Trials
+		c.Accepts = st.Accepts
+		c.Estimate = intervalOf(est)
+		c.Gate = c.Estimate.Hi < FaultBound
+		file.Cells = append(file.Cells, c)
+		plane := c.Plane
+		if plane == "" {
+			plane = "-"
+		}
+		intensity := "-"
+		if c.Intensity > 0 {
+			intensity = fmt.Sprintf("%.2f", c.Intensity)
+		}
+		table.AddRow(c.Protocol, c.Fault, plane, intensity, c.Instance, est.String(), fmt.Sprint(c.Gate))
+		return nil
+	}
+
+	for _, tgt := range targets {
+		if tgt.anchor != nil {
+			cell := FaultCell{Protocol: tgt.name, Fault: "none", Instance: "no"}
+			if err := addCell(cell, tgt.anchor); err != nil {
+				return nil, nil, err
+			}
+		}
+		rows := proverPlaneFaults
+		if tgt.perNodeAdvice {
+			rows = append(rows, struct {
+				class     string
+				intensity float64
+			}{"nodeswap", 1})
+		}
+		if tgt.merlinRounds >= 2 {
+			rows = append(rows, struct {
+				class     string
+				intensity float64
+			}{"replay", 1})
+		}
+		for _, row := range rows {
+			cell := FaultCell{Protocol: tgt.name, Fault: row.class,
+				Plane: string(faults.PlaneProver), Intensity: row.intensity, Instance: "yes"}
+			if err := addCell(cell, faultTrial(tgt, row.class, row.intensity, faults.PlaneProver)); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, row := range exchangePlaneFaults {
+			if row.class == "equivocate" && tgt.partialNeighborReads {
+				continue
+			}
+			cell := FaultCell{Protocol: tgt.name, Fault: row.class,
+				Plane: string(faults.PlaneExchange), Intensity: row.intensity, Instance: "yes"}
+			if err := addCell(cell, faultTrial(tgt, row.class, row.intensity, faults.PlaneExchange)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return file, table, nil
+}
+
+// E12FaultMatrix is the Runner wrapper around RunFaultMatrix: the table
+// goes into EXPERIMENTS.md like any other experiment; the machine-readable
+// cells are only emitted by cmd/dipbench -faults.
+func E12FaultMatrix(cfg Config) (*Table, error) {
+	_, table, err := RunFaultMatrix(cfg)
+	return table, err
+}
+
+// faultTrial builds the NetTrial for one matrix cell: an honest
+// yes-instance run with a fresh injector wired to the chosen plane. All
+// randomness — the engine seed and the fault schedule alike — derives
+// from the trial rng, so the cell is reproducible at any worker count.
+func faultTrial(tgt faultTarget, class string, intensity float64, plane faults.Plane) NetTrial {
+	return func(_ int, rng *rand.Rand) (*network.Result, error) {
+		c, ok := faults.ByName(class)
+		if !ok {
+			return nil, fmt.Errorf("unknown fault class %q", class)
+		}
+		inj := c.New()
+		if intensity < 1 {
+			inj = faults.WithProbability(intensity, inj)
+		}
+		runSeed := rng.Int63()
+		opts := network.Options{Seed: runSeed}
+		n := tgt.g.N()
+		switch plane {
+		case faults.PlaneProver:
+			opts.Corrupt = faults.Corruptor(runSeed, n, inj)
+		case faults.PlaneExchange:
+			opts.CorruptExchange = faults.ExchangeCorruptor(runSeed, n, inj)
+		}
+		return network.Run(tgt.spec(), tgt.g, tgt.inputs, tgt.honest(), opts)
+	}
+}
+
+// faultTargets builds the protocol instances under test. The three cheap
+// Symmetry-family protocols always run; the GNI workhorse joins at full
+// size only (its optimal-cheater anchor accepts at a visibly nonzero rate,
+// so certifying < 1/3 needs full trial counts — and its runs dominate the
+// matrix's cost).
+func faultTargets(cfg Config) ([]faultTarget, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 12))
+	base, err := graph.RandomAsymmetricConnected(6, rng)
+	if err != nil {
+		return nil, err
+	}
+	sym := graph.Doubled(base, 0)
+	n := sym.N()
+	asym, err := graph.RandomAsymmetricConnected(n, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	dmam, err := core.NewSymDMAM(n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dam, err := core.NewSymDAM(n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dsym, err := core.NewDSymDAM(6, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dsymG := graph.DSymGraph(graph.ConnectedGNP(6, 0.5, rng), 1)
+
+	targets := []faultTarget{
+		{
+			name: "sym-dmam", spec: dmam.Spec, g: sym, honest: dmam.HonestProver,
+			merlinRounds: 2, perNodeAdvice: true,
+			anchor: func(_ int, rng *rand.Rand) (*network.Result, error) {
+				return dmam.Run(asym, dmam.RandomMappingProver(rng), rng.Int63())
+			},
+		},
+		{
+			name: "sym-dam", spec: dam.Spec, g: sym, honest: dam.HonestProver,
+			merlinRounds: 1, perNodeAdvice: true,
+			anchor: func(_ int, rng *rand.Rand) (*network.Result, error) {
+				rho := perm.RandomNonIdentity(n, rng)
+				return dam.Run(asym, dam.ProverWithMapping(rho, rho.Moved()), rng.Int63())
+			},
+		},
+		{
+			name: "dsym-dam", spec: dsym.Spec, g: dsymG, honest: dsym.HonestProver,
+			merlinRounds: 1, perNodeAdvice: true, partialNeighborReads: true,
+		},
+	}
+
+	if !cfg.Quick {
+		const gniN, gniK = 6, 32
+		gniYes, err := core.NewGNIYesInstance(gniN, rng)
+		if err != nil {
+			return nil, err
+		}
+		gniNo, err := core.NewGNINoInstance(gniN, rng)
+		if err != nil {
+			return nil, err
+		}
+		damam, err := core.NewGNIDAMAM(gniN, gniK, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, faultTarget{
+			name: "gni-damam", spec: damam.Spec, g: gniYes.G0,
+			inputs: core.EncodeGNIInputs(gniYes.G1), honest: damam.HonestProver,
+			merlinRounds: 2, perNodeAdvice: true,
+			anchor: func(_ int, rng *rand.Rand) (*network.Result, error) {
+				return network.Run(damam.Spec(), gniNo.G0, core.EncodeGNIInputs(gniNo.G1),
+					damam.OptimalGNICheater(), network.Options{Seed: rng.Int63()})
+			},
+		})
+	}
+	return targets, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func quickFaultFile(t *testing.T, parallel int) *FaultResultsFile {
+	t.Helper()
+	file, table, err := RunFaultMatrix(Config{Seed: 1, Quick: true, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(table.Rows) != len(file.Cells) {
+		t.Fatalf("table rows %d != cells %d", len(table.Rows), len(file.Cells))
+	}
+	if err := file.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return file
+}
+
+// TestFaultMatrixDeterministic pins the dip-fault/v1 reproducibility
+// contract: the encoded file is byte-identical regardless of the
+// trial-harness worker count.
+func TestFaultMatrixDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is slow")
+	}
+	var a, b bytes.Buffer
+	if err := quickFaultFile(t, 1).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := quickFaultFile(t, 4).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("fault matrix output depends on worker count:\nparallel=1: %d bytes\nparallel=4: %d bytes", a.Len(), b.Len())
+	}
+}
+
+// TestFaultMatrixGates is the E12 regression gate: every cell of the
+// matrix — injected faults on honest yes-instance runs and uninjected
+// cheating anchors alike — must keep its acceptance rate certifiably
+// below the paper's 1/3 soundness bound. Quick mode uses 40 trials per
+// cell, enough for the Wilson upper bound to clear the gate.
+func TestFaultMatrixGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is slow")
+	}
+	file := quickFaultFile(t, 0)
+	for _, c := range file.GateViolations() {
+		t.Errorf("cell %s/%s/%s intensity=%v instance=%s: %d/%d accepts, Wilson hi %.3f ≥ 1/3",
+			c.Protocol, c.Fault, c.Plane, c.Intensity, c.Instance, c.Accepts, c.Trials, c.Estimate.Hi)
+	}
+	// The quick matrix must still exercise every fault class and both
+	// planes.
+	classes := make(map[string]bool)
+	planes := make(map[string]bool)
+	for _, c := range file.Cells {
+		classes[c.Fault] = true
+		planes[c.Plane] = true
+	}
+	for _, want := range []string{"none", "bitflip", "truncate", "drop", "equivocate", "nodeswap", "replay"} {
+		if !classes[want] {
+			t.Errorf("quick matrix has no %q cells", want)
+		}
+	}
+	if !planes["prover"] || !planes["exchange"] {
+		t.Errorf("quick matrix planes = %v, want both prover and exchange", planes)
+	}
+}
+
+func TestFaultResultsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is slow")
+	}
+	file := quickFaultFile(t, 0)
+	path := filepath.Join(t.TempDir(), "fault.json")
+	if err := file.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaultResultsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(file, got) {
+		t.Fatal("fault results did not round-trip through JSON")
+	}
+	schema, err := SniffSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema != FaultSchema {
+		t.Fatalf("SniffSchema = %q, want %q", schema, FaultSchema)
+	}
+}
+
+func TestFaultResultsValidateRejects(t *testing.T) {
+	good := func() *FaultResultsFile {
+		return &FaultResultsFile{
+			Schema: FaultSchema,
+			Tool:   "dipbench",
+			Cells: []FaultCell{{
+				Salt: 12000, Protocol: "sym-dmam", Fault: "bitflip", Plane: "prover",
+				Intensity: 1, Instance: "yes", Trials: 40, Accepts: 0,
+				Estimate: Interval{Rate: 0, Lo: 0, Hi: 0.088}, Gate: true,
+			}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		break_ func(*FaultResultsFile)
+	}{
+		{"schema", func(f *FaultResultsFile) { f.Schema = "dip-bench/v1" }},
+		{"no cells", func(f *FaultResultsFile) { f.Cells = nil }},
+		{"instance", func(f *FaultResultsFile) { f.Cells[0].Instance = "maybe" }},
+		{"accepts", func(f *FaultResultsFile) { f.Cells[0].Accepts = 41 }},
+		{"interval", func(f *FaultResultsFile) { f.Cells[0].Estimate.Hi = 1.5 }},
+		{"intensity", func(f *FaultResultsFile) { f.Cells[0].Intensity = 2 }},
+		{"gate mismatch", func(f *FaultResultsFile) { f.Cells[0].Gate = false }},
+		{"dup salt", func(f *FaultResultsFile) { f.Cells = append(f.Cells, f.Cells[0]) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := good()
+			tc.break_(f)
+			if err := f.Validate(); err == nil {
+				t.Fatal("Validate accepted a corrupted file")
+			}
+		})
+	}
+}
+
+// TestSniffSchemaDispatch checks the -validate dispatch path: a dip-bench
+// file sniffs as dip-bench, garbage errors out.
+func TestSniffSchemaDispatch(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(bench, []byte(`{"schema":"dip-bench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := SniffSchema(bench)
+	if err != nil || schema != Schema {
+		t.Fatalf("SniffSchema(bench) = %q, %v", schema, err)
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SniffSchema(junk); err == nil {
+		t.Fatal("SniffSchema accepted junk")
+	}
+}

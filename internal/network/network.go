@@ -288,8 +288,28 @@ type Result struct {
 
 // Corruptor mutates a prover→node message in flight; used to inject
 // failures when testing verifier robustness. It is applied after cost
-// accounting of the original message.
+// accounting of the original message: the node is charged for what the
+// prover sent, then receives the corrupted bits ("charged, then
+// corrupted"). Both engines invoke it from a single goroutine, once per
+// (merlinRound, node) in ascending node order within each round, so a
+// Corruptor may carry state keyed on that order without locking.
 type Corruptor func(merlinRound, node int, m wire.Message) wire.Message
+
+// ExchangeCorruptor mutates a node→node message on the exchange plane: the
+// forward/digest traffic after a Merlin round and, when
+// Spec.ShareChallenges is set, the challenge exchange after an Arthur
+// round. round is the spec round index the exchange belongs to (the same
+// index Cost.PerRound uses); from is the sending node, to the receiving
+// neighbor. Cost semantics mirror Corruptor: the sender is charged for the
+// original message, then `to` receives the corrupted copy.
+//
+// Unlike Corruptor, the concurrent engine invokes an ExchangeCorruptor from
+// many node goroutines at once and in no fixed (from, to) order. To keep
+// the two engines bit-identical, an ExchangeCorruptor must be safe for
+// concurrent use and order-independent: its output may depend only on
+// (round, from, to, m) — or on per-(from,to) history, since rounds ascend
+// per directed pair in both engines — never on global call order.
+type ExchangeCorruptor func(round, from, to int, m wire.Message) wire.Message
 
 // Options configure a run.
 type Options struct {
@@ -298,6 +318,16 @@ type Options struct {
 	Seed int64
 	// Corrupt, if non-nil, tampers with prover→node messages.
 	Corrupt Corruptor
+	// CorruptExchange, if non-nil, tampers with node→node messages (see
+	// ExchangeCorruptor for the contract).
+	CorruptExchange ExchangeCorruptor
+	// ProverTimeout, when positive, bounds each Prover.Respond call. A
+	// prover that has not returned within the deadline aborts the run with
+	// a *RunError in PhaseDeadline instead of hanging it. The stuck Respond
+	// call itself cannot be cancelled — Go cannot kill a goroutine — so it
+	// is abandoned; a well-behaved prover that merely finishes late finds
+	// the run gone and its response discarded.
+	ProverTimeout time.Duration
 	// RecordTranscript attaches a full message transcript to the Result.
 	RecordTranscript bool
 	// Sequential forces the single-goroutine scheduler; Concurrent forces
@@ -315,6 +345,10 @@ var (
 	errNilGraph  = errors.New("network: nil graph")
 	errNilDecide = errors.New("network: spec has no Decide function")
 	errBothModes = errors.New("network: Options.Sequential and Options.Concurrent both set")
+	// errNilProver is the cause inside the *RunError returned when a spec
+	// with Merlin rounds is run without a prover (formerly a nil-interface
+	// panic at the first Respond call).
+	errNilProver = errors.New("nil Prover for a spec with Merlin rounds")
 )
 
 // Run executes the protocol described by spec on graph g with the given
@@ -338,6 +372,7 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 	if inputs != nil && len(inputs) != n {
 		return nil, fmt.Errorf("network: %d inputs for %d nodes", len(inputs), n)
 	}
+	firstMerlin := -1
 	for i, r := range spec.Rounds {
 		switch r.Kind {
 		case Arthur:
@@ -345,9 +380,16 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 				return nil, fmt.Errorf("network: round %d is Arthur but has no Challenge", i)
 			}
 		case Merlin:
+			if firstMerlin < 0 {
+				firstMerlin = i
+			}
 		default:
 			return nil, fmt.Errorf("network: round %d has invalid kind %d", i, r.Kind)
 		}
+	}
+	if p == nil && firstMerlin >= 0 {
+		return nil, &RunError{Protocol: spec.Name, Phase: PhaseSetup,
+			Round: firstMerlin, Node: -1, Err: errNilProver}
 	}
 	if n == 0 {
 		return &Result{Accepted: true, Cost: Cost{}}, nil
@@ -441,6 +483,15 @@ type engine struct {
 	decisionCh  chan decision
 	abortCh     chan struct{}
 
+	// failOnce/failErr implement fail-fast abort for the concurrent engine:
+	// the first failure (from the driver or any node goroutine) records its
+	// *RunError and closes abortCh; later failures are dropped. failErr is
+	// read only after the goroutine that set it is joined (the Once gives
+	// the winning writer happens-before every other Do caller, and wg.Wait
+	// orders node writers before the reader).
+	failOnce sync.Once
+	failErr  *RunError
+
 	// cost slices are written element-exclusively: ToProver and FromProver
 	// by the driver goroutine, NodeToNode[v] only by node v's goroutine;
 	// all reads happen after the node goroutines have finished.
@@ -480,19 +531,21 @@ func (e *engine) runConcurrent() (*Result, error) {
 	}
 
 	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
-	runErr := e.drive(pv)
-	if runErr != nil {
-		close(e.abortCh) // release blocked nodes
-		wg.Wait()
-		return nil, fmt.Errorf("network: protocol %q: %w", e.spec.Name, runErr)
+	if err := e.drive(pv); err != nil {
+		e.fail(err) // release blocked nodes (no-op if a node failed first)
+	}
+	wg.Wait()
+	if e.failErr != nil {
+		return nil, e.failErr
 	}
 
+	// decisionCh is buffered to n and every node either sent its decision
+	// or failed (handled above), so all n decisions are already queued.
 	decisions := make([]bool, e.n)
 	for i := 0; i < e.n; i++ {
 		d := <-e.decisionCh
 		decisions[d.v] = d.accept
 	}
-	wg.Wait()
 
 	accepted := true
 	for _, d := range decisions {
@@ -506,15 +559,21 @@ func (e *engine) runConcurrent() (*Result, error) {
 	}, nil
 }
 
-// drive plays the prover side and routes messages, round by round.
-func (e *engine) drive(pv *ProverView) error {
+// drive plays the prover side and routes messages, round by round. A nil
+// return with e.failErr set means the run was aborted by a node failure.
+func (e *engine) drive(pv *ProverView) *RunError {
 	merlinRound := 0
 	for ri, round := range e.spec.Rounds {
 		switch round.Kind {
 		case Arthur:
 			challenges := make([]wire.Message, e.n)
 			for i := 0; i < e.n; i++ {
-				c := <-e.challengeCh
+				var c challengeMsg
+				select {
+				case c = <-e.challengeCh:
+				case <-e.abortCh:
+					return nil
+				}
 				challenges[c.from] = c.m
 				e.cost.ToProver[c.from] += c.m.Bits
 				e.cost.PerRound[ri].ToProver[c.from] += c.m.Bits
@@ -527,13 +586,9 @@ func (e *engine) drive(pv *ProverView) error {
 					TranscriptRound{Kind: Arthur, PerNode: rec})
 			}
 		case Merlin:
-			resp, err := e.prover.Respond(merlinRound, pv)
-			if err != nil {
-				return fmt.Errorf("prover round %d: %w", merlinRound, err)
-			}
-			if resp == nil || len(resp.PerNode) != e.n {
-				return fmt.Errorf("prover round %d: response for %d nodes, want %d",
-					merlinRound, respLen(resp), e.n)
+			resp, rerr := e.callRespond(ri, merlinRound, pv)
+			if rerr != nil {
+				return rerr
 			}
 			var rec []wire.Message
 			if e.transcript != nil {
@@ -541,6 +596,9 @@ func (e *engine) drive(pv *ProverView) error {
 			}
 			for v := 0; v < e.n; v++ {
 				m := resp.PerNode[v]
+				if rerr := e.checkMessage(ri, v, m); rerr != nil {
+					return rerr
+				}
 				e.cost.FromProver[v] += m.Bits
 				e.cost.PerRound[ri].FromProver[v] += m.Bits
 				if e.opts.Corrupt != nil {
@@ -549,7 +607,11 @@ func (e *engine) drive(pv *ProverView) error {
 				if rec != nil {
 					rec[v] = m
 				}
-				e.respCh[v] <- m
+				select {
+				case e.respCh[v] <- m:
+				case <-e.abortCh:
+					return nil
+				}
 			}
 			if e.transcript != nil {
 				e.transcript.Rounds = append(e.transcript.Rounds,
@@ -557,6 +619,95 @@ func (e *engine) drive(pv *ProverView) error {
 			}
 			merlinRound++
 		}
+	}
+	return nil
+}
+
+// fail records the first *RunError of a concurrent run and releases every
+// blocked goroutine. Safe to call from any goroutine, any number of times.
+func (e *engine) fail(err *RunError) {
+	e.failOnce.Do(func() {
+		e.failErr = err
+		close(e.abortCh)
+	})
+}
+
+// runError builds a *RunError attributed to (phase, round, node) for this
+// run's protocol.
+func (e *engine) runError(phase Phase, round, node int, err error) *RunError {
+	return &RunError{Protocol: e.spec.Name, Phase: phase, Round: round, Node: node, Err: err}
+}
+
+// guard runs a Spec callback with panic containment: a panic in f becomes a
+// *RunError attributed to (phase, round, node) instead of crashing the
+// process (or, in the concurrent engine, deadlocking the other nodes).
+func (e *engine) guard(phase Phase, round, node int, f func()) (rerr *RunError) {
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = e.runError(phase, round, node, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	f()
+	return nil
+}
+
+// callRespond invokes Prover.Respond for spec round ri with panic
+// containment, response-shape validation, and (when Options.ProverTimeout
+// is set) a deadline. Both engines call the prover exclusively through this
+// helper, so a hostile prover implementation fails identically under
+// either engine.
+func (e *engine) callRespond(ri, merlinRound int, pv *ProverView) (*Response, *RunError) {
+	call := func() (resp *Response, rerr *RunError) {
+		defer func() {
+			if r := recover(); r != nil {
+				rerr = e.runError(PhaseRespond, ri, -1, fmt.Errorf("prover panic: %v", r))
+			}
+		}()
+		r, err := e.prover.Respond(merlinRound, pv)
+		if err != nil {
+			return nil, e.runError(PhaseRespond, ri, -1,
+				fmt.Errorf("prover round %d: %w", merlinRound, err))
+		}
+		if r == nil || len(r.PerNode) != e.n {
+			return nil, e.runError(PhaseRespond, ri, -1,
+				fmt.Errorf("prover round %d: response for %d nodes, want %d",
+					merlinRound, respLen(r), e.n))
+		}
+		return r, nil
+	}
+	if e.opts.ProverTimeout <= 0 {
+		return call()
+	}
+	type outcome struct {
+		resp *Response
+		rerr *RunError
+	}
+	done := make(chan outcome, 1) // buffered: a late prover must not leak forever
+	go func() {
+		resp, rerr := call()
+		done <- outcome{resp, rerr}
+	}()
+	timer := time.NewTimer(e.opts.ProverTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.resp, out.rerr
+	case <-timer.C:
+		return nil, e.runError(PhaseDeadline, ri, -1,
+			fmt.Errorf("prover round %d: no response within %v", merlinRound, e.opts.ProverTimeout))
+	}
+}
+
+// checkMessage rejects a malformed prover wire.Message before it is
+// charged or delivered: Bits must be non-negative and Data must be exactly
+// ceil(Bits/8) bytes (the invariant wire.Writer maintains). Without this
+// check a hostile prover could silently corrupt the cost accounting
+// (negative Bits) or feed verifiers more data than it was charged for.
+func (e *engine) checkMessage(ri, v int, m wire.Message) *RunError {
+	if m.Bits < 0 || len(m.Data) != (m.Bits+7)/8 {
+		return e.runError(PhaseRespond, ri, v,
+			fmt.Errorf("malformed message: Bits=%d but len(Data)=%d (want %d bytes)",
+				m.Bits, len(m.Data), (m.Bits+7)/8))
 	}
 	return nil
 }
@@ -579,7 +730,13 @@ func (e *engine) nodeMain(v int) {
 	for ri, round := range e.spec.Rounds {
 		switch round.Kind {
 		case Arthur:
-			c := round.Challenge(v, rng, view)
+			var c wire.Message
+			if rerr := e.guard(PhaseChallenge, ri, v, func() {
+				c = round.Challenge(v, rng, view)
+			}); rerr != nil {
+				e.fail(rerr)
+				return
+			}
 			view.MyChallenges = append(view.MyChallenges, c)
 			select {
 			case e.challengeCh <- challengeMsg{from: v, m: c}:
@@ -604,7 +761,12 @@ func (e *engine) nodeMain(v int) {
 			view.Responses = append(view.Responses, m)
 			forward := m
 			if round.Digest != nil {
-				forward = round.Digest(v, rng, m)
+				if rerr := e.guard(PhaseDigest, ri, v, func() {
+					forward = round.Digest(v, rng, m)
+				}); rerr != nil {
+					e.fail(rerr)
+					return
+				}
 			}
 			got, ok := e.exchange(ri, v, deg, exchangeIdx, forward, &stash)
 			if !ok {
@@ -615,7 +777,13 @@ func (e *engine) nodeMain(v int) {
 		}
 	}
 
-	accept := e.spec.Decide(v, view)
+	var accept bool
+	if rerr := e.guard(PhaseDecide, -1, v, func() {
+		accept = e.spec.Decide(v, view)
+	}); rerr != nil {
+		e.fail(rerr)
+		return
+	}
 	select {
 	case e.decisionCh <- decision{v: v, accept: accept}:
 	case <-e.abortCh:
@@ -628,8 +796,14 @@ func (e *engine) nodeMain(v int) {
 // cost attribution). It returns false if the run was aborted.
 func (e *engine) exchange(round, v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
 	for _, u := range e.nbrs[v] {
+		out := m
+		if e.opts.CorruptExchange != nil {
+			// Charged-then-corrupted, like the prover plane: v's cost below
+			// reflects the original m, while u receives the corrupted copy.
+			out = e.opts.CorruptExchange(round, v, u, m)
+		}
 		select {
-		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: m}:
+		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: out}:
 		case <-e.abortCh:
 			return nil, false
 		}
@@ -735,7 +909,12 @@ func (e *engine) runSequential() (*Result, error) {
 		case Arthur:
 			challenges := make([]wire.Message, e.n)
 			for v := 0; v < e.n; v++ {
-				c := round.Challenge(v, rngs[v], &views[v])
+				var c wire.Message
+				if rerr := e.guard(PhaseChallenge, ri, v, func() {
+					c = round.Challenge(v, rngs[v], &views[v])
+				}); rerr != nil {
+					return nil, rerr
+				}
 				views[v].MyChallenges = append(views[v].MyChallenges, c)
 				challenges[v] = c
 				e.cost.ToProver[v] += c.Bits
@@ -755,18 +934,16 @@ func (e *engine) runSequential() (*Result, error) {
 				}
 			}
 		case Merlin:
-			resp, err := e.prover.Respond(merlinRound, pv)
-			if err != nil {
-				return nil, fmt.Errorf("network: protocol %q: prover round %d: %w",
-					e.spec.Name, merlinRound, err)
-			}
-			if resp == nil || len(resp.PerNode) != e.n {
-				return nil, fmt.Errorf("network: protocol %q: prover round %d: response for %d nodes, want %d",
-					e.spec.Name, merlinRound, respLen(resp), e.n)
+			resp, rerr := e.callRespond(ri, merlinRound, pv)
+			if rerr != nil {
+				return nil, rerr
 			}
 			delivered := make([]wire.Message, e.n)
 			for v := 0; v < e.n; v++ {
 				m := resp.PerNode[v]
+				if rerr := e.checkMessage(ri, v, m); rerr != nil {
+					return nil, rerr
+				}
 				e.cost.FromProver[v] += m.Bits
 				e.cost.PerRound[ri].FromProver[v] += m.Bits
 				if e.opts.Corrupt != nil {
@@ -785,7 +962,11 @@ func (e *engine) runSequential() (*Result, error) {
 			if round.Digest != nil {
 				forwards = make([]wire.Message, e.n)
 				for v := 0; v < e.n; v++ {
-					forwards[v] = round.Digest(v, rngs[v], delivered[v])
+					if rerr := e.guard(PhaseDigest, ri, v, func() {
+						forwards[v] = round.Digest(v, rngs[v], delivered[v])
+					}); rerr != nil {
+						return nil, rerr
+					}
 				}
 			}
 			for v := 0; v < e.n; v++ {
@@ -799,7 +980,11 @@ func (e *engine) runSequential() (*Result, error) {
 	decisions := make([]bool, e.n)
 	accepted := true
 	for v := 0; v < e.n; v++ {
-		decisions[v] = e.spec.Decide(v, &views[v])
+		if rerr := e.guard(PhaseDecide, -1, v, func() {
+			decisions[v] = e.spec.Decide(v, &views[v])
+		}); rerr != nil {
+			return nil, rerr
+		}
 		accepted = accepted && decisions[v]
 	}
 	return &Result{
@@ -819,7 +1004,14 @@ func (e *engine) gatherSequential(round, v int, msgs []wire.Message) map[int]wir
 	e.cost.PerRound[round].NodeToNode[v] += len(nbrs) * msgs[v].Bits
 	got := make(map[int]wire.Message, len(nbrs))
 	for _, u := range nbrs {
-		got[u] = msgs[u]
+		m := msgs[u]
+		if e.opts.CorruptExchange != nil {
+			// Mirrors the concurrent engine's exchange(): u was charged for
+			// the original message above (when its own gather ran); v
+			// receives the corrupted copy of u→v traffic.
+			m = e.opts.CorruptExchange(round, u, v, msgs[u])
+		}
+		got[u] = m
 	}
 	return got
 }
