@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke bench tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke bench bench-check tables tables-quick clean
 
-# verify is the tier-1 gate: lint, build, tests, the race check on the two
-# packages with real concurrency (the concurrent engine and the
-# trial-harness pool), a results-file smoke round-trip, a short mutation
-# burst on every decoder fuzz target, and a fault-matrix smoke run.
+# verify is the tier-1 gate: lint, build, tests, the race check across the
+# whole module (short mode keeps it minutes, not hours), a results-file
+# smoke round-trip, a short mutation burst on every decoder fuzz target,
+# and a fault-matrix smoke run.
 verify: lint build test race smoke fuzz-short fault-smoke
 
 # lint fails on unformatted files or vet findings.
@@ -25,8 +25,10 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers every package: the concurrent engine and trial-harness pool
+# have real concurrency, and the rest is cheap under -short.
 race:
-	$(GO) test -race ./internal/network/... ./internal/experiments/...
+	$(GO) test -race -short ./...
 
 # smoke emits a quick machine-readable benchmark file and round-trips it
 # through the schema validator.
@@ -54,6 +56,11 @@ fault-smoke:
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 2s .
+
+# bench-check re-measures the engine workload's allocs/op and fails if it
+# regresses more than 10% over the engine_bench record in BENCH_seed1.json.
+bench-check:
+	$(GO) run ./cmd/dipbench -bench-check BENCH_seed1.json
 
 # tables regenerates every EXPERIMENTS.md table at full trial counts and
 # the committed BENCH_seed1.json / FAULT_seed1.json sidecars (quick sizes,

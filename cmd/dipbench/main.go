@@ -12,7 +12,7 @@
 //	dipbench -parallel 2      # cap the trial-harness worker count
 //	dipbench -json out.json   # also emit machine-readable results
 //	dipbench -faults          # run the fault matrix (E12) instead of E1..E11
-//	dipbench -validate x.json # check a results file against its schema
+//	dipbench -validate x.json [y.json ...]  # check results files against their schemas
 //	dipbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Tables are reproducible for a fixed -seed regardless of -parallel: each
@@ -55,14 +55,20 @@ func run() error {
 		jsonTimings = flag.Bool("json-timings", false, "include the non-reproducible timings block in -json output")
 		progress    = flag.Bool("progress", true, "report live per-cell progress on stderr")
 		faultsMode  = flag.Bool("faults", false, "run the fault-injection matrix (E12); -json emits dip-fault/v1")
-		validate    = flag.String("validate", "", "validate an existing results file against its schema and exit")
+		validate    = flag.String("validate", "", "validate existing results files against their schemas and exit (accepts further paths as positional args)")
+		benchAllocs = flag.Bool("bench-allocs", true, "measure the engine reference workload's allocs/op and embed it in -json output")
+		benchCheck  = flag.String("bench-check", "", "re-measure engine allocs/op and fail if it regresses >10% over the engine_bench record in this results file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
 	if *validate != "" {
-		return validateFile(*validate)
+		return validateFiles(append([]string{*validate}, flag.Args()...))
+	}
+
+	if *benchCheck != "" {
+		return checkEngineAllocs(*benchCheck)
 	}
 
 	if *cpuprofile != "" {
@@ -134,6 +140,15 @@ func run() error {
 	}
 
 	if *jsonPath != "" {
+		if *benchAllocs {
+			eb, err := experiments.MeasureEngineAllocs()
+			if err != nil {
+				return err
+			}
+			results.EngineBench = eb
+			fmt.Fprintf(os.Stderr, "engine bench: %.0f allocs/op (%s, n=%d)\n",
+				eb.AllocsPerOp, eb.Workload, eb.Nodes)
+		}
 		if *jsonTimings {
 			timings.Parallel = *parallel
 			timings.GoVersion = runtime.Version()
@@ -190,6 +205,45 @@ func runFaults(cfg experiments.Config, jsonPath string) error {
 	return nil
 }
 
+// checkEngineAllocs is the allocation-regression gate: re-measure the
+// engine reference workload and compare against the engine_bench record
+// committed in a dip-bench/v1 file.
+func checkEngineAllocs(path string) error {
+	f, err := experiments.ReadResultsFile(path)
+	if err != nil {
+		return err
+	}
+	measured, err := experiments.MeasureEngineAllocs()
+	if err != nil {
+		return err
+	}
+	recorded := f.EngineBench
+	if err := experiments.CheckEngineAllocs(recorded, measured); err != nil {
+		return err
+	}
+	fmt.Printf("%s: engine bench OK: %.0f allocs/op measured vs %.0f recorded (limit +%d%%)\n",
+		path, measured.AllocsPerOp, recorded.AllocsPerOp, int(experiments.AllocRegressionLimit*100))
+	return nil
+}
+
+// validateFiles checks every file and reports each failure with its own
+// diagnostic before exiting: a batch invocation (`dipbench -validate
+// a.json b.json c.json`) surfaces all broken artifacts in one pass
+// instead of stopping at the first.
+func validateFiles(paths []string) error {
+	failed := 0
+	for _, path := range paths {
+		if err := validateFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed validation", failed, len(paths))
+	}
+	return nil
+}
+
 // validateFile dispatches on the file's schema field: dip-bench/v1 and
 // dip-fault/v1 files are both accepted.
 func validateFile(path string) error {
@@ -219,6 +273,6 @@ func validateFile(path string) error {
 			path, f.Schema, f.Seed, len(f.Cells), len(f.GateViolations()))
 		return nil
 	default:
-		return fmt.Errorf("%s: unknown schema %q", path, schema)
+		return fmt.Errorf("unknown schema %q", schema)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"dip/internal/faults"
 	"dip/internal/graph"
 	"dip/internal/network"
+	"dip/internal/obs"
 	"dip/internal/wire"
 )
 
@@ -107,6 +108,12 @@ type simRecord struct {
 	Fault      string  `json:"fault,omitempty"`
 	FaultPlane string  `json:"fault_plane,omitempty"`
 	FaultProb  float64 `json:"fault_prob,omitempty"`
+	// Deliveries/DeliveredBits are the engine's delivery meters for this
+	// run (every message through the delivery funnel on all planes, and
+	// their honest pre-corruption bits). Both are pure functions of the
+	// run, so they stay in the reproducible record.
+	Deliveries    int64 `json:"deliveries"`
+	DeliveredBits int64 `json:"delivered_bits"`
 }
 
 // simSchema versions the -json output of dipsim.
@@ -285,12 +292,17 @@ func run(o simOptions, stdout io.Writer) error {
 		}
 	}
 	cost := experiments.SummarizeCost(&res.Cost)
+	// dipsim performs exactly one engine run per invocation, so the
+	// process-global delivery meters are this run's meters.
+	meters := obs.Snapshot()
 
 	fmt.Fprintf(stdout, "accepted: %v\n", res.Accepted)
 	fmt.Fprintf(stdout, "rejecting nodes: %d / %d\n", rejecting, len(res.Decisions))
 	fmt.Fprintf(stdout, "max prover bits per node: %d\n", cost.MaxProverBits)
 	fmt.Fprintf(stdout, "total prover bits:        %d\n", cost.TotalProverBits)
 	fmt.Fprintf(stdout, "max node-to-node bits:    %d\n", cost.MaxNodeToNodeBits)
+	fmt.Fprintf(stdout, "deliveries: %d (%d bits through the engine funnel)\n",
+		meters.Deliveries, meters.DeliveredBits)
 	fmt.Fprintf(stdout, "per-round bits at node %d (the max-cost node):\n", cost.MaxNode)
 	for ri, r := range cost.PerRound {
 		fmt.Fprintf(stdout, "  round %d (%s): to prover %d, from prover %d, to neighbors %d\n",
@@ -317,6 +329,8 @@ func run(o simOptions, stdout io.Writer) error {
 			rec.FaultPlane = o.faultPlane
 			rec.FaultProb = o.faultProb
 		}
+		rec.Deliveries = meters.Deliveries
+		rec.DeliveredBits = meters.DeliveredBits
 		data, merr := json.MarshalIndent(&rec, "", "  ")
 		if merr != nil {
 			return merr

@@ -26,13 +26,17 @@ type faultTarget struct {
 	// perNodeAdvice gates nodeswap: shifting deliveries by one node only
 	// bites when per-node messages differ.
 	perNodeAdvice bool
-	// partialNeighborReads excludes the exchange-plane equivocate cell:
-	// a protocol whose decide consumes only a subset of each neighbor
-	// copy (dsym-dam reads just the echo, tree advice, and *children's*
-	// hash sums) lets a single equivocated bit land in don't-care
-	// positions at a non-negligible rate, so "detected below 1/3" is not
-	// a property it has — or claims.
-	partialNeighborReads bool
+	// exchangeReadWidth, when positive, narrows the exchange-plane
+	// equivocate cell to the first exchangeReadWidth bits of each message
+	// (faults.EquivocateWithin). A protocol whose decide consumes only a
+	// subset of each neighbor copy (dsym-dam reads the echo, tree advice,
+	// and *children's* hash sums) would let an unconstrained equivocated
+	// bit land in don't-care positions at a non-negligible rate; limiting
+	// the flip to a prefix every receiver provably compares (dsym-dam's
+	// leading echo field) makes "detected below 1/3" a property the
+	// protocol actually claims. Zero means the whole message is read and
+	// the generic injector applies.
+	exchangeReadWidth int
 	// anchor, when non-nil, runs the protocol's no-instance soundness
 	// anchor (cheating prover, no injected fault) for one trial.
 	anchor NetTrial
@@ -107,7 +111,7 @@ func RunFaultMatrix(cfg Config) (*FaultResultsFile, *Table, error) {
 			"no rows: cheating prover on a no-instance, no injection — the plain soundness anchor",
 			fmt.Sprintf("gate: 95%% Wilson upper bound of the acceptance rate below 1/3 (%d trials/cell)", trials),
 			"fault schedules are seed-derived (internal/faults): identical under both engines and any worker count",
-			"dsym-dam skips exchange-plane equivocate: its decide reads only part of each neighbor copy (echo, tree advice, children's hash sums), so a single equivocated bit can land in don't-care positions",
+			"dsym-dam's exchange-plane equivocate is width-limited to the echo prefix every receiver compares: its decide reads only part of each neighbor copy, so an unconstrained flip could land in don't-care positions",
 		},
 	}
 
@@ -165,9 +169,6 @@ func RunFaultMatrix(cfg Config) (*FaultResultsFile, *Table, error) {
 			}
 		}
 		for _, row := range exchangePlaneFaults {
-			if row.class == "equivocate" && tgt.partialNeighborReads {
-				continue
-			}
 			cell := FaultCell{Protocol: tgt.name, Fault: row.class,
 				Plane: string(faults.PlaneExchange), Intensity: row.intensity, Instance: "yes"}
 			if err := addCell(cell, faultTrial(tgt, row.class, row.intensity, faults.PlaneExchange)); err != nil {
@@ -197,6 +198,9 @@ func faultTrial(tgt faultTarget, class string, intensity float64, plane faults.P
 			return nil, fmt.Errorf("unknown fault class %q", class)
 		}
 		inj := c.New()
+		if class == "equivocate" && plane == faults.PlaneExchange && tgt.exchangeReadWidth > 0 {
+			inj = faults.EquivocateWithin(tgt.exchangeReadWidth)
+		}
 		if intensity < 1 {
 			inj = faults.WithProbability(intensity, inj)
 		}
@@ -263,7 +267,8 @@ func faultTargets(cfg Config) ([]faultTarget, error) {
 		},
 		{
 			name: "dsym-dam", spec: dsym.Spec, g: dsymG, honest: dsym.HonestProver,
-			merlinRounds: 1, perNodeAdvice: true, partialNeighborReads: true,
+			merlinRounds: 1, perNodeAdvice: true,
+			exchangeReadWidth: wire.WidthForBig(dsym.P()),
 		},
 	}
 

@@ -32,6 +32,11 @@ type ResultsFile struct {
 	TrialsOverride int                `json:"trials_override,omitempty"`
 	GoMaxProcs     int                `json:"gomaxprocs"`
 	Experiments    []ExperimentResult `json:"experiments"`
+	// EngineBench records the deterministic allocs/op of the engine
+	// reference workload (see MeasureEngineAllocs); unlike Timings it is
+	// reproducible, so it lives in the canonical block and feeds the
+	// `dipbench -bench-check` regression gate.
+	EngineBench *EngineBench `json:"engine_bench,omitempty"`
 	// Timings is execution metadata (wall times, worker count, engine
 	// meters). It is inherently non-reproducible, so dipbench omits it
 	// unless -json-timings is set, keeping the default artifact canonical.

@@ -165,6 +165,27 @@ func NodeSwap() Injector {
 // the exchange plane the victim may not be a neighbor of the sender, in
 // which case that sender's round is unaffected.
 func Equivocate() Injector {
+	return equivocate(0)
+}
+
+// EquivocateWithin is Equivocate restricted to the first width bits of
+// each message. It exists for protocols whose decide procedure reads only
+// a prefix (or subset) of each neighbor copy: plain Equivocate can land
+// its flipped bit in positions the receiver never consumes, so "the fault
+// is detected" is not a property such a protocol claims. Constraining the
+// flip to a region every receiver provably reads (dsym-dam compares the
+// leading echo field of every neighbor copy) restores the claim without
+// weakening the fault — the sender still sends inconsistent copies.
+func EquivocateWithin(width int) Injector {
+	if width <= 0 {
+		panic("faults: EquivocateWithin needs a positive width")
+	}
+	return equivocate(width)
+}
+
+// equivocate implements Equivocate and EquivocateWithin; limit <= 0 means
+// the whole message is fair game.
+func equivocate(limit int) Injector {
 	return func(rng *rand.Rand, ctx Context, m wire.Message) wire.Message {
 		if ctx.Nodes <= 0 || m.Bits <= 0 {
 			return m
@@ -173,8 +194,12 @@ func Equivocate() Injector {
 		if ctx.To != victim {
 			return m
 		}
+		w := m.Bits
+		if limit > 0 && limit < w {
+			w = limit
+		}
 		out := clone(m)
-		i := rng.Intn(m.Bits)
+		i := rng.Intn(w)
 		out.Data[i/8] ^= 1 << (uint(i) % 8)
 		return out
 	}

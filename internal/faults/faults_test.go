@@ -267,3 +267,59 @@ func TestInjectorsNeverProduceMalformedMessages(t *testing.T) {
 		}
 	}
 }
+
+func TestEquivocateWithinPrefixOnly(t *testing.T) {
+	const width = 9
+	inj := EquivocateWithin(width)
+	m := msg(64, 0x55)
+	// Over many (round, from) pairs, every flipped bit must land inside
+	// the first `width` bits, the victim choice must match Equivocate's
+	// (same derivation), and exactly one receiver per pair is hit.
+	for round := 0; round < 4; round++ {
+		for from := 0; from < 8; from++ {
+			victims := 0
+			for to := 0; to < 8; to++ {
+				ctx := ctxAt(PlaneExchange, round, from, to)
+				out := inj(deliveryRNG(ctx), ctx, m)
+				d := countBitDiff(m, out)
+				if d == 0 {
+					continue
+				}
+				if d != 1 {
+					t.Fatalf("round=%d from=%d to=%d: diff=%d", round, from, to, d)
+				}
+				victims++
+				for i := width; i < m.Bits; i++ {
+					if out.Data[i/8]>>(uint(i)%8)&1 != m.Data[i/8]>>(uint(i)%8)&1 {
+						t.Fatalf("round=%d from=%d: flipped bit %d beyond width %d", round, from, i, width)
+					}
+				}
+				// The generic injector must pick the same victim: the
+				// width limit narrows the flip position, not the target.
+				if d := countBitDiff(m, Equivocate()(deliveryRNG(ctx), ctx, m)); d != 1 {
+					t.Fatalf("round=%d from=%d to=%d: generic Equivocate disagrees on victim", round, from, to)
+				}
+			}
+			if victims != 1 {
+				t.Fatalf("round=%d from=%d: victims=%d, want 1", round, from, victims)
+			}
+		}
+	}
+	// Width beyond the message length degrades to the full-message flip:
+	// over all receivers, exactly one copy differs by exactly one bit.
+	wide := EquivocateWithin(1 << 20)
+	victims := 0
+	for to := 0; to < 8; to++ {
+		ctx := ctxAt(PlaneExchange, 0, 2, to)
+		switch d := countBitDiff(m, wide(deliveryRNG(ctx), ctx, m)); d {
+		case 0:
+		case 1:
+			victims++
+		default:
+			t.Fatalf("oversized width, to=%d: diff=%d", to, d)
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("oversized width: victims=%d, want 1", victims)
+	}
+}

@@ -94,6 +94,19 @@ func (g *Graph) Neighbors(v int) []int {
 	return g.rows[v].Indices()
 }
 
+// AppendNeighbors appends v's neighbors to buf in ascending order and
+// returns the extended slice. It is the allocation-free variant of
+// Neighbors for callers that snapshot many adjacency lists into one
+// buffer (the proof engine does this once per run).
+func (g *Graph) AppendNeighbors(v int, buf []int) []int {
+	g.checkVertex(v)
+	row := g.rows[v]
+	for u := row.NextSet(0); u >= 0; u = row.NextSet(u + 1) {
+		buf = append(buf, u)
+	}
+	return buf
+}
+
 // OpenRow returns the open neighborhood of v as a bit vector. The returned
 // set is a copy and safe to mutate.
 func (g *Graph) OpenRow(v int) *bitset.Set {

@@ -1,0 +1,247 @@
+package network
+
+import (
+	"sync"
+
+	"dip/internal/wire"
+)
+
+// concurrentExecutor interprets the round script as a literal distributed
+// system: one goroutine per node plus a prover driver, every message over
+// a channel. The driver walks the script playing the prover-facing steps
+// (collecting challenges, delivering responses); each node goroutine walks
+// the same script playing its own half (producing challenges, receiving
+// responses, exchanging with neighbors, deciding). All semantics are in
+// the shared script/funnel layers — this file is pure scheduling.
+type concurrentExecutor struct{}
+
+// exchangeMsg is a neighbor-to-neighbor forwarded message. Messages carry
+// the index of the exchange they belong to, because a neighbor may run one
+// exchange ahead of the receiver.
+type exchangeMsg struct {
+	from     int
+	exchange int
+	m        wire.Message
+}
+
+// challengeMsg is a node-to-prover challenge.
+type challengeMsg struct {
+	from int
+	m    wire.Message
+}
+
+// concRun is the per-run scheduling state of the concurrent executor: the
+// transport channels and the fail-fast abort machinery, wrapped around the
+// shared runState.
+type concRun struct {
+	*runState
+
+	challengeCh chan challengeMsg
+	respCh      []chan wire.Message
+	exchCh      []chan exchangeMsg
+	abortCh     chan struct{}
+
+	// failOnce/failErr implement fail-fast abort: the first failure (from
+	// the driver or any node goroutine) records its *RunError and closes
+	// abortCh; later failures are dropped. failErr is read only after the
+	// goroutine that set it is joined (the Once gives the winning writer
+	// happens-before every other Do caller, and wg.Wait orders node
+	// writers before the reader).
+	failOnce sync.Once
+	failErr  *RunError
+}
+
+func (concurrentExecutor) run(s *runState) *RunError {
+	c := &concRun{runState: s}
+	c.challengeCh = make(chan challengeMsg, s.n)
+	c.respCh = make([]chan wire.Message, s.n)
+	c.exchCh = make([]chan exchangeMsg, s.n)
+	for v := 0; v < s.n; v++ {
+		c.respCh[v] = make(chan wire.Message, 1)
+		// A neighbor can run at most one exchange ahead (it cannot start
+		// exchange k+1 before receiving our exchange-k message), so two
+		// rounds of buffering make send-all-then-receive-all deadlock-free.
+		c.exchCh[v] = make(chan exchangeMsg, 2*len(s.nbrs[v]))
+	}
+	c.abortCh = make(chan struct{})
+
+	var wg sync.WaitGroup
+	for v := 0; v < s.n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			c.nodeMain(v)
+		}(v)
+	}
+
+	if err := c.drive(); err != nil {
+		c.fail(err) // release blocked nodes (no-op if a node failed first)
+	}
+	wg.Wait()
+	return c.failErr
+}
+
+// fail records the first *RunError of the run and releases every blocked
+// goroutine. Safe to call from any goroutine, any number of times.
+func (c *concRun) fail(err *RunError) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		close(c.abortCh)
+	})
+}
+
+// drive plays the prover side of the script and routes messages. A nil
+// return with c.failErr set means the run was aborted by a node failure.
+func (c *concRun) drive() *RunError {
+	n := c.n
+	for _, st := range c.script.steps {
+		switch st.kind {
+		case stepChallenge:
+			row := c.chalRows[st.arthur*n : (st.arthur+1)*n]
+			for i := 0; i < n; i++ {
+				var cm challengeMsg
+				select {
+				case cm = <-c.challengeCh:
+				case <-c.abortCh:
+					return nil
+				}
+				m, _ := c.deliver(planeChallenge, st.ri, cm.from, -1, cm.m)
+				row[cm.from] = m
+			}
+			c.pv.Challenges = append(c.pv.Challenges, row)
+			c.recordRound(Arthur, row)
+
+		case stepRespond:
+			resp, rerr := c.callRespond(st.ri, st.merlin)
+			if rerr != nil {
+				return rerr
+			}
+			for v := 0; v < n; v++ {
+				m, rerr := c.deliver(planeResponse, st.ri, -1, v, resp.PerNode[v])
+				if rerr != nil {
+					return rerr
+				}
+				c.delivered[v] = m
+				select {
+				case c.respCh[v] <- m:
+				case <-c.abortCh:
+					return nil
+				}
+			}
+			c.recordRound(Merlin, c.delivered)
+		}
+	}
+	return nil
+}
+
+// nodeMain is the verifier goroutine for node v: it walks the script,
+// handling the node-facing half of every step.
+func (c *concRun) nodeMain(v int) {
+	deg := len(c.nbrs[v])
+	exchangeIdx := 0
+	var stash []exchangeMsg
+
+	for _, st := range c.script.steps {
+		switch st.kind {
+		case stepChallenge:
+			m, rerr := c.nodeChallenge(st.ri, v)
+			if rerr != nil {
+				c.fail(rerr)
+				return
+			}
+			select {
+			case c.challengeCh <- challengeMsg{from: v, m: m}:
+			case <-c.abortCh:
+				return
+			}
+
+		case stepRespond:
+			var m wire.Message
+			select {
+			case m = <-c.respCh[v]:
+			case <-c.abortCh:
+				return
+			}
+			c.views[v].Responses = append(c.views[v].Responses, m)
+
+		case stepExchange:
+			var out wire.Message
+			if st.chal {
+				mc := c.views[v].MyChallenges
+				out = mc[len(mc)-1]
+			} else {
+				rs := c.views[v].Responses
+				f, rerr := c.nodeForward(st.ri, v, rs[len(rs)-1])
+				if rerr != nil {
+					c.fail(rerr)
+					return
+				}
+				out = f
+			}
+			got, ok := c.exchange(st, v, deg, exchangeIdx, out, &stash)
+			if !ok {
+				return
+			}
+			exchangeIdx++
+			if st.chal {
+				c.views[v].NeighborChallenges = append(c.views[v].NeighborChallenges, got)
+			} else {
+				c.views[v].NeighborResponses = append(c.views[v].NeighborResponses, got)
+			}
+
+		case stepDecide:
+			// decisions[v] is element-exclusive to this goroutine; the
+			// executor reads it only after wg.Wait.
+			if rerr := c.nodeDecide(v); rerr != nil {
+				c.fail(rerr)
+				return
+			}
+		}
+	}
+}
+
+// exchange sends m to all of v's neighbors as exchange idx and collects one
+// idx-tagged message from each; messages from the next exchange that arrive
+// early are stashed. Every delivery passes through the funnel on the
+// sender's goroutine (v→u: v is charged, u receives the possibly-corrupted
+// copy). It returns false if the run was aborted.
+func (c *concRun) exchange(st step, v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
+	for _, u := range c.nbrs[v] {
+		out, _ := c.deliver(planeExchange, st.ri, v, u, m)
+		select {
+		case c.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: out}:
+		case <-c.abortCh:
+			return nil, false
+		}
+	}
+
+	var got map[int]wire.Message
+	if st.chal {
+		got = takeMap(c.nbrChalBack, v*c.script.nA+len(c.views[v].NeighborChallenges), deg)
+	} else {
+		got = takeMap(c.nbrRespBack, v*c.script.nM+len(c.views[v].NeighborResponses), deg)
+	}
+	// Drain previously stashed messages for this exchange first.
+	remaining := (*stash)[:0]
+	for _, x := range *stash {
+		if x.exchange == idx {
+			got[x.from] = x.m
+		} else {
+			remaining = append(remaining, x)
+		}
+	}
+	*stash = remaining
+	for len(got) < deg {
+		select {
+		case x := <-c.exchCh[v]:
+			if x.exchange == idx {
+				got[x.from] = x.m
+			} else {
+				*stash = append(*stash, x)
+			}
+		case <-c.abortCh:
+			return nil, false
+		}
+	}
+	return got, true
+}

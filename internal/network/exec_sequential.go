@@ -1,0 +1,99 @@
+package network
+
+import "dip/internal/wire"
+
+// sequentialExecutor interprets the round script on the calling goroutine:
+// no channels, no per-node goroutines. Each node still owns a private RNG
+// seeded by mix(Seed, v) and its callbacks run in the same per-node order
+// as under the concurrent executor, so every random draw, message, cost
+// increment, transcript entry, and decision is bit-identical to a
+// concurrent run with the same seed and prover.
+type sequentialExecutor struct{}
+
+func (sequentialExecutor) run(s *runState) *RunError {
+	n := s.n
+	for _, st := range s.script.steps {
+		switch st.kind {
+		case stepChallenge:
+			row := s.chalRows[st.arthur*n : (st.arthur+1)*n]
+			for v := 0; v < n; v++ {
+				c, rerr := s.nodeChallenge(st.ri, v)
+				if rerr != nil {
+					return rerr
+				}
+				m, rerr := s.deliver(planeChallenge, st.ri, v, -1, c)
+				if rerr != nil {
+					return rerr
+				}
+				row[v] = m
+			}
+			s.pv.Challenges = append(s.pv.Challenges, row)
+			s.recordRound(Arthur, row)
+
+		case stepRespond:
+			resp, rerr := s.callRespond(st.ri, st.merlin)
+			if rerr != nil {
+				return rerr
+			}
+			for v := 0; v < n; v++ {
+				m, rerr := s.deliver(planeResponse, st.ri, -1, v, resp.PerNode[v])
+				if rerr != nil {
+					return rerr
+				}
+				s.delivered[v] = m
+				s.views[v].Responses = append(s.views[v].Responses, m)
+			}
+			s.recordRound(Merlin, s.delivered)
+
+		case stepExchange:
+			// Pick what each node forwards: the round's challenges, the
+			// delivered responses, or their digests. Digests draw from the
+			// node RNGs, so they run for all nodes (ascending) before any
+			// delivery — the same per-node callback order as the
+			// concurrent executor's digest-then-exchange.
+			var msgs []wire.Message
+			if st.chal {
+				msgs = s.chalRows[st.arthur*n : (st.arthur+1)*n]
+			} else if s.spec.Rounds[st.ri].Digest != nil {
+				for v := 0; v < n; v++ {
+					f, rerr := s.nodeForward(st.ri, v, s.delivered[v])
+					if rerr != nil {
+						return rerr
+					}
+					s.forwards[v] = f
+				}
+				msgs = s.forwards
+			} else {
+				msgs = s.delivered
+			}
+			for v := 0; v < n; v++ {
+				deg := len(s.nbrs[v])
+				var got map[int]wire.Message
+				if st.chal {
+					got = takeMap(s.nbrChalBack, v*s.script.nA+len(s.views[v].NeighborChallenges), deg)
+				} else {
+					got = takeMap(s.nbrRespBack, v*s.script.nM+len(s.views[v].NeighborResponses), deg)
+				}
+				for _, u := range s.nbrs[v] {
+					// u→v delivery: u is charged for its honest copy, v
+					// receives the (possibly corrupted) one.
+					m, _ := s.deliver(planeExchange, st.ri, u, v, msgs[u])
+					got[u] = m
+				}
+				if st.chal {
+					s.views[v].NeighborChallenges = append(s.views[v].NeighborChallenges, got)
+				} else {
+					s.views[v].NeighborResponses = append(s.views[v].NeighborResponses, got)
+				}
+			}
+
+		case stepDecide:
+			for v := 0; v < n; v++ {
+				if rerr := s.nodeDecide(v); rerr != nil {
+					return rerr
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package network
+
+// Executor is the engine's execution strategy: an implementation steps the
+// compiled round script of a prepared runState, filling in its decisions,
+// cost, and transcript, and returns the first failure (or nil). The two
+// implementations — sequentialExecutor and concurrentExecutor — differ
+// only in *scheduling*: which goroutine runs which step, and how messages
+// travel between them. Everything semantic (the schedule itself, Spec
+// callbacks, validation, charging, corruption) lives in the script and
+// funnel layers both executors share, which is why they are bit-identical
+// at a fixed seed (asserted protocol-by-protocol by the equivalence
+// tests).
+//
+// The interface is sealed (its method takes the unexported runState):
+// executors are engine internals, selected via Options.Sequential /
+// Options.Concurrent.
+type Executor interface {
+	run(s *runState) *RunError
+}
+
+// executorFor selects the executor for opts (sequential is the default:
+// a single run has no intrinsic parallelism, so the goroutine-per-node
+// realization buys nothing — see the package comment).
+func executorFor(opts Options) Executor {
+	if opts.Concurrent {
+		return concurrentExecutor{}
+	}
+	return sequentialExecutor{}
+}

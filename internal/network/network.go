@@ -14,20 +14,32 @@
 // semantics (a cheating prover is free to send different "broadcast" values
 // and must be caught).
 //
-// Two interchangeable executors realize the model:
+// The engine is layered (one file per layer):
 //
-//   - The concurrent engine (Options.Concurrent) spawns one goroutine per
-//     node plus a prover driver and moves every message over a channel — a
-//     literal realization of the distributed system.
-//   - The sequential engine plays the same node steps round-robin on a
-//     single goroutine with no channels. Because every node draws from its
-//     own seeded RNG and the round structure is a global synchronous
-//     schedule, the two engines produce bit-identical results (Cost,
+//   - The round script (script.go) compiles a Spec into the synchronous
+//     schedule of a run — challenge, respond, exchange, decide steps — and
+//     holds the shared per-node step helpers. The schedule exists once;
+//     executors only decide which goroutine runs which step.
+//   - The delivery funnel (funnel.go) is the single seam every message on
+//     every plane passes through: validate → charge → corrupt, in
+//     runState.deliver. Fault injectors (internal/faults via
+//     Options.Corrupt / Options.CorruptExchange) attach here, and the
+//     internal/obs delivery meters are published from its charge totals.
+//   - The executors (executor.go, exec_sequential.go, exec_concurrent.go)
+//     are two scheduling strategies for the same script: the sequential
+//     engine plays all node steps round-robin on one goroutine (the
+//     default); the concurrent engine (Options.Concurrent) spawns one
+//     goroutine per node plus a prover driver and moves every message over
+//     a channel — a literal realization of the distributed system. Because
+//     every node draws from its own seeded RNG and all semantics live in
+//     the shared layers, the two produce bit-identical results (Cost,
 //     Decisions, Transcript) for every protocol at a fixed seed; the test
-//     suite asserts this. The sequential engine is the default: a single
-//     run has no intrinsic parallelism, so the goroutine/channel overhead
-//     buys nothing, and independent runs parallelize better one level up
-//     (see internal/experiments.RunTrials).
+//     suite asserts this.
+//   - The run state (state.go) gathers everything a run touches — node
+//     views, RNGs, exchange buffers, the adjacency snapshot — in one
+//     pooled object reused across runs, so the experiment harness's
+//     hundreds of trials per cell do not re-allocate the engine each time.
+//     Everything reachable from the returned Result stays fresh per run.
 //
 // The engine meters every message at bit granularity. The headline figure,
 // Cost.MaxProverBits, is the paper's complexity measure: the maximum over
@@ -40,7 +52,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"dip/internal/graph"
@@ -131,7 +142,9 @@ func Broadcast(n int, m wire.Message) *Response {
 
 // ProverView is everything the prover can see: the whole graph, all inputs,
 // and the challenges from every completed Arthur round (indexed
-// [arthurRound][node]).
+// [arthurRound][node]). The view — including the Challenges rows, which
+// are carved from pooled engine state — is valid only for the duration of
+// the run; provers must not retain it (or any slice of it) across runs.
 type ProverView struct {
 	// Graph is the network graph itself, shared with the engine and the
 	// caller rather than cloned per run. It is read-only by contract:
@@ -147,7 +160,9 @@ type ProverView struct {
 }
 
 // NodeView is everything a single node can see. Verifier code must use only
-// this: it is the formal locality boundary of the model.
+// this: it is the formal locality boundary of the model. Like the
+// ProverView, it is backed by pooled engine state and is valid only inside
+// Spec callbacks; callbacks must not retain it across runs.
 type NodeView struct {
 	// V is this node's identifier; NumVertices is |V|, known in advance to
 	// all participants (Section 2.2).
@@ -180,99 +195,8 @@ func (nv *NodeView) HasNeighbor(u int) bool {
 	return false
 }
 
-// Cost is the bit-exact communication accounting of a run.
-type Cost struct {
-	// ToProver[v] counts challenge bits node v sent to the prover.
-	ToProver []int
-	// FromProver[v] counts response bits the prover sent to node v.
-	FromProver []int
-	// NodeToNode[v] counts bits v sent to its neighbors in exchanges.
-	NodeToNode []int
-	// PerRound[k] is the same accounting restricted to round k of the
-	// spec (one entry per Round, Arthur and Merlin alike). For every node
-	// v and every direction, the per-round entries sum exactly to the
-	// aggregate slices above; both engines fill them identically. This is
-	// the granularity at which the round-vs-certificate trade-off
-	// literature measures protocols.
-	PerRound []RoundCost
-}
-
-// RoundCost is one round's slice of the cost accounting. Slices are
-// indexed by node; directions that cannot occur in a round (e.g.
-// FromProver in an Arthur round) stay zero.
-type RoundCost struct {
-	// Kind records whether the round was Arthur or Merlin.
-	Kind       Kind
-	ToProver   []int
-	FromProver []int
-	NodeToNode []int
-}
-
-// ProverBits returns node v's prover-communication bits in this round
-// (both directions, challenges included).
-func (r *RoundCost) ProverBits(v int) int {
-	return r.ToProver[v] + r.FromProver[v]
-}
-
-// MaxProverBits returns the paper's complexity measure: the maximum over
-// nodes of bits exchanged with the prover (both directions, challenges
-// included).
-func (c *Cost) MaxProverBits() int {
-	maxBits := 0
-	for v := range c.ToProver {
-		if b := c.ToProver[v] + c.FromProver[v]; b > maxBits {
-			maxBits = b
-		}
-	}
-	return maxBits
-}
-
-// TotalProverBits returns the sum over nodes of prover-communication bits.
-func (c *Cost) TotalProverBits() int {
-	total := 0
-	for v := range c.ToProver {
-		total += c.ToProver[v] + c.FromProver[v]
-	}
-	return total
-}
-
-// MaxNodeToNodeBits returns the maximum over nodes of bits sent to
-// neighbors.
-func (c *Cost) MaxNodeToNodeBits() int {
-	maxBits := 0
-	for _, b := range c.NodeToNode {
-		if b > maxBits {
-			maxBits = b
-		}
-	}
-	return maxBits
-}
-
-// ArgMaxProverNode returns the lowest-indexed node attaining
-// MaxProverBits (0 for an empty cost).
-func (c *Cost) ArgMaxProverNode() int {
-	arg, maxBits := 0, -1
-	for v := range c.ToProver {
-		if b := c.ToProver[v] + c.FromProver[v]; b > maxBits {
-			arg, maxBits = v, b
-		}
-	}
-	return arg
-}
-
-// ProverBitsByRound returns node v's prover-communication bits round by
-// round. Taken at v = ArgMaxProverNode(), the entries sum exactly to
-// MaxProverBits — the per-round decomposition of the paper's cost
-// measure.
-func (c *Cost) ProverBitsByRound(v int) []int {
-	out := make([]int, len(c.PerRound))
-	for k := range c.PerRound {
-		out[k] = c.PerRound[k].ProverBits(v)
-	}
-	return out
-}
-
-// Result is the outcome of one protocol run.
+// Result is the outcome of one protocol run. Results are freshly
+// allocated per run (never pooled) and safe to retain indefinitely.
 type Result struct {
 	// Accepted is true iff every node accepted (the acceptance rule of
 	// Definition 2).
@@ -395,673 +319,13 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 		return &Result{Accepted: true, Cost: Cost{}}, nil
 	}
 
-	// Snapshot every adjacency list up front: both engines route messages
-	// exclusively through this snapshot, never through g after this point,
-	// which (a) removes the per-exchange Neighbors allocations and (b)
-	// insulates verifier decisions from a prover that violates the
-	// ProverView.Graph read-only contract mid-run.
-	nbrs := make([][]int, n)
-	for v := 0; v < n; v++ {
-		nbrs[v] = g.Neighbors(v)
+	s := acquireState()
+	s.reset(spec, g, inputs, p, opts, n)
+	if rerr := executorFor(opts).run(s); rerr != nil {
+		s.release()
+		return nil, rerr
 	}
-
-	e := &engine{
-		spec:   spec,
-		g:      g,
-		nbrs:   nbrs,
-		inputs: inputs,
-		prover: p,
-		opts:   opts,
-		n:      n,
-	}
-	e.cost = newCost(spec, n)
-	if opts.RecordTranscript {
-		e.transcript = &Transcript{Name: spec.Name}
-	}
-	if opts.Concurrent {
-		return e.runConcurrent()
-	}
-	return e.runSequential()
-}
-
-// newCost builds a zeroed Cost for an n-node run of spec, with one
-// PerRound entry per round. All per-node slices (aggregate and
-// per-round) are carved out of a single backing array so the per-round
-// breakdown costs one allocation, not 3·rounds.
-func newCost(spec *Spec, n int) Cost {
-	rounds := len(spec.Rounds)
-	back := make([]int, (3+3*rounds)*n)
-	carve := func() []int {
-		s := back[:n:n]
-		back = back[n:]
-		return s
-	}
-	c := Cost{
-		ToProver:   carve(),
-		FromProver: carve(),
-		NodeToNode: carve(),
-		PerRound:   make([]RoundCost, rounds),
-	}
-	for k, r := range spec.Rounds {
-		c.PerRound[k] = RoundCost{
-			Kind:       r.Kind,
-			ToProver:   carve(),
-			FromProver: carve(),
-			NodeToNode: carve(),
-		}
-	}
-	return c
-}
-
-// exchangeMsg is a neighbor-to-neighbor forwarded message. Messages carry
-// the index of the exchange they belong to, because a neighbor may run one
-// exchange ahead of the receiver.
-type exchangeMsg struct {
-	from     int
-	exchange int
-	m        wire.Message
-}
-
-// challengeMsg is a node-to-prover challenge.
-type challengeMsg struct {
-	from int
-	m    wire.Message
-}
-
-type engine struct {
-	spec   *Spec
-	g      *graph.Graph
-	nbrs   [][]int // adjacency snapshot, read-only during the run
-	inputs []wire.Message
-	prover Prover
-	opts   Options
-	n      int
-
-	challengeCh chan challengeMsg
-	respCh      []chan wire.Message
-	exchCh      []chan exchangeMsg
-	decisionCh  chan decision
-	abortCh     chan struct{}
-
-	// failOnce/failErr implement fail-fast abort for the concurrent engine:
-	// the first failure (from the driver or any node goroutine) records its
-	// *RunError and closes abortCh; later failures are dropped. failErr is
-	// read only after the goroutine that set it is joined (the Once gives
-	// the winning writer happens-before every other Do caller, and wg.Wait
-	// orders node writers before the reader).
-	failOnce sync.Once
-	failErr  *RunError
-
-	// cost slices are written element-exclusively: ToProver and FromProver
-	// by the driver goroutine, NodeToNode[v] only by node v's goroutine;
-	// all reads happen after the node goroutines have finished.
-	cost Cost
-
-	// transcript is written only by the driver goroutine; nil unless
-	// recording was requested.
-	transcript *Transcript
-}
-
-type decision struct {
-	v      int
-	accept bool
-}
-
-func (e *engine) runConcurrent() (*Result, error) {
-	e.challengeCh = make(chan challengeMsg, e.n)
-	e.respCh = make([]chan wire.Message, e.n)
-	e.exchCh = make([]chan exchangeMsg, e.n)
-	for v := 0; v < e.n; v++ {
-		e.respCh[v] = make(chan wire.Message, 1)
-		// A neighbor can run at most one exchange ahead (it cannot start
-		// exchange k+1 before receiving our exchange-k message), so two
-		// rounds of buffering make send-all-then-receive-all deadlock-free.
-		e.exchCh[v] = make(chan exchangeMsg, 2*len(e.nbrs[v]))
-	}
-	e.decisionCh = make(chan decision, e.n)
-	e.abortCh = make(chan struct{})
-
-	var wg sync.WaitGroup
-	for v := 0; v < e.n; v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			e.nodeMain(v)
-		}(v)
-	}
-
-	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
-	if err := e.drive(pv); err != nil {
-		e.fail(err) // release blocked nodes (no-op if a node failed first)
-	}
-	wg.Wait()
-	if e.failErr != nil {
-		return nil, e.failErr
-	}
-
-	// decisionCh is buffered to n and every node either sent its decision
-	// or failed (handled above), so all n decisions are already queued.
-	decisions := make([]bool, e.n)
-	for i := 0; i < e.n; i++ {
-		d := <-e.decisionCh
-		decisions[d.v] = d.accept
-	}
-
-	accepted := true
-	for _, d := range decisions {
-		accepted = accepted && d
-	}
-	return &Result{
-		Accepted:   accepted,
-		Decisions:  decisions,
-		Cost:       e.cost,
-		Transcript: e.transcript,
-	}, nil
-}
-
-// drive plays the prover side and routes messages, round by round. A nil
-// return with e.failErr set means the run was aborted by a node failure.
-func (e *engine) drive(pv *ProverView) *RunError {
-	merlinRound := 0
-	for ri, round := range e.spec.Rounds {
-		switch round.Kind {
-		case Arthur:
-			challenges := make([]wire.Message, e.n)
-			for i := 0; i < e.n; i++ {
-				var c challengeMsg
-				select {
-				case c = <-e.challengeCh:
-				case <-e.abortCh:
-					return nil
-				}
-				challenges[c.from] = c.m
-				e.cost.ToProver[c.from] += c.m.Bits
-				e.cost.PerRound[ri].ToProver[c.from] += c.m.Bits
-			}
-			pv.Challenges = append(pv.Challenges, challenges)
-			if e.transcript != nil {
-				rec := make([]wire.Message, e.n)
-				copy(rec, challenges)
-				e.transcript.Rounds = append(e.transcript.Rounds,
-					TranscriptRound{Kind: Arthur, PerNode: rec})
-			}
-		case Merlin:
-			resp, rerr := e.callRespond(ri, merlinRound, pv)
-			if rerr != nil {
-				return rerr
-			}
-			var rec []wire.Message
-			if e.transcript != nil {
-				rec = make([]wire.Message, e.n)
-			}
-			for v := 0; v < e.n; v++ {
-				m := resp.PerNode[v]
-				if rerr := e.checkMessage(ri, v, m); rerr != nil {
-					return rerr
-				}
-				e.cost.FromProver[v] += m.Bits
-				e.cost.PerRound[ri].FromProver[v] += m.Bits
-				if e.opts.Corrupt != nil {
-					m = e.opts.Corrupt(merlinRound, v, m)
-				}
-				if rec != nil {
-					rec[v] = m
-				}
-				select {
-				case e.respCh[v] <- m:
-				case <-e.abortCh:
-					return nil
-				}
-			}
-			if e.transcript != nil {
-				e.transcript.Rounds = append(e.transcript.Rounds,
-					TranscriptRound{Kind: Merlin, PerNode: rec})
-			}
-			merlinRound++
-		}
-	}
-	return nil
-}
-
-// fail records the first *RunError of a concurrent run and releases every
-// blocked goroutine. Safe to call from any goroutine, any number of times.
-func (e *engine) fail(err *RunError) {
-	e.failOnce.Do(func() {
-		e.failErr = err
-		close(e.abortCh)
-	})
-}
-
-// runError builds a *RunError attributed to (phase, round, node) for this
-// run's protocol.
-func (e *engine) runError(phase Phase, round, node int, err error) *RunError {
-	return &RunError{Protocol: e.spec.Name, Phase: phase, Round: round, Node: node, Err: err}
-}
-
-// guard runs a Spec callback with panic containment: a panic in f becomes a
-// *RunError attributed to (phase, round, node) instead of crashing the
-// process (or, in the concurrent engine, deadlocking the other nodes).
-func (e *engine) guard(phase Phase, round, node int, f func()) (rerr *RunError) {
-	defer func() {
-		if r := recover(); r != nil {
-			rerr = e.runError(phase, round, node, fmt.Errorf("panic: %v", r))
-		}
-	}()
-	f()
-	return nil
-}
-
-// callRespond invokes Prover.Respond for spec round ri with panic
-// containment, response-shape validation, and (when Options.ProverTimeout
-// is set) a deadline. Both engines call the prover exclusively through this
-// helper, so a hostile prover implementation fails identically under
-// either engine.
-func (e *engine) callRespond(ri, merlinRound int, pv *ProverView) (*Response, *RunError) {
-	call := func() (resp *Response, rerr *RunError) {
-		defer func() {
-			if r := recover(); r != nil {
-				rerr = e.runError(PhaseRespond, ri, -1, fmt.Errorf("prover panic: %v", r))
-			}
-		}()
-		r, err := e.prover.Respond(merlinRound, pv)
-		if err != nil {
-			return nil, e.runError(PhaseRespond, ri, -1,
-				fmt.Errorf("prover round %d: %w", merlinRound, err))
-		}
-		if r == nil || len(r.PerNode) != e.n {
-			return nil, e.runError(PhaseRespond, ri, -1,
-				fmt.Errorf("prover round %d: response for %d nodes, want %d",
-					merlinRound, respLen(r), e.n))
-		}
-		return r, nil
-	}
-	if e.opts.ProverTimeout <= 0 {
-		return call()
-	}
-	type outcome struct {
-		resp *Response
-		rerr *RunError
-	}
-	done := make(chan outcome, 1) // buffered: a late prover must not leak forever
-	go func() {
-		resp, rerr := call()
-		done <- outcome{resp, rerr}
-	}()
-	timer := time.NewTimer(e.opts.ProverTimeout)
-	defer timer.Stop()
-	select {
-	case out := <-done:
-		return out.resp, out.rerr
-	case <-timer.C:
-		return nil, e.runError(PhaseDeadline, ri, -1,
-			fmt.Errorf("prover round %d: no response within %v", merlinRound, e.opts.ProverTimeout))
-	}
-}
-
-// checkMessage rejects a malformed prover wire.Message before it is
-// charged or delivered: Bits must be non-negative and Data must be exactly
-// ceil(Bits/8) bytes (the invariant wire.Writer maintains). Without this
-// check a hostile prover could silently corrupt the cost accounting
-// (negative Bits) or feed verifiers more data than it was charged for.
-func (e *engine) checkMessage(ri, v int, m wire.Message) *RunError {
-	if m.Bits < 0 || len(m.Data) != (m.Bits+7)/8 {
-		return e.runError(PhaseRespond, ri, v,
-			fmt.Errorf("malformed message: Bits=%d but len(Data)=%d (want %d bytes)",
-				m.Bits, len(m.Data), (m.Bits+7)/8))
-	}
-	return nil
-}
-
-func respLen(r *Response) int {
-	if r == nil {
-		return 0
-	}
-	return len(r.PerNode)
-}
-
-// nodeMain is the verifier goroutine for node v.
-func (e *engine) nodeMain(v int) {
-	rng := nodeRNG(e.opts.Seed, v)
-	view := e.newNodeView(v)
-	deg := len(view.Neighbors)
-	exchangeIdx := 0
-	var stash []exchangeMsg
-
-	for ri, round := range e.spec.Rounds {
-		switch round.Kind {
-		case Arthur:
-			var c wire.Message
-			if rerr := e.guard(PhaseChallenge, ri, v, func() {
-				c = round.Challenge(v, rng, view)
-			}); rerr != nil {
-				e.fail(rerr)
-				return
-			}
-			view.MyChallenges = append(view.MyChallenges, c)
-			select {
-			case e.challengeCh <- challengeMsg{from: v, m: c}:
-			case <-e.abortCh:
-				return
-			}
-			if e.spec.ShareChallenges {
-				got, ok := e.exchange(ri, v, deg, exchangeIdx, c, &stash)
-				if !ok {
-					return
-				}
-				exchangeIdx++
-				view.NeighborChallenges = append(view.NeighborChallenges, got)
-			}
-		case Merlin:
-			var m wire.Message
-			select {
-			case m = <-e.respCh[v]:
-			case <-e.abortCh:
-				return
-			}
-			view.Responses = append(view.Responses, m)
-			forward := m
-			if round.Digest != nil {
-				if rerr := e.guard(PhaseDigest, ri, v, func() {
-					forward = round.Digest(v, rng, m)
-				}); rerr != nil {
-					e.fail(rerr)
-					return
-				}
-			}
-			got, ok := e.exchange(ri, v, deg, exchangeIdx, forward, &stash)
-			if !ok {
-				return
-			}
-			exchangeIdx++
-			view.NeighborResponses = append(view.NeighborResponses, got)
-		}
-	}
-
-	var accept bool
-	if rerr := e.guard(PhaseDecide, -1, v, func() {
-		accept = e.spec.Decide(v, view)
-	}); rerr != nil {
-		e.fail(rerr)
-		return
-	}
-	select {
-	case e.decisionCh <- decision{v: v, accept: accept}:
-	case <-e.abortCh:
-	}
-}
-
-// exchange sends m to all of v's neighbors as exchange idx and collects one
-// idx-tagged message from each; messages from the next exchange that arrive
-// early are stashed. round is the spec round the exchange belongs to (for
-// cost attribution). It returns false if the run was aborted.
-func (e *engine) exchange(round, v, deg, idx int, m wire.Message, stash *[]exchangeMsg) (map[int]wire.Message, bool) {
-	for _, u := range e.nbrs[v] {
-		out := m
-		if e.opts.CorruptExchange != nil {
-			// Charged-then-corrupted, like the prover plane: v's cost below
-			// reflects the original m, while u receives the corrupted copy.
-			out = e.opts.CorruptExchange(round, v, u, m)
-		}
-		select {
-		case e.exchCh[u] <- exchangeMsg{from: v, exchange: idx, m: out}:
-		case <-e.abortCh:
-			return nil, false
-		}
-	}
-	e.cost.NodeToNode[v] += deg * m.Bits
-	e.cost.PerRound[round].NodeToNode[v] += deg * m.Bits
-
-	got := make(map[int]wire.Message, deg)
-	// Drain previously stashed messages for this exchange first.
-	remaining := (*stash)[:0]
-	for _, x := range *stash {
-		if x.exchange == idx {
-			got[x.from] = x.m
-		} else {
-			remaining = append(remaining, x)
-		}
-	}
-	*stash = remaining
-	for len(got) < deg {
-		select {
-		case x := <-e.exchCh[v]:
-			if x.exchange == idx {
-				got[x.from] = x.m
-			} else {
-				*stash = append(*stash, x)
-			}
-		case <-e.abortCh:
-			return nil, false
-		}
-	}
-	return got, true
-}
-
-// newNodeView builds node v's initial view from the adjacency snapshot.
-// The Neighbors slice is shared with the engine and must be treated as
-// read-only by Spec callbacks (all in-repo protocols only read it).
-func (e *engine) newNodeView(v int) *NodeView {
-	view := &NodeView{
-		V:           v,
-		NumVertices: e.n,
-		Neighbors:   e.nbrs[v],
-	}
-	if e.inputs != nil {
-		view.Input = e.inputs[v]
-	}
-	return view
-}
-
-// runSequential plays all node steps round-robin on the calling goroutine:
-// no channels, no per-node goroutines. Each node still owns a private RNG
-// seeded by mix(Seed, v) and its callbacks run in the same per-node order
-// as under the concurrent engine, so every random draw, message, cost
-// increment, transcript entry, and decision is bit-identical to a
-// concurrent run with the same seed and prover.
-func (e *engine) runSequential() (*Result, error) {
-	nA, nM := 0, 0
-	for _, r := range e.spec.Rounds {
-		if r.Kind == Arthur {
-			nA++
-		} else {
-			nM++
-		}
-	}
-	// Every node appends exactly nA challenges and nM responses over the
-	// run, so the per-node view slices can be carved out of shared backing
-	// arrays (capacity-clipped so an append can never cross into the next
-	// node's region). This replaces ~3n first-append allocations per run
-	// with three bulk ones; the node views, RNG sources, and RNGs get the
-	// same treatment.
-	myBack := make([]wire.Message, e.n*nA)
-	respBack := make([]wire.Message, e.n*nM)
-	nbrRespBack := make([]map[int]wire.Message, e.n*nM)
-	var nbrChalBack []map[int]wire.Message
-	if e.spec.ShareChallenges {
-		nbrChalBack = make([]map[int]wire.Message, e.n*nA)
-	}
-	sources := make([]splitmixSource, e.n)
-	rngs := make([]*rand.Rand, e.n)
-	views := make([]NodeView, e.n)
-	for v := 0; v < e.n; v++ {
-		sources[v] = nodeSource(e.opts.Seed, v)
-		rngs[v] = rand.New(&sources[v])
-		views[v] = NodeView{
-			V:                 v,
-			NumVertices:       e.n,
-			Neighbors:         e.nbrs[v],
-			MyChallenges:      myBack[v*nA : v*nA : (v+1)*nA],
-			Responses:         respBack[v*nM : v*nM : (v+1)*nM],
-			NeighborResponses: nbrRespBack[v*nM : v*nM : (v+1)*nM],
-		}
-		if e.spec.ShareChallenges {
-			views[v].NeighborChallenges = nbrChalBack[v*nA : v*nA : (v+1)*nA]
-		}
-		if e.inputs != nil {
-			views[v].Input = e.inputs[v]
-		}
-	}
-	pv := &ProverView{Graph: e.g, Inputs: e.inputs}
-
-	merlinRound := 0
-	for ri, round := range e.spec.Rounds {
-		switch round.Kind {
-		case Arthur:
-			challenges := make([]wire.Message, e.n)
-			for v := 0; v < e.n; v++ {
-				var c wire.Message
-				if rerr := e.guard(PhaseChallenge, ri, v, func() {
-					c = round.Challenge(v, rngs[v], &views[v])
-				}); rerr != nil {
-					return nil, rerr
-				}
-				views[v].MyChallenges = append(views[v].MyChallenges, c)
-				challenges[v] = c
-				e.cost.ToProver[v] += c.Bits
-				e.cost.PerRound[ri].ToProver[v] += c.Bits
-			}
-			pv.Challenges = append(pv.Challenges, challenges)
-			if e.transcript != nil {
-				rec := make([]wire.Message, e.n)
-				copy(rec, challenges)
-				e.transcript.Rounds = append(e.transcript.Rounds,
-					TranscriptRound{Kind: Arthur, PerNode: rec})
-			}
-			if e.spec.ShareChallenges {
-				for v := 0; v < e.n; v++ {
-					views[v].NeighborChallenges = append(views[v].NeighborChallenges,
-						e.gatherSequential(ri, v, challenges))
-				}
-			}
-		case Merlin:
-			resp, rerr := e.callRespond(ri, merlinRound, pv)
-			if rerr != nil {
-				return nil, rerr
-			}
-			delivered := make([]wire.Message, e.n)
-			for v := 0; v < e.n; v++ {
-				m := resp.PerNode[v]
-				if rerr := e.checkMessage(ri, v, m); rerr != nil {
-					return nil, rerr
-				}
-				e.cost.FromProver[v] += m.Bits
-				e.cost.PerRound[ri].FromProver[v] += m.Bits
-				if e.opts.Corrupt != nil {
-					m = e.opts.Corrupt(merlinRound, v, m)
-				}
-				delivered[v] = m
-				views[v].Responses = append(views[v].Responses, m)
-			}
-			if e.transcript != nil {
-				rec := make([]wire.Message, e.n)
-				copy(rec, delivered)
-				e.transcript.Rounds = append(e.transcript.Rounds,
-					TranscriptRound{Kind: Merlin, PerNode: rec})
-			}
-			forwards := delivered
-			if round.Digest != nil {
-				forwards = make([]wire.Message, e.n)
-				for v := 0; v < e.n; v++ {
-					if rerr := e.guard(PhaseDigest, ri, v, func() {
-						forwards[v] = round.Digest(v, rngs[v], delivered[v])
-					}); rerr != nil {
-						return nil, rerr
-					}
-				}
-			}
-			for v := 0; v < e.n; v++ {
-				views[v].NeighborResponses = append(views[v].NeighborResponses,
-					e.gatherSequential(ri, v, forwards))
-			}
-			merlinRound++
-		}
-	}
-
-	decisions := make([]bool, e.n)
-	accepted := true
-	for v := 0; v < e.n; v++ {
-		if rerr := e.guard(PhaseDecide, -1, v, func() {
-			decisions[v] = e.spec.Decide(v, &views[v])
-		}); rerr != nil {
-			return nil, rerr
-		}
-		accepted = accepted && decisions[v]
-	}
-	return &Result{
-		Accepted:   accepted,
-		Decisions:  decisions,
-		Cost:       e.cost,
-		Transcript: e.transcript,
-	}, nil
-}
-
-// gatherSequential is the sequential counterpart of exchange: node v sends
-// msgs[v] to each neighbor (charged to v's node-to-node cost, attributed
-// to spec round `round`) and receives each neighbor u's msgs[u].
-func (e *engine) gatherSequential(round, v int, msgs []wire.Message) map[int]wire.Message {
-	nbrs := e.nbrs[v]
-	e.cost.NodeToNode[v] += len(nbrs) * msgs[v].Bits
-	e.cost.PerRound[round].NodeToNode[v] += len(nbrs) * msgs[v].Bits
-	got := make(map[int]wire.Message, len(nbrs))
-	for _, u := range nbrs {
-		m := msgs[u]
-		if e.opts.CorruptExchange != nil {
-			// Mirrors the concurrent engine's exchange(): u was charged for
-			// the original message above (when its own gather ran); v
-			// receives the corrupted copy of u→v traffic.
-			m = e.opts.CorruptExchange(round, u, v, msgs[u])
-		}
-		got[u] = m
-	}
-	return got
-}
-
-// nodeRNG builds node v's private randomness stream: a splitmix64 sequence
-// seeded by mix(seed, v). Both engines construct node RNGs exclusively
-// through this function — that shared construction is what makes their
-// random draws, and hence their results, bit-identical.
-//
-// The source is deliberately not math/rand's default: the lagged-Fibonacci
-// rngSource pays a ~10µs, 4.8KB initialization per node, which at n=256
-// dominates an entire engine run. splitmix64 seeds in O(1) with 8 bytes of
-// state; engine randomness only needs to be deterministic and
-// well-distributed, not cryptographic.
-func nodeRNG(seed int64, v int) *rand.Rand {
-	src := nodeSource(seed, v)
-	return rand.New(&src)
-}
-
-// nodeSource is nodeRNG's underlying source, exposed so the sequential
-// engine can place all n sources in one backing array.
-func nodeSource(seed int64, v int) splitmixSource {
-	return splitmixSource{state: uint64(mix(seed, int64(v)))}
-}
-
-// splitmixSource is a rand.Source64 running splitmix64 (Steele, Lea &
-// Flood's SplittableRandom output function over a Weyl sequence).
-type splitmixSource struct{ state uint64 }
-
-func (s *splitmixSource) Uint64() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
-
-// mix derives a per-node seed from the master seed (splitmix64 finalizer).
-func mix(seed, v int64) int64 {
-	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(v)*0xBF58476D1CE4E5B9
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
+	res := s.finish()
+	s.release()
+	return res, nil
 }

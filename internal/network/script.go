@@ -1,0 +1,152 @@
+package network
+
+import "dip/internal/wire"
+
+// This file is the round-script layer: the synchronous schedule of a run,
+// compiled once per run from the Spec and then *interpreted* by both
+// executors. The schedule used to be written out twice — once inside
+// runSequential and once split across the concurrent driver and the node
+// goroutines — so every semantic addition (per-round metering, exchange
+// corruption) had to be implemented twice and proven equivalent by test.
+// Now there is exactly one description of "what happens in which order":
+// the step list below, plus the shared per-node step helpers that both
+// executors call for every Spec callback.
+
+// stepKind enumerates the script's step types.
+type stepKind uint8
+
+const (
+	// stepChallenge is an Arthur round: every node produces a random
+	// challenge and sends it to the prover.
+	stepChallenge stepKind = iota
+	// stepRespond is a Merlin round: the prover produces one response per
+	// node, each of which is delivered (validated, charged, corrupted)
+	// through the funnel.
+	stepRespond
+	// stepExchange is a neighbor exchange: every node sends its current
+	// outbound message (challenge, response, or digest) to each neighbor
+	// and collects one message from each.
+	stepExchange
+	// stepDecide runs every node's decision function.
+	stepDecide
+)
+
+// step is one entry of the compiled schedule.
+type step struct {
+	kind stepKind
+	// ri is the spec round index the step belongs to (-1 for stepDecide);
+	// it is the round coordinate of cost attribution and of the exchange
+	// plane's corruption hook.
+	ri int
+	// merlin is the Merlin-round counter for stepRespond.
+	merlin int
+	// arthur is the Arthur-round counter for stepChallenge and for
+	// challenge exchanges (it selects the pooled challenge row / map slot).
+	arthur int
+	// chal marks a stepExchange that exchanges Arthur challenges
+	// (Spec.ShareChallenges) rather than Merlin responses.
+	chal bool
+}
+
+// script is the compiled synchronous schedule of one run.
+type script struct {
+	steps []step
+	// merlinOf[ri] is the Merlin-round counter of spec round ri, or -1 for
+	// Arthur rounds; it converts the funnel's spec-round coordinate into
+	// the Corruptor contract's Merlin-round coordinate.
+	merlinOf []int
+	// nA/nM count Arthur and Merlin rounds; nEx counts exchanges (one per
+	// Merlin round, plus one per Arthur round under ShareChallenges).
+	nA, nM, nEx int
+}
+
+// compile rebuilds the schedule for spec, reusing the receiver's buffers.
+// Spec.Rounds has already been validated by Run.
+func (sc *script) compile(spec *Spec) {
+	sc.steps = sc.steps[:0]
+	sc.merlinOf = sc.merlinOf[:0]
+	sc.nA, sc.nM, sc.nEx = 0, 0, 0
+	for ri, r := range spec.Rounds {
+		switch r.Kind {
+		case Arthur:
+			sc.steps = append(sc.steps, step{kind: stepChallenge, ri: ri, arthur: sc.nA})
+			sc.merlinOf = append(sc.merlinOf, -1)
+			if spec.ShareChallenges {
+				sc.steps = append(sc.steps, step{kind: stepExchange, ri: ri, arthur: sc.nA, chal: true})
+				sc.nEx++
+			}
+			sc.nA++
+		case Merlin:
+			sc.steps = append(sc.steps, step{kind: stepRespond, ri: ri, merlin: sc.nM})
+			sc.merlinOf = append(sc.merlinOf, sc.nM)
+			sc.steps = append(sc.steps, step{kind: stepExchange, ri: ri})
+			sc.nEx++
+			sc.nM++
+		}
+	}
+	sc.steps = append(sc.steps, step{kind: stepDecide, ri: -1})
+}
+
+// The helpers below are the per-node halves of the script's steps. Both
+// executors run every Spec callback exclusively through them, so panic
+// containment, RunError attribution, and view bookkeeping exist once.
+
+// nodeChallenge runs node v's Challenge callback for Arthur round ri and
+// appends the result to v's view.
+func (s *runState) nodeChallenge(ri, v int) (wire.Message, *RunError) {
+	var c wire.Message
+	round := &s.spec.Rounds[ri]
+	if rerr := s.guard(PhaseChallenge, ri, v, func() {
+		c = round.Challenge(v, s.rngs[v], &s.views[v])
+	}); rerr != nil {
+		return c, rerr
+	}
+	s.views[v].MyChallenges = append(s.views[v].MyChallenges, c)
+	return c, nil
+}
+
+// nodeForward maps node v's delivered Merlin-round message to what v
+// forwards to its neighbors: the message itself, or its Digest when the
+// round defines one.
+func (s *runState) nodeForward(ri, v int, m wire.Message) (wire.Message, *RunError) {
+	digest := s.spec.Rounds[ri].Digest
+	if digest == nil {
+		return m, nil
+	}
+	out := m
+	rerr := s.guard(PhaseDigest, ri, v, func() {
+		out = digest(v, s.rngs[v], m)
+	})
+	return out, rerr
+}
+
+// nodeDecide runs node v's decision function and stores the outcome.
+func (s *runState) nodeDecide(v int) *RunError {
+	return s.guard(PhaseDecide, -1, v, func() {
+		s.decisions[v] = s.spec.Decide(v, &s.views[v])
+	})
+}
+
+// recordRound appends one round to the transcript (post-corruption
+// messages, i.e. what the network actually observed); a no-op unless
+// recording was requested. The copy is deliberate: transcripts escape into
+// the Result, so they must not alias pooled rows.
+func (s *runState) recordRound(kind Kind, perNode []wire.Message) {
+	if s.transcript == nil {
+		return
+	}
+	rec := make([]wire.Message, len(perNode))
+	copy(rec, perNode)
+	s.transcript.Rounds = append(s.transcript.Rounds, TranscriptRound{Kind: kind, PerNode: rec})
+}
+
+// takeMap returns the pooled exchange map at back[slot], allocating it on
+// first use. Maps are cleared on release, so a reused map is empty here.
+func takeMap(back []map[int]wire.Message, slot, deg int) map[int]wire.Message {
+	m := back[slot]
+	if m == nil {
+		m = make(map[int]wire.Message, deg)
+		back[slot] = m
+	}
+	return m
+}

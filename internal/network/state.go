@@ -1,0 +1,301 @@
+package network
+
+import (
+	"math/rand"
+	"sync"
+
+	"dip/internal/graph"
+	"dip/internal/obs"
+	"dip/internal/wire"
+)
+
+// This file is the run-state layer: everything one run needs, gathered in
+// a single pooled object. The experiment harness executes hundreds of
+// trials per cell (experiments.RunTrials), and before this layer existed
+// every trial re-allocated its node views, view backing arrays, RNGs,
+// exchange maps, and adjacency snapshot from scratch. A runState keeps all
+// of that and is reused through an explicit free list.
+//
+// What is pooled and what is not follows one rule: anything reachable from
+// the returned *Result is freshly allocated per run (Cost's backing,
+// Decisions, the Transcript and its rows), because callers retain results
+// — experiments.TrialStats.Sample is read long after its trial finished.
+// Everything only reachable during the run (views, RNG state, exchange
+// maps, scratch rows, the ProverView's challenge rows) is pooled.
+//
+// The free list is a plain mutex-guarded LIFO with a fixed cap rather than
+// a sync.Pool: sync.Pool empties on GC, which would make the engine's
+// allocations per run depend on GC timing — and the recorded
+// allocs-per-op figure in BENCH_seed1.json (and the bench-check gate over
+// it) requires run costs to be deterministic.
+
+type runState struct {
+	// Per-run wiring, set by reset and cleared by release.
+	spec   *Spec
+	g      *graph.Graph
+	inputs []wire.Message
+	prover Prover
+	opts   Options
+	n      int
+
+	// script is the compiled schedule both executors interpret.
+	script script
+
+	// nbrs is the adjacency snapshot: both executors route messages
+	// exclusively through it, never through g after reset, which (a)
+	// avoids per-exchange Neighbors allocations and (b) insulates verifier
+	// decisions from a prover that violates the ProverView.Graph read-only
+	// contract mid-run. adjFlat/adjOff are its pooled backing.
+	nbrs    [][]int
+	adjFlat []int
+	adjOff  []int
+
+	// Fresh per run (escape into the Result).
+	cost       Cost
+	transcript *Transcript
+	decisions  []bool
+
+	// pv is the prover's view; its Challenges rows are carved from the
+	// pooled chalRows backing (row k = chalRows[k*n:(k+1)*n]), valid only
+	// for the duration of the run — provers must not retain them.
+	pv       ProverView
+	chalRows []wire.Message
+
+	// Per-node state: views plus their append backings (capacity-clipped
+	// so an append can never cross into the next node's region), one
+	// splitmix source per node, and the *rand.Rand wrappers. rngs[v]
+	// points at &sources[v], so the two arrays grow together and a reused
+	// Rand is re-seeded via Rand.Seed (which also resets the Rand's
+	// buffered read state) — bit-identical to a freshly built nodeRNG.
+	views       []NodeView
+	sources     []splitmixSource
+	rngs        []*rand.Rand
+	myBack      []wire.Message
+	respBack    []wire.Message
+	nbrRespBack []map[int]wire.Message
+	nbrChalBack []map[int]wire.Message
+
+	// Scratch rows for the driver side of a Merlin round: the delivered
+	// (post-corruption) messages and their digests.
+	delivered []wire.Message
+	forwards  []wire.Message
+
+	// abandoned is set when a ProverTimeout expired: the abandoned Respond
+	// goroutine may still reference this state, so release must drop it to
+	// the garbage collector instead of pooling it.
+	abandoned bool
+}
+
+// statePool is the explicit free list (see the file comment for why it is
+// not a sync.Pool). poolCap bounds retained memory; a burst of concurrent
+// runs beyond it simply allocates fresh states.
+var statePool struct {
+	mu   sync.Mutex
+	free []*runState
+}
+
+const poolCap = 32
+
+// acquireState pops a pooled state or builds an empty one.
+func acquireState() *runState {
+	statePool.mu.Lock()
+	if n := len(statePool.free); n > 0 {
+		s := statePool.free[n-1]
+		statePool.free[n-1] = nil
+		statePool.free = statePool.free[:n-1]
+		statePool.mu.Unlock()
+		return s
+	}
+	statePool.mu.Unlock()
+	return &runState{}
+}
+
+// reset prepares the state for one run: compiles the script, takes the
+// adjacency snapshot, sizes every pooled array for (spec, n), re-seeds the
+// node RNGs, and allocates the run's fresh (escaping) pieces.
+func (s *runState) reset(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Options, n int) {
+	s.spec, s.g, s.inputs, s.prover, s.opts, s.n = spec, g, inputs, p, opts, n
+	s.abandoned = false
+	s.script.compile(spec)
+	nA, nM := s.script.nA, s.script.nM
+
+	s.cost = newCost(spec, n)
+	s.transcript = nil
+	if opts.RecordTranscript {
+		s.transcript = &Transcript{Name: spec.Name}
+	}
+	s.decisions = make([]bool, n)
+
+	// Adjacency snapshot: offsets first (appending may reallocate
+	// adjFlat), then the capacity-clipped per-node headers.
+	s.adjFlat = s.adjFlat[:0]
+	s.adjOff = growInts(s.adjOff, n+1)
+	for v := 0; v < n; v++ {
+		s.adjOff[v] = len(s.adjFlat)
+		s.adjFlat = g.AppendNeighbors(v, s.adjFlat)
+	}
+	s.adjOff[n] = len(s.adjFlat)
+	s.nbrs = growRows(s.nbrs, n)
+	for v := 0; v < n; v++ {
+		lo, hi := s.adjOff[v], s.adjOff[v+1]
+		s.nbrs[v] = s.adjFlat[lo:hi:hi]
+	}
+
+	s.chalRows = growMessages(s.chalRows, n*nA)
+	s.myBack = growMessages(s.myBack, n*nA)
+	s.respBack = growMessages(s.respBack, n*nM)
+	s.nbrRespBack = growMaps(s.nbrRespBack, n*nM)
+	if spec.ShareChallenges {
+		s.nbrChalBack = growMaps(s.nbrChalBack, n*nA)
+	}
+	s.delivered = growMessages(s.delivered, n)
+	s.forwards = growMessages(s.forwards, n)
+
+	s.pv.Graph = g
+	s.pv.Inputs = inputs
+	s.pv.Challenges = s.pv.Challenges[:0]
+
+	// sources and rngs grow in lockstep: each Rand wraps &sources[v], so a
+	// reallocation of sources must rebuild every Rand (and a non-grown
+	// reuse must re-seed through Rand.Seed to also reset its buffered read
+	// state — see rng.go for the shared seeding).
+	if cap(s.sources) < n {
+		s.sources = make([]splitmixSource, n)
+		s.rngs = make([]*rand.Rand, n)
+		for v := 0; v < n; v++ {
+			s.sources[v] = nodeSource(opts.Seed, v)
+			s.rngs[v] = rand.New(&s.sources[v])
+		}
+	} else {
+		s.sources = s.sources[:n]
+		s.rngs = s.rngs[:n]
+		for v := 0; v < n; v++ {
+			s.rngs[v].Seed(mix(opts.Seed, int64(v)))
+		}
+	}
+
+	if cap(s.views) < n {
+		s.views = make([]NodeView, n)
+	} else {
+		s.views = s.views[:n]
+	}
+	for v := 0; v < n; v++ {
+		s.views[v] = NodeView{
+			V:                 v,
+			NumVertices:       n,
+			Neighbors:         s.nbrs[v],
+			MyChallenges:      s.myBack[v*nA : v*nA : (v+1)*nA],
+			Responses:         s.respBack[v*nM : v*nM : (v+1)*nM],
+			NeighborResponses: s.nbrRespBack[v*nM : v*nM : (v+1)*nM],
+		}
+		if spec.ShareChallenges {
+			s.views[v].NeighborChallenges = s.nbrChalBack[v*nA : v*nA : (v+1)*nA]
+		}
+		if inputs != nil {
+			s.views[v].Input = inputs[v]
+		}
+	}
+}
+
+// release returns the state to the pool after dropping every per-run
+// reference: caller data (spec, graph, prover, options with their
+// injector closures), the escaping pieces (cost, decisions, transcript),
+// and the message headers and exchange-map entries of the finished run —
+// a pooled state must not pin another run's payloads alive.
+func (s *runState) release() {
+	if s.abandoned {
+		return // a timed-out prover goroutine may still hold this state
+	}
+	clearMessages(s.chalRows)
+	clearMessages(s.myBack)
+	clearMessages(s.respBack)
+	clearMessages(s.delivered)
+	clearMessages(s.forwards)
+	clearMaps(s.nbrRespBack)
+	clearMaps(s.nbrChalBack)
+	for i := range s.pv.Challenges {
+		s.pv.Challenges[i] = nil
+	}
+	s.pv.Challenges = s.pv.Challenges[:0]
+	s.pv.Graph, s.pv.Inputs = nil, nil
+	s.spec, s.g, s.inputs, s.prover = nil, nil, nil, nil
+	s.opts = Options{}
+	s.cost = Cost{}
+	s.transcript = nil
+	s.decisions = nil
+
+	statePool.mu.Lock()
+	if len(statePool.free) < poolCap {
+		statePool.free = append(statePool.free, s)
+	}
+	statePool.mu.Unlock()
+}
+
+// finish assembles the Result of a completed run and publishes the
+// funnel's delivery meters to the process-global obs counters — once per
+// run, from the charge totals, so the per-delivery hot path stays free of
+// atomics.
+func (s *runState) finish() *Result {
+	accepted := true
+	for _, d := range s.decisions {
+		accepted = accepted && d
+	}
+	bits := 0
+	for v := 0; v < s.n; v++ {
+		bits += s.cost.ToProver[v] + s.cost.FromProver[v] + s.cost.NodeToNode[v]
+	}
+	count := s.n*(s.script.nA+s.script.nM) + s.script.nEx*len(s.adjFlat)
+	obs.RecordDeliveries(int64(count), int64(bits))
+	return &Result{
+		Accepted:   accepted,
+		Decisions:  s.decisions,
+		Cost:       s.cost,
+		Transcript: s.transcript,
+	}
+}
+
+// The grow helpers resize a pooled slice to length n, reallocating only
+// when capacity is exhausted. Stale contents beyond a previous, shorter
+// run are unreachable (release zeroed them).
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growRows(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
+}
+
+func growMessages(s []wire.Message, n int) []wire.Message {
+	if cap(s) < n {
+		return make([]wire.Message, n)
+	}
+	return s[:n]
+}
+
+func growMaps(s []map[int]wire.Message, n int) []map[int]wire.Message {
+	if cap(s) < n {
+		return make([]map[int]wire.Message, n)
+	}
+	return s[:n]
+}
+
+func clearMessages(ms []wire.Message) {
+	for i := range ms {
+		ms[i] = wire.Message{}
+	}
+}
+
+func clearMaps(maps []map[int]wire.Message) {
+	for _, m := range maps {
+		if len(m) > 0 {
+			clear(m)
+		}
+	}
+}

@@ -50,6 +50,13 @@ var (
 	engineRuns Timer
 	// trialsRun counts trials executed by the experiments harness.
 	trialsRun Counter
+	// deliveries counts message deliveries through the engine's delivery
+	// funnel; deliveredBits accumulates their pre-corruption bit lengths.
+	// Both are published once per completed run from the funnel's charge
+	// totals (network.runState.finish), not per delivery, so the hot path
+	// carries no atomics.
+	deliveries    Counter
+	deliveredBits Counter
 )
 
 // RecordEngineRun is called by network.Run on every completed run.
@@ -58,20 +65,32 @@ func RecordEngineRun(d time.Duration) { engineRuns.Observe(d) }
 // RecordTrial is called by the trial harness once per executed trial.
 func RecordTrial() { trialsRun.Add(1) }
 
+// RecordDeliveries is called by the engine once per completed run with the
+// run's total delivery count and delivered (honest, pre-corruption) bits
+// across all three planes.
+func RecordDeliveries(count, bits int64) {
+	deliveries.Add(count)
+	deliveredBits.Add(bits)
+}
+
 // Metrics is a snapshot of the process-global meters, embeddable in
 // machine-readable result files.
 type Metrics struct {
-	EngineRuns   int64 `json:"engine_runs"`
-	EngineWallMS int64 `json:"engine_wall_ms"`
-	TrialsRun    int64 `json:"trials_run"`
+	EngineRuns    int64 `json:"engine_runs"`
+	EngineWallMS  int64 `json:"engine_wall_ms"`
+	TrialsRun     int64 `json:"trials_run"`
+	Deliveries    int64 `json:"deliveries"`
+	DeliveredBits int64 `json:"delivered_bits"`
 }
 
 // Snapshot returns the current global metrics.
 func Snapshot() Metrics {
 	return Metrics{
-		EngineRuns:   engineRuns.Count(),
-		EngineWallMS: engineRuns.Total().Milliseconds(),
-		TrialsRun:    trialsRun.Value(),
+		EngineRuns:    engineRuns.Count(),
+		EngineWallMS:  engineRuns.Total().Milliseconds(),
+		TrialsRun:     trialsRun.Value(),
+		Deliveries:    deliveries.Value(),
+		DeliveredBits: deliveredBits.Value(),
 	}
 }
 
@@ -80,6 +99,8 @@ func Reset() {
 	atomic.StoreInt64(&engineRuns.ns, 0)
 	atomic.StoreInt64(&engineRuns.n, 0)
 	atomic.StoreInt64(&trialsRun.v, 0)
+	atomic.StoreInt64(&deliveries.v, 0)
+	atomic.StoreInt64(&deliveredBits.v, 0)
 }
 
 // Reporter prints throttled progress lines for batch work to a writer
@@ -90,6 +111,7 @@ func Reset() {
 type Reporter struct {
 	mu    sync.Mutex
 	w     io.Writer
+	now   func() time.Time // injectable clock; time.Now outside tests
 	label string
 	cell  int
 	total int
@@ -101,7 +123,7 @@ type Reporter struct {
 
 // NewReporter returns a Reporter writing to w.
 func NewReporter(w io.Writer) *Reporter {
-	return &Reporter{w: w}
+	return &Reporter{w: w, now: time.Now}
 }
 
 // minInterval throttles progress writes.
@@ -128,7 +150,7 @@ func (r *Reporter) StartCell(total int) {
 	r.cell++
 	r.total = total
 	r.done = 0
-	r.start = time.Now()
+	r.start = r.now()
 	r.last = time.Time{}
 	r.mu.Unlock()
 }
@@ -142,19 +164,25 @@ func (r *Reporter) Tick() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.done++
-	now := time.Now()
+	now := r.now()
 	if now.Sub(r.last) < minInterval || r.total <= 0 {
 		return
 	}
 	r.last = now
-	eta := "?"
-	if elapsed := now.Sub(r.start); r.done > 0 && elapsed > 0 {
-		rem := time.Duration(float64(elapsed) / float64(r.done) * float64(r.total-r.done))
-		eta = rem.Round(100 * time.Millisecond).String()
-	}
 	fmt.Fprintf(r.w, "\r[%s] cell %d: %d/%d trials (ETA %s)   ",
-		r.label, r.cell, r.done, r.total, eta)
+		r.label, r.cell, r.done, r.total, etaString(now.Sub(r.start), r.done, r.total))
 	r.wrote = true
+}
+
+// etaString extrapolates the remaining wall time of a cell from its own
+// throughput so far: elapsed/done per trial times the trials left, rounded
+// to 100ms. "?" when there is no throughput to extrapolate from.
+func etaString(elapsed time.Duration, done, total int) string {
+	if done <= 0 || elapsed <= 0 {
+		return "?"
+	}
+	rem := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	return rem.Round(100 * time.Millisecond).String()
 }
 
 // FinishCell clears the progress line of the finished cell, if any was

@@ -86,3 +86,121 @@ func TestReporterThrottles(t *testing.T) {
 		t.Fatalf("throttle failed: %d progress lines", n)
 	}
 }
+
+// fakeClock is a manually advanced clock for deterministic Reporter tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newFakeReporter returns a Reporter on a fake clock plus the clock.
+func newFakeReporter(buf *bytes.Buffer) (*Reporter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(buf)
+	r.now = clk.now
+	return r, clk
+}
+
+// TestReporterThrottleInterval pins the 500ms write throttle exactly: a
+// tick landing inside the interval is silent, one landing at or past the
+// boundary writes, and the throttle window restarts from the write.
+func TestReporterThrottleInterval(t *testing.T) {
+	var buf bytes.Buffer
+	r, clk := newFakeReporter(&buf)
+	r.SetLabel("E1")
+	r.StartCell(100)
+
+	// The first tick after StartCell is minInterval past the zero `last`,
+	// so it writes; ticks within the next 499ms stay silent.
+	r.Tick()
+	if n := strings.Count(buf.String(), "trials"); n != 1 {
+		t.Fatalf("first tick: %d lines, want 1", n)
+	}
+	clk.advance(minInterval - time.Millisecond)
+	r.Tick()
+	if n := strings.Count(buf.String(), "trials"); n != 1 {
+		t.Fatalf("tick inside throttle window wrote (lines=%d)", n)
+	}
+	clk.advance(time.Millisecond)
+	r.Tick()
+	if n := strings.Count(buf.String(), "trials"); n != 2 {
+		t.Fatalf("tick at throttle boundary: %d lines, want 2", n)
+	}
+}
+
+// TestReporterETAMath checks the extrapolation through the public
+// interface: 25 trials in 10s with 75 left must read ETA 30s.
+func TestReporterETAMath(t *testing.T) {
+	var buf bytes.Buffer
+	r, clk := newFakeReporter(&buf)
+	r.SetLabel("E2")
+	r.StartCell(100)
+	for i := 0; i < 24; i++ {
+		r.Tick()
+	}
+	buf.Reset()
+	clk.advance(10 * time.Second)
+	r.Tick() // 25th trial, 10s elapsed
+	if got := buf.String(); !strings.Contains(got, "(ETA 30s)") {
+		t.Fatalf("progress line = %q, want ETA 30s", got)
+	}
+}
+
+func TestETAString(t *testing.T) {
+	cases := []struct {
+		elapsed time.Duration
+		done    int
+		total   int
+		want    string
+	}{
+		{0, 0, 10, "?"},           // nothing done yet
+		{time.Second, 0, 10, "?"}, // guard against division by zero
+		{0, 5, 10, "?"},           // no elapsed time to extrapolate from
+		{10 * time.Second, 25, 100, "30s"},
+		{time.Second, 10, 10, "0s"},              // finished cell
+		{1500 * time.Millisecond, 3, 4, "500ms"}, // sub-second rounding
+	}
+	for _, c := range cases {
+		if got := etaString(c.elapsed, c.done, c.total); got != c.want {
+			t.Errorf("etaString(%v, %d, %d) = %q, want %q", c.elapsed, c.done, c.total, got, c.want)
+		}
+	}
+}
+
+// TestMeterResetBetweenRuns pins the contract batch drivers rely on:
+// Reset zeroes every meter — including the delivery meters the engine
+// publishes per run — so consecutive measurement windows don't bleed
+// into each other.
+func TestMeterResetBetweenRuns(t *testing.T) {
+	Reset()
+	defer Reset()
+	RecordEngineRun(4 * time.Millisecond)
+	RecordTrial()
+	RecordDeliveries(12, 480)
+	RecordDeliveries(3, 99)
+	m := Snapshot()
+	if m.Deliveries != 15 || m.DeliveredBits != 579 {
+		t.Fatalf("delivery meters = %d/%d, want 15/579", m.Deliveries, m.DeliveredBits)
+	}
+	Reset()
+	if m := Snapshot(); m != (Metrics{}) {
+		t.Fatalf("snapshot after Reset = %+v, want zero", m)
+	}
+	// A second run's meters start from zero, not from the first run's.
+	RecordDeliveries(7, 70)
+	if m := Snapshot(); m.Deliveries != 7 || m.DeliveredBits != 70 {
+		t.Fatalf("post-reset meters = %d/%d, want 7/70", m.Deliveries, m.DeliveredBits)
+	}
+}
