@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
 # smoke round-trip, a short mutation burst on every decoder fuzz target,
-# and a fault-matrix smoke run.
-verify: lint build test race smoke fuzz-short fault-smoke
+# a fault-matrix smoke run, and a live service round-trip (dipserve under
+# dipload, drained cleanly).
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -52,6 +53,27 @@ fuzz-short:
 fault-smoke:
 	$(GO) run ./cmd/dipbench -faults -quick -seed 1 -progress=false -json /tmp/dip-fault-smoke.json >/dev/null
 	$(GO) run ./cmd/dipbench -validate /tmp/dip-fault-smoke.json
+
+# serve-smoke exercises the verification service end to end: build
+# dipserve and dipload, boot the service on an ephemeral port, fire a
+# short load run, validate the dip-load/v1 file, and drain with SIGTERM.
+# The trap tears the server down even when a middle step fails.
+serve-smoke:
+	@dir=$$(mktemp -d /tmp/dip-serve-smoke.XXXXXX); \
+	$(GO) build -o $$dir/dipserve ./cmd/dipserve || exit 1; \
+	$(GO) build -o $$dir/dipload ./cmd/dipload || exit 1; \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 4 -queue 16 >$$dir/serve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never bound"; cat $$dir/serve.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam,sym-dam -n 32 -c 4 -requests 300 -seed 1 -json $$dir/load.json || { cat $$dir/serve.log; exit 1; }; \
+	$(GO) run ./cmd/dipbench -validate $$dir/load.json || exit 1; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve.log; exit 1; }; \
+	grep -q drained $$dir/serve.log || { echo "no drain marker in log"; cat $$dir/serve.log; exit 1; }; \
+	echo "serve-smoke: ok"
 
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:

@@ -33,6 +33,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"dip"
 	"dip/internal/experiments"
 	"dip/internal/obs"
 )
@@ -244,14 +245,30 @@ func validateFiles(paths []string) error {
 	return nil
 }
 
-// validateFile dispatches on the file's schema field: dip-bench/v1 and
-// dip-fault/v1 files are both accepted.
+// validateFile dispatches on the file's schema field: dip-bench/v1,
+// dip-fault/v1, dip-report/v1 and dip-load/v1 files are all accepted.
 func validateFile(path string) error {
 	schema, err := experiments.SniffSchema(path)
 	if err != nil {
 		return err
 	}
 	switch schema {
+	case dip.ReportSchema:
+		w, err := dip.ReadWireReportFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s (protocol %s, %d nodes, seed %d, accepted=%v)\n",
+			path, w.Schema, w.Protocol, w.Nodes, w.Seed, w.Accepted)
+		return nil
+	case experiments.LoadSchema:
+		f, err := experiments.ReadLoadResultsFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s results (seed %d, c=%d, %d requests, %.1f req/s, %d dropped)\n",
+			path, f.Schema, f.Seed, f.Concurrency, f.Requests, f.ThroughputRPS, f.Dropped)
+		return nil
 	case experiments.Schema:
 		f, err := experiments.ReadResultsFile(path)
 		if err != nil {

@@ -1,0 +1,287 @@
+// Command dipload is the load generator for cmd/dipserve: it fires a fixed
+// number of protocol-run requests at a running service from a pool of
+// concurrent clients, retries admission overflows (503), decodes every
+// dip-report/v1 answer, and reports throughput and latency quantiles as a
+// dip-load/v1 document.
+//
+//	dipload -url http://127.0.0.1:8123 -protocol sym-dmam -n 64 -c 8 -requests 2000 -json LOAD_seed1.json
+//
+// Request i runs with seed DeriveSeed(-seed, i), so the request stream is
+// reproducible; the timings of course are not. Transport-level failures
+// (dropped connections) are counted separately from protocol errors — a
+// healthy service under overload answers 503, it never drops.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dip"
+	"dip/internal/experiments"
+	"dip/internal/stats"
+)
+
+type options struct {
+	url       string
+	protocols []string
+	n         int
+	clients   int
+	requests  int
+	seed      int64
+	wait      time.Duration
+	jsonPath  string
+}
+
+// supportedProtocols maps the protocol names dipload can generate
+// instances for: the symmetry family on cycle graphs (always symmetric,
+// so the honest prover accepts).
+var supportedProtocols = map[string]bool{
+	"sym-dmam": true,
+	"sym-dam":  true,
+	"sym-lcp":  true,
+	"sym-rpls": true,
+}
+
+func main() {
+	var o options
+	var protoList string
+	flag.StringVar(&o.url, "url", "http://127.0.0.1:8123", "dipserve base URL")
+	flag.StringVar(&protoList, "protocol", "sym-dmam", "comma-separated protocols to exercise (sym-dmam, sym-dam, sym-lcp, sym-rpls)")
+	flag.IntVar(&o.n, "n", 64, "vertices per instance (cycle graph)")
+	flag.IntVar(&o.clients, "c", 8, "concurrent clients")
+	flag.IntVar(&o.requests, "requests", 2000, "total requests")
+	flag.Int64Var(&o.seed, "seed", 1, "base seed (request i uses DeriveSeed(seed, i))")
+	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the service to report ready")
+	flag.StringVar(&o.jsonPath, "json", "", "write dip-load/v1 results to this file")
+	flag.Parse()
+
+	for _, p := range strings.Split(protoList, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !supportedProtocols[p] {
+			fmt.Fprintf(os.Stderr, "dipload: unsupported protocol %q\n", p)
+			os.Exit(2)
+		}
+		o.protocols = append(o.protocols, p)
+	}
+	if len(o.protocols) == 0 || o.n < 3 || o.clients < 1 || o.requests < 1 {
+		fmt.Fprintln(os.Stderr, "dipload: need at least one protocol, -n >= 3, -c >= 1, -requests >= 1")
+		os.Exit(2)
+	}
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "dipload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// protoStats collects one protocol's outcomes across workers.
+type protoStats struct {
+	mu        sync.Mutex
+	requests  int
+	errors    int
+	latencies []time.Duration
+}
+
+func run(o options) error {
+	if err := waitReady(o.url, o.wait); err != nil {
+		return err
+	}
+
+	// Pre-build every request body before the clock starts: the generator
+	// should spend the measured window driving the service, not encoding
+	// JSON on the same cores.
+	edges := make([][2]int, o.n)
+	for i := 0; i < o.n; i++ {
+		edges[i] = [2]int{i, (i + 1) % o.n}
+	}
+	bodies := make([][]byte, o.requests)
+	for i := 0; i < o.requests; i++ {
+		req := dip.Request{
+			Protocol: o.protocols[i%len(o.protocols)],
+			N:        o.n,
+			Edges:    edges,
+			Options:  dip.Options{Seed: stats.DeriveSeed(o.seed, int64(i))},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	perProto := make(map[string]*protoStats, len(o.protocols))
+	for _, p := range o.protocols {
+		perProto[p] = &protoStats{}
+	}
+
+	// One warm connection per client: the default Transport keeps only two
+	// idle connections per host, so higher concurrency would constantly
+	// re-dial and the measured latency would be TCP churn, not the service.
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        o.clients,
+			MaxIdleConnsPerHost: o.clients,
+		},
+	}
+	var next, retries, dropped, errs atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(o.requests) {
+					return
+				}
+				proto := o.protocols[int(i)%len(o.protocols)]
+				ps := perProto[proto]
+				reqStart := time.Now()
+				ok, retried, droppedConn := fire(client, o.url, bodies[i])
+				lat := time.Since(reqStart)
+				retries.Add(retried)
+				if droppedConn {
+					dropped.Add(1)
+				}
+				ps.mu.Lock()
+				ps.requests++
+				if !ok {
+					ps.errors++
+				}
+				ps.latencies = append(ps.latencies, lat)
+				ps.mu.Unlock()
+				if !ok {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	completed := 0
+	var protoResults []experiments.LoadProtocolResult
+	names := make([]string, 0, len(perProto))
+	for name := range perProto {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := perProto[name]
+		good := ps.requests - ps.errors
+		completed += good
+		protoResults = append(protoResults, experiments.LoadProtocolResult{
+			Protocol:      name,
+			Requests:      good,
+			Errors:        ps.errors,
+			ThroughputRPS: float64(good) / wall.Seconds(),
+			LatencyMS:     experiments.SummarizeLatencies(ps.latencies),
+		})
+	}
+
+	results := &experiments.LoadResultsFile{
+		Schema:        experiments.LoadSchema,
+		Tool:          "dipload",
+		Target:        o.url,
+		Seed:          o.seed,
+		Concurrency:   o.clients,
+		Requests:      completed,
+		Errors:        int(errs.Load()),
+		Retries:       int(retries.Load()),
+		Dropped:       int(dropped.Load()),
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		ThroughputRPS: float64(completed) / wall.Seconds(),
+		Protocols:     protoResults,
+	}
+	if err := results.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("dipload: %d requests in %v (%.1f req/s, c=%d), %d errors, %d retries, %d dropped\n",
+		completed, wall.Round(time.Millisecond), results.ThroughputRPS, o.clients,
+		results.Errors, results.Retries, results.Dropped)
+	for _, pr := range results.Protocols {
+		fmt.Printf("  %-10s %5d ok  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  max %6.2fms\n",
+			pr.Protocol, pr.Requests, pr.LatencyMS.P50, pr.LatencyMS.P95, pr.LatencyMS.P99, pr.LatencyMS.Max)
+	}
+	if o.jsonPath != "" {
+		if err := results.WriteFile(o.jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("dipload: wrote %s\n", o.jsonPath)
+	}
+	if results.Dropped > 0 {
+		return fmt.Errorf("%d dropped connections", results.Dropped)
+	}
+	return nil
+}
+
+// fire sends one run request, retrying 503 admission overflows with a
+// short backoff. ok reports a decoded 200; retried counts overflow
+// round-trips; droppedConn reports a transport-level failure.
+func fire(client *http.Client, url string, body []byte) (ok bool, retried int64, droppedConn bool) {
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		resp, err := client.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, retried, true
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			_, derr := dip.DecodeWireReport(resp.Body)
+			drain(resp)
+			return derr == nil, retried, false
+		case http.StatusServiceUnavailable:
+			drain(resp)
+			retried++
+			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
+		default:
+			drain(resp)
+			return false, retried, false
+		}
+	}
+	return false, retried, false
+}
+
+// drain reads the body to EOF and closes it, so the transport can return
+// the connection to the idle pool instead of tearing it down.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// waitReady polls /readyz until the service answers 200.
+func waitReady(url string, bound time.Duration) error {
+	deadline := time.Now().Add(bound)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("service at %s not ready: %w", url, err)
+			}
+			return fmt.Errorf("service at %s not ready", url)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,91 @@
+// Command dipserve is the project's verification service: a long-running
+// HTTP server that accepts protocol-run requests (dip.Request as JSON),
+// executes them on the shared pooled engine through dip.RunContext, and
+// answers with dip-report/v1 documents.
+//
+//	POST /v1/run        {"protocol": "sym-dmam", "n": 6, "edges": [[0,1], ...], "options": {"seed": 1}}
+//	GET  /v1/protocols  registry listing (name, family, rounds)
+//	GET  /metrics       service + engine meters and state-pool statistics
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//
+// Concurrency is bounded twice: a fixed worker pool (-workers) executes
+// runs, and a fixed-depth admission queue (-queue) holds what the workers
+// have not yet picked up. When the queue is full the service answers 503
+// with a Retry-After hint instead of spawning unbounded goroutines; every
+// run carries a deadline (-timeout) that cancels the engine mid-protocol.
+// SIGTERM/SIGINT starts a graceful drain: new requests get 503, queued and
+// in-flight runs finish (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address (host:port; port 0 picks a free one)")
+	flag.IntVar(&cfg.workers, "workers", cfg.workers, "run workers (concurrency ceiling)")
+	flag.IntVar(&cfg.queue, "queue", cfg.queue, "admission queue depth (full queue answers 503)")
+	flag.DurationVar(&cfg.timeout, "timeout", cfg.timeout, "per-request run deadline (0 disables)")
+	flag.Int64Var(&cfg.maxBody, "max-body", cfg.maxBody, "request body cap in bytes")
+	flag.DurationVar(&cfg.drain, "drain-timeout", cfg.drain, "graceful shutdown bound")
+	flag.StringVar(&cfg.addrFile, "addr-file", cfg.addrFile, "write the bound address to this file once listening")
+	flag.Parse()
+
+	if err := serve(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dipserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func serve(cfg config) error {
+	s := newServer(cfg)
+	s.start()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	httpSrv := &http.Server{Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("dipserve: listening on %s (%d workers, queue %d, timeout %v)",
+		ln.Addr(), s.cfg.workers, s.cfg.queue, cfg.timeout)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let the handler goroutines (and through
+	// them the queued jobs) finish, then retire the workers.
+	log.Printf("dipserve: draining (bound %v)", cfg.drain)
+	s.draining.Store(true)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	err = httpSrv.Shutdown(shutCtx)
+	s.stop()
+	log.Printf("dipserve: drained")
+	return err
+}

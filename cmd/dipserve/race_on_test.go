@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled relaxes wall-clock assertions when the race detector's
+// instrumentation (5-20x slowdown) would make them flaky.
+const raceEnabled = true

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dip"
+	"dip/internal/network"
+	"dip/internal/obs"
+)
+
+// config are the serving knobs; flags in main.go fill it.
+type config struct {
+	// addr is the listen address (":8123", "127.0.0.1:0", ...).
+	addr string
+	// workers is the number of run workers — the service's concurrency
+	// ceiling. Each worker checks engine state out of the shared pool, so
+	// the pool is sized to at least this.
+	workers int
+	// queue is the admission queue depth: requests admitted but not yet
+	// picked up by a worker. A full queue answers 503 immediately.
+	queue int
+	// timeout bounds each run (request deadline); 0 disables.
+	timeout time.Duration
+	// maxBody caps the request body, guarding the decoder.
+	maxBody int64
+	// drain bounds graceful shutdown.
+	drain time.Duration
+	// addrFile, when set, receives the actual listen address once bound
+	// (supports port 0 in tests and smoke runs).
+	addrFile string
+}
+
+func defaultConfig() config {
+	return config{
+		addr:    ":8123",
+		workers: runtime.GOMAXPROCS(0),
+		queue:   64,
+		timeout: 10 * time.Second,
+		maxBody: 8 << 20,
+		drain:   15 * time.Second,
+	}
+}
+
+// job is one admitted run request traveling from handler to worker. The
+// handler blocks on done; the worker fulfills exactly once.
+type job struct {
+	ctx  context.Context
+	req  dip.Request
+	rep  dip.Report
+	err  error
+	done chan struct{}
+}
+
+// server is the dipserve service: a bounded admission queue in front of a
+// fixed worker pool, every worker running requests through dip.RunContext
+// on the shared pooled engine.
+type server struct {
+	cfg    config
+	meters *obs.ServiceMeters
+	jobs   chan *job
+	// runFunc is dip.RunContext in production; tests inject stubs to pin
+	// queue/timeout behavior without real protocol runs.
+	runFunc  func(context.Context, dip.Request) (dip.Report, error)
+	draining atomic.Bool
+	started  time.Time
+	wg       sync.WaitGroup
+}
+
+func newServer(cfg config) *server {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queue < 1 {
+		cfg.queue = 1
+	}
+	return &server{
+		cfg:     cfg,
+		meters:  &obs.ServiceMeters{},
+		jobs:    make(chan *job, cfg.queue),
+		runFunc: dip.RunContext,
+		started: time.Now(),
+	}
+}
+
+// start launches the worker pool. stop drains it: the admission queue is
+// closed and every queued job still runs before workers exit.
+func (s *server) start() {
+	// Size the shared engine-state pool to the serving concurrency so a
+	// fully loaded worker pool recycles state instead of allocating; keep
+	// the default floor so harness runs in the same process stay pooled.
+	if n := s.cfg.workers; n > 32 {
+		network.SetStatePoolCapacity(n)
+	}
+	for i := 0; i < s.cfg.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *server) stop() {
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.meters.QueueDepth.Add(-1)
+		s.runJob(j)
+	}
+}
+
+func (s *server) runJob(j *job) {
+	defer close(j.done)
+	// The client may be gone (handler timeout, dropped connection); don't
+	// burn a worker on a run nobody will read.
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		return
+	}
+	s.meters.InFlight.Add(1)
+	defer s.meters.InFlight.Add(-1)
+
+	ctx := j.ctx
+	if s.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+		defer cancel()
+	}
+	pm := s.meters.Protocol(j.req.Protocol)
+	pm.Requests.Add(1)
+	start := time.Now()
+	j.rep, j.err = s.runFunc(ctx, j.req)
+	pm.Latency.Observe(time.Since(start))
+	if j.err != nil {
+		pm.Errors.Add(1)
+		s.meters.Failures.Add(1)
+	}
+}
+
+// handler builds the service mux.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/protocols", s.handleProtocols)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// errorBody is the JSON error response of every non-2xx answer.
+type errorBody struct {
+	Error    string `json:"error"`
+	Phase    string `json:"phase,omitempty"`
+	Protocol string `json:"protocol,omitempty"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req dip.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+		s.meters.Rejected.Add(1)
+		return
+	}
+
+	j := &job{ctx: r.Context(), req: req, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+		s.meters.QueueDepth.Add(1)
+		s.meters.Requests.Add(1)
+	default:
+		// Backpressure: a full queue answers immediately instead of
+		// stacking goroutines. Clients retry after the hint.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "admission queue full"})
+		s.meters.Rejected.Add(1)
+		return
+	}
+
+	<-j.done
+	if j.err != nil {
+		status, phase := mapRunError(j.err)
+		writeJSON(w, status, errorBody{Error: j.err.Error(), Phase: phase, Protocol: req.Protocol})
+		return
+	}
+	// Encode to a buffer first: one write sets Content-Length and puts the
+	// whole response in a single segment, which matters at load-test rates.
+	var buf bytes.Buffer
+	if err := dip.WireReportFrom(j.rep, req.Options.Seed).Encode(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Protocol: req.Protocol})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// mapRunError translates a run failure into an HTTP status: engine phases
+// carry the distinction between a bad instance (setup), an exhausted
+// deadline, and a genuine protocol-level failure; everything that is not a
+// structured engine error is a bad request, because dip.RunContext
+// validates before it runs.
+func mapRunError(err error) (status int, phase string) {
+	var rerr *network.RunError
+	if errors.As(err, &rerr) {
+		switch rerr.Phase {
+		case network.PhaseSetup:
+			return http.StatusBadRequest, string(rerr.Phase)
+		case network.PhaseDeadline, network.PhaseCanceled:
+			return http.StatusGatewayTimeout, string(rerr.Phase)
+		default:
+			return http.StatusBadGateway, string(rerr.Phase)
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout, "deadline"
+	}
+	return http.StatusBadRequest, ""
+}
+
+func (s *server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Protocols []dip.ProtocolInfo `json:"protocols"`
+	}{dip.Protocols()})
+}
+
+// metricsPayload composes the service-level meters with the process-global
+// engine meters and the engine state-pool statistics. Composition happens
+// here because obs cannot import network (the engine publishes into obs).
+type metricsPayload struct {
+	Service   obs.ServiceMetrics `json:"service"`
+	Engine    obs.Metrics        `json:"engine"`
+	StatePool network.PoolStats  `json:"state_pool"`
+	Workers   int                `json:"workers"`
+	QueueCap  int                `json:"queue_capacity"`
+	UptimeMS  int64              `json:"uptime_ms"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metricsPayload{
+		Service:   s.meters.SnapshotService(),
+		Engine:    obs.Snapshot(),
+		StatePool: network.StatePoolStats(),
+		Workers:   s.cfg.workers,
+		QueueCap:  s.cfg.queue,
+		UptimeMS:  time.Since(s.started).Milliseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

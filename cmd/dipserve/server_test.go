@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dip"
+)
+
+// startTestServer wires a server with cfg (zero fields defaulted) into an
+// httptest listener and tears everything down with the test.
+func startTestServer(t *testing.T, cfg config, runFunc func(context.Context, dip.Request) (dip.Report, error)) (*server, *httptest.Server) {
+	t.Helper()
+	def := defaultConfig()
+	if cfg.workers == 0 {
+		cfg.workers = 2
+	}
+	if cfg.queue == 0 {
+		cfg.queue = def.queue
+	}
+	if cfg.timeout == 0 {
+		cfg.timeout = def.timeout
+	}
+	if cfg.maxBody == 0 {
+		cfg.maxBody = def.maxBody
+	}
+	s := newServer(cfg)
+	if runFunc != nil {
+		s.runFunc = runFunc
+	}
+	s.start()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.stop()
+	})
+	return s, ts
+}
+
+func postRun(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	return resp
+}
+
+func cycleRequest(n int, seed int64) string {
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	req := dip.Request{Protocol: "sym-dmam", N: n, Edges: edges, Options: dip.Options{Seed: seed}}
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+// TestRunEndpoint: a real protocol run end to end — request in,
+// dip-report/v1 out.
+func TestRunEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	resp := postRun(t, ts.URL, cycleRequest(8, 5))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	w, err := dip.DecodeWireReport(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Protocol != "sym-dmam" || w.Nodes != 8 || w.Seed != 5 || !w.Accepted {
+		t.Fatalf("report: %+v", w)
+	}
+	if len(w.PerRound) != 3 {
+		t.Fatalf("per-round entries: %d", len(w.PerRound))
+	}
+}
+
+// TestRunEndpointDeterministic: the service answers a repeated request
+// byte-identically — the engine's seed discipline survives the pool.
+func TestRunEndpointDeterministic(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	read := func() string {
+		resp := postRun(t, ts.URL, cycleRequest(10, 42))
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if a, b := read(), read(); a != b {
+		t.Fatalf("two identical requests answered differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunEndpointBadRequests: malformed body, unknown field, unknown
+// protocol, invalid instance, wrong method.
+func TestRunEndpointBadRequests(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"protocol": `, http.StatusBadRequest},
+		{"unknown field", `{"protocol": "sym-dmam", "n": 4, "edges": [[0,1]], "frobnicate": 1}`, http.StatusBadRequest},
+		{"unknown protocol", `{"protocol": "sym-quantum", "n": 4, "edges": [[0,1]]}`, http.StatusBadRequest},
+		{"edge out of range", `{"protocol": "sym-dmam", "n": 4, "edges": [[0,9]]}`, http.StatusBadRequest},
+		{"unused field", `{"protocol": "sym-dmam", "n": 4, "edges": [[0,1],[1,2],[2,3],[3,0]], "marks": [0,0,1,1]}`, http.StatusBadRequest},
+		{"negative timeout", `{"protocol": "sym-dmam", "n": 4, "edges": [[0,1],[1,2],[2,3],[3,0]], "options": {"timeout_ns": -5}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postRun(t, ts.URL, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, b)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body: %v / %+v", err, eb)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: %d", resp.StatusCode)
+	}
+}
+
+// TestQueueFull: with one worker wedged and the queue occupied, the next
+// request is refused immediately — well inside the 5ms admission bound —
+// with 503 and a Retry-After hint.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{}, 8)
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		blocked <- struct{}{}
+		<-release
+		return dip.Report{Protocol: req.Protocol}, nil
+	}
+	s, ts := startTestServer(t, config{workers: 1, queue: 1, timeout: time.Minute}, runFunc)
+	defer close(release)
+
+	// First request occupies the worker; second fills the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postRun(t, ts.URL, cycleRequest(4, 1))
+			resp.Body.Close()
+		}()
+	}
+	<-blocked // worker holds job 1
+	waitFor(t, func() bool { return s.meters.QueueDepth.Value() == 1 })
+
+	start := time.Now()
+	resp := postRun(t, ts.URL, cycleRequest(4, 2))
+	elapsed := time.Since(start)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The admission decision itself is a select-default; the 5ms bound
+	// leaves room for HTTP round-trip overhead. Race instrumentation slows
+	// everything severalfold, so the bound is scaled there.
+	bound := 5 * time.Millisecond
+	if raceEnabled {
+		bound = 50 * time.Millisecond
+	}
+	if elapsed > bound {
+		t.Fatalf("queue-full rejection took %v, want < %v", elapsed, bound)
+	}
+	if s.meters.Rejected.Value() == 0 {
+		t.Fatal("rejection not metered")
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	wg.Wait()
+}
+
+// TestRunDeadline: a run exceeding the per-request deadline is cut off and
+// answered 504 with the engine's phase attached.
+func TestRunDeadline(t *testing.T) {
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		<-ctx.Done()
+		return dip.Report{}, ctx.Err()
+	}
+	_, ts := startTestServer(t, config{timeout: 20 * time.Millisecond}, runFunc)
+	resp := postRun(t, ts.URL, cycleRequest(4, 1))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Phase != "deadline" {
+		t.Fatalf("error body: %v / %+v", err, eb)
+	}
+}
+
+// TestDrain: a draining server refuses new runs and reports not-ready, but
+// stays alive for health checks.
+func TestDrain(t *testing.T) {
+	s, ts := startTestServer(t, config{}, nil)
+	s.draining.Store(true)
+
+	resp := postRun(t, ts.URL, cycleRequest(4, 1))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run during drain: %d", resp.StatusCode)
+	}
+
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d", ready.StatusCode)
+	}
+
+	alive, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive.Body.Close()
+	if alive.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", alive.StatusCode)
+	}
+}
+
+// TestProtocolsEndpoint: the registry listing is served sorted.
+func TestProtocolsEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	resp, err := http.Get(ts.URL + "/v1/protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Protocols []dip.ProtocolInfo `json:"protocols"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Protocols) != len(dip.Protocols()) {
+		t.Fatalf("%d protocols listed", len(body.Protocols))
+	}
+	for i := 1; i < len(body.Protocols); i++ {
+		if body.Protocols[i-1].Name >= body.Protocols[i].Name {
+			t.Fatalf("listing unsorted at %d", i)
+		}
+	}
+}
+
+// TestMetricsEndpoint: the composed payload carries service, engine and
+// state-pool sections.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	postRun(t, ts.URL, cycleRequest(6, 3)).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Service.Requests < 1 {
+		t.Fatalf("service requests: %+v", m.Service)
+	}
+	if m.StatePool.Capacity < 1 {
+		t.Fatalf("state pool: %+v", m.StatePool)
+	}
+	if len(m.Service.Protocols) == 0 || m.Service.Protocols[0].Protocol != "sym-dmam" {
+		t.Fatalf("per-protocol: %+v", m.Service.Protocols)
+	}
+}
+
+// TestRequestStorm hammers the service with real concurrent runs over the
+// shared engine pool: every request must come back 200 or 503, every 200
+// must decode into a valid report, and nothing may hang. Run with -race
+// this doubles as the pool-sharing data-race check.
+func TestRequestStorm(t *testing.T) {
+	s, ts := startTestServer(t, config{workers: 4, queue: 8}, nil)
+
+	const clients = 8
+	const perClient = 15
+	var ok200, ok503, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				body := cycleRequest(12+(i%3)*2, int64(c*1000+i))
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if _, err := dip.DecodeWireReport(resp.Body); err != nil {
+						t.Errorf("client %d: bad report: %v", c, err)
+					}
+					ok200.Add(1)
+				case http.StatusServiceUnavailable:
+					ok503.Add(1)
+				default:
+					other.Add(1)
+					b, _ := io.ReadAll(resp.Body)
+					t.Errorf("client %d: status %d: %s", c, resp.StatusCode, b)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := ok200.Load() + ok503.Load(); got != clients*perClient || other.Load() != 0 {
+		t.Fatalf("%d ok + %d overflow + %d other of %d", ok200.Load(), ok503.Load(), other.Load(), clients*perClient)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if s.meters.InFlight.Value() != 0 || s.meters.QueueDepth.Value() != 0 {
+		t.Fatalf("gauges nonzero after storm: in-flight %d, queue %d",
+			s.meters.InFlight.Value(), s.meters.QueueDepth.Value())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

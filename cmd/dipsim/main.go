@@ -15,6 +15,13 @@
 //	dipsim -protocol sym-dam -fault bitflip  # corrupt prover messages
 //	dipsim -protocol sym-dam -fault equivocate -fault-plane exchange
 //
+// dipsim builds a dip.Request for the chosen instance and — in the plain
+// case — executes it through dip.Run, the same entry point library users
+// and cmd/dipserve go through. The -fault and -v paths need engine knobs
+// the public API deliberately does not expose (delivery corruption,
+// transcript recording), so they drive the engine directly on the same
+// instance and shape the result into the same Report.
+//
 // -fault injects a fault class from internal/faults into the honest run
 // (bitflip, truncate, drop, replay, nodeswap, equivocate); -fault-plane
 // picks the corrupted plane (prover = prover→node deliveries, exchange =
@@ -27,20 +34,22 @@
 // symmetric; requires an even -n ≥ 14), asymmetric (a random rigid graph
 // — never symmetric; requires -n ≥ 6).
 //
-// -json writes a versioned JSON record of the run to the given path
-// ("-" for stdout) alongside the human-readable report.
+// -json writes the run as a dip-report/v1 document to the given path
+// ("-" for stdout) alongside the human-readable report, with the graph
+// description, fault configuration and delivery meters attached as
+// provenance.
 package main
 
 import (
-	"encoding/json"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
+	"dip"
 	"dip/internal/core"
-	"dip/internal/experiments"
 	"dip/internal/faults"
 	"dip/internal/graph"
 	"dip/internal/network"
@@ -77,7 +86,7 @@ type simOptions struct {
 func parseFlags(args []string) simOptions {
 	var o simOptions
 	fs := flag.NewFlagSet("dipsim", flag.ExitOnError)
-	fs.StringVar(&o.protocol, "protocol", "sym-dmam", "sym-dmam | sym-dam | dsym-dam | gni | gni-marked | sym-lcp | gni-lcp")
+	fs.StringVar(&o.protocol, "protocol", "sym-dmam", "sym-dmam | sym-dam | sym-rpls | dsym-dam | gni | gni-marked | sym-lcp | gni-lcp")
 	fs.StringVar(&o.kind, "graph", "doubled", "cycle | complete | star | path | doubled | asymmetric")
 	fs.IntVar(&o.n, "n", 16, "graph size (total vertices; doubled needs an even n >= 14, asymmetric n >= 6)")
 	fs.IntVar(&o.side, "side", 8, "DSym: vertices per dumbbell side")
@@ -85,7 +94,7 @@ func parseFlags(args []string) simOptions {
 	fs.IntVar(&o.k, "k", core.DefaultGNIRepetitions, "GNI: parallel repetitions")
 	fs.Int64Var(&o.seed, "seed", 1, "reproducibility seed")
 	fs.BoolVar(&o.verbose, "v", false, "print the full message transcript")
-	fs.StringVar(&o.jsonPath, "json", "", "write a machine-readable result to this path ('-' for stdout)")
+	fs.StringVar(&o.jsonPath, "json", "", "write a dip-report/v1 document to this path ('-' for stdout)")
 	fs.StringVar(&o.fault, "fault", "", "inject a fault class (bitflip | truncate | drop | replay | nodeswap | equivocate)")
 	fs.StringVar(&o.faultPlane, "fault-plane", "prover", "plane to corrupt: prover | exchange")
 	fs.Float64Var(&o.faultProb, "fault-prob", 1, "per-delivery injection probability in [0, 1]")
@@ -93,148 +102,142 @@ func parseFlags(args []string) simOptions {
 	return o
 }
 
-// simRecord is the versioned machine-readable record of a single run.
-type simRecord struct {
-	Schema    string                   `json:"schema"`
-	Protocol  string                   `json:"protocol"`
-	Graph     string                   `json:"graph"`
-	Nodes     int                      `json:"nodes"`
-	Seed      int64                    `json:"seed"`
-	Accepted  bool                     `json:"accepted"`
-	Rejecting int                      `json:"rejecting_nodes"`
-	Cost      *experiments.CostSummary `json:"cost"`
-	// Fault/FaultPlane/FaultProb record the -fault flags when a fault was
-	// injected into the run.
-	Fault      string  `json:"fault,omitempty"`
-	FaultPlane string  `json:"fault_plane,omitempty"`
-	FaultProb  float64 `json:"fault_prob,omitempty"`
-	// Deliveries/DeliveredBits are the engine's delivery meters for this
-	// run (every message through the delivery funnel on all planes, and
-	// their honest pre-corruption bits). Both are pure functions of the
-	// run, so they stay in the reproducible record.
-	Deliveries    int64 `json:"deliveries"`
-	DeliveredBits int64 `json:"delivered_bits"`
+// instance is one generated problem instance in both forms dipsim needs:
+// the dip.Request the public API executes, and the engine artifacts
+// (spec, graph, inputs, prover) the fault/transcript path drives directly.
+// Both describe the same run: the request's edge lists are read off the
+// very graphs the engine path uses.
+type instance struct {
+	label  string // "graph" for single-graph protocols, "instance" for GNI
+	desc   string
+	req    dip.Request
+	spec   *network.Spec
+	g      *graph.Graph
+	inputs []wire.Message
+	prover network.Prover
 }
 
-// simSchema versions the -json output of dipsim.
-const simSchema = "dip-sim/v1"
-
-func run(o simOptions, stdout io.Writer) error {
-	rng := rand.New(rand.NewSource(o.seed))
-	opts := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
-
-	// runNet wires the optional fault injector into the engine options;
-	// the graph size is only known here, per protocol branch.
-	runNet := func(spec *network.Spec, g *graph.Graph, inputs []wire.Message, p network.Prover) (*network.Result, error) {
-		ro := opts
-		if o.fault != "" {
-			if o.faultProb < 0 || o.faultProb > 1 {
-				return nil, fmt.Errorf("-fault-prob %v outside [0, 1]", o.faultProb)
-			}
-			class, ok := faults.ByName(o.fault)
-			if !ok {
-				return nil, fmt.Errorf("unknown fault class %q (have %v)", o.fault, faults.Names())
-			}
-			plane := faults.Plane(o.faultPlane)
-			if plane != faults.PlaneProver && plane != faults.PlaneExchange {
-				return nil, fmt.Errorf("unknown fault plane %q (want prover or exchange)", o.faultPlane)
-			}
-			if !class.Supports(plane) {
-				return nil, fmt.Errorf("fault class %q does not support the %s plane", o.fault, plane)
-			}
-			inj := class.New()
-			if o.faultProb < 1 {
-				inj = faults.WithProbability(o.faultProb, inj)
-			}
-			if plane == faults.PlaneProver {
-				ro.Corrupt = faults.Corruptor(o.seed, g.N(), inj)
-			} else {
-				ro.CorruptExchange = faults.ExchangeCorruptor(o.seed, g.N(), inj)
-			}
-			fmt.Fprintf(stdout, "fault: %s on %s plane, probability %v\n", o.fault, plane, o.faultProb)
-		}
-		return network.Run(spec, g, inputs, p, ro)
-	}
-
-	var res *network.Result
-	var err error
-	graphDesc := ""
-	nodes := 0
+// buildInstance generates the instance for the chosen protocol. The "gni"
+// spelling is kept as an alias for the registry's canonical "gni-damam".
+func buildInstance(o simOptions, rng *rand.Rand) (*instance, error) {
 	switch o.protocol {
-	case "sym-dmam", "sym-dam", "sym-lcp":
-		g, gerr := makeGraph(o.kind, o.n, rng)
-		if gerr != nil {
-			return gerr
+	case "sym-dmam", "sym-dam", "sym-rpls", "sym-lcp":
+		g, err := makeGraph(o.kind, o.n, rng)
+		if err != nil {
+			return nil, err
 		}
-		nodes = g.N()
-		graphDesc = fmt.Sprintf("%s (%d vertices, %d edges)", o.kind, g.N(), g.NumEdges())
-		fmt.Fprintf(stdout, "graph: %s\n", graphDesc)
+		inst := &instance{
+			label: "graph",
+			desc:  fmt.Sprintf("%s (%d vertices, %d edges)", o.kind, g.N(), g.NumEdges()),
+			req: dip.Request{
+				Protocol: o.protocol,
+				N:        g.N(),
+				Edges:    g.Edges(),
+				Options:  dip.Options{Seed: o.seed},
+			},
+			g: g,
+		}
 		switch o.protocol {
 		case "sym-dmam":
 			proto, perr := core.NewSymDMAM(g.N(), o.seed)
 			if perr != nil {
-				return perr
+				return nil, perr
 			}
-			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
 		case "sym-dam":
 			proto, perr := core.NewSymDAM(g.N(), o.seed)
 			if perr != nil {
-				return perr
+				return nil, perr
 			}
-			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
+		case "sym-rpls":
+			proto, perr := core.NewSymRPLS(g.N(), o.seed)
+			if perr != nil {
+				return nil, perr
+			}
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
 		case "sym-lcp":
 			proto, perr := core.NewSymLCP(g.N())
 			if perr != nil {
-				return perr
+				return nil, perr
 			}
-			res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
 		}
+		return inst, nil
+
 	case "dsym-dam":
 		f := graph.ConnectedGNP(o.side, 0.5, rng)
 		g := graph.DSymGraph(f, o.half)
-		nodes = g.N()
-		graphDesc = fmt.Sprintf("DSym dumbbell (side %d, path half-length %d, %d vertices)",
-			o.side, o.half, g.N())
-		fmt.Fprintf(stdout, "graph: %s\n", graphDesc)
 		proto, perr := core.NewDSymDAM(o.side, o.half, o.seed)
 		if perr != nil {
-			return perr
+			return nil, perr
 		}
-		res, err = runNet(proto.Spec(), g, nil, proto.HonestProver())
+		return &instance{
+			label: "graph",
+			desc: fmt.Sprintf("DSym dumbbell (side %d, path half-length %d, %d vertices)",
+				o.side, o.half, g.N()),
+			req: dip.Request{
+				Protocol: "dsym-dam",
+				Side:     o.side,
+				Half:     o.half,
+				Edges:    g.Edges(),
+				Options:  dip.Options{Seed: o.seed},
+			},
+			g:      g,
+			spec:   proto.Spec(),
+			prover: proto.HonestProver(),
+		}, nil
+
 	case "gni", "gni-lcp":
-		inst, ierr := core.NewGNIYesInstance(o.n, rng)
+		yes, ierr := core.NewGNIYesInstance(o.n, rng)
 		if ierr != nil {
-			return ierr
+			return nil, ierr
 		}
-		nodes = inst.G0.N()
-		graphDesc = fmt.Sprintf("two non-isomorphic rigid graphs on %d vertices", o.n)
-		fmt.Fprintf(stdout, "instance: %s\n", graphDesc)
+		inst := &instance{
+			label:  "instance",
+			desc:   fmt.Sprintf("two non-isomorphic rigid graphs on %d vertices", o.n),
+			g:      yes.G0,
+			inputs: core.EncodeGNIInputs(yes.G1),
+		}
 		if o.protocol == "gni" {
 			proto, perr := core.NewGNIDAMAM(o.n, o.k, o.seed)
 			if perr != nil {
-				return perr
+				return nil, perr
 			}
-			fmt.Fprintf(stdout, "repetitions: %d (threshold %d)\n", proto.K(), proto.Threshold())
-			res, err = runNet(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
-				proto.HonestProver())
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
+			inst.req = dip.Request{
+				Protocol: "gni-damam",
+				N:        o.n,
+				Edges:    yes.G0.Edges(),
+				Edges1:   yes.G1.Edges(),
+				Options:  dip.Options{Seed: o.seed, Repetitions: o.k},
+			}
 		} else {
 			proto, perr := core.NewGNILCP(o.n)
 			if perr != nil {
-				return perr
+				return nil, perr
 			}
-			res, err = runNet(proto.Spec(), inst.G0, core.EncodeGNIInputs(inst.G1),
-				proto.HonestProver())
+			inst.spec, inst.prover = proto.Spec(), proto.HonestProver()
+			inst.req = dip.Request{
+				Protocol: "gni-lcp",
+				N:        o.n,
+				Edges:    yes.G0.Edges(),
+				Edges1:   yes.G1.Edges(),
+				Options:  dip.Options{Seed: o.seed},
+			}
 		}
+		return inst, nil
+
 	case "gni-marked":
 		a, aerr := graph.RandomAsymmetricConnected(o.n, rng)
 		if aerr != nil {
-			return aerr
+			return nil, aerr
 		}
 		var b *graph.Graph
 		for {
 			var berr error
 			if b, berr = graph.RandomAsymmetricConnected(o.n, rng); berr != nil {
-				return berr
+				return nil, berr
 			}
 			if !graph.AreIsomorphic(a, b) {
 				break
@@ -245,12 +248,13 @@ func run(o simOptions, stdout io.Writer) error {
 		total := 2*o.n + hubs
 		g := graph.New(total)
 		marks := make([]core.Mark, total)
+		intMarks := make([]int, total)
 		for v := 0; v < o.n; v++ {
-			marks[v] = core.MarkZero
-			marks[v+o.n] = core.MarkOne
+			marks[v], intMarks[v] = core.MarkZero, 0
+			marks[v+o.n], intMarks[v+o.n] = core.MarkOne, 1
 		}
 		for v := 2 * o.n; v < total; v++ {
-			marks[v] = core.MarkNone
+			marks[v], intMarks[v] = core.MarkNone, -1
 		}
 		for _, e := range a.Edges() {
 			g.AddEdge(e[0], e[1])
@@ -264,84 +268,141 @@ func run(o simOptions, stdout io.Writer) error {
 		for h := 1; h < hubs; h++ {
 			g.AddEdge(2*o.n, 2*o.n+h)
 		}
-		nodes = total
-		graphDesc = fmt.Sprintf("%d-node network, two rigid non-isomorphic induced %d-vertex subgraphs",
-			total, o.n)
-		fmt.Fprintf(stdout, "instance: %s\n", graphDesc)
 		proto, perr := core.NewMarkedGNI(total, o.n, o.k, o.seed)
 		if perr != nil {
-			return perr
+			return nil, perr
 		}
-		fmt.Fprintf(stdout, "repetitions: %d (threshold %d)\n", proto.Reps(), proto.Threshold())
 		inputs, ierr := core.EncodeMarks(marks)
 		if ierr != nil {
-			return ierr
+			return nil, ierr
 		}
-		res, err = runNet(proto.Spec(), g, inputs, proto.HonestProver())
+		return &instance{
+			label: "instance",
+			desc: fmt.Sprintf("%d-node network, two rigid non-isomorphic induced %d-vertex subgraphs",
+				total, o.n),
+			req: dip.Request{
+				Protocol: "gni-marked",
+				N:        total,
+				Edges:    g.Edges(),
+				Marks:    intMarks,
+				Options:  dip.Options{Seed: o.seed, Repetitions: o.k},
+			},
+			g:      g,
+			spec:   proto.Spec(),
+			inputs: inputs,
+			prover: proto.HonestProver(),
+		}, nil
+
 	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
+		return nil, fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+}
+
+// runEngine drives the engine directly for the paths dip.Run does not
+// expose: fault injection and transcript recording.
+func runEngine(o simOptions, inst *instance, stdout io.Writer) (*network.Result, error) {
+	ro := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
+	if o.fault != "" {
+		if o.faultProb < 0 || o.faultProb > 1 {
+			return nil, fmt.Errorf("-fault-prob %v outside [0, 1]", o.faultProb)
+		}
+		class, ok := faults.ByName(o.fault)
+		if !ok {
+			return nil, fmt.Errorf("unknown fault class %q (have %v)", o.fault, faults.Names())
+		}
+		plane := faults.Plane(o.faultPlane)
+		if plane != faults.PlaneProver && plane != faults.PlaneExchange {
+			return nil, fmt.Errorf("unknown fault plane %q (want prover or exchange)", o.faultPlane)
+		}
+		if !class.Supports(plane) {
+			return nil, fmt.Errorf("fault class %q does not support the %s plane", o.fault, plane)
+		}
+		inj := class.New()
+		if o.faultProb < 1 {
+			inj = faults.WithProbability(o.faultProb, inj)
+		}
+		if plane == faults.PlaneProver {
+			ro.Corrupt = faults.Corruptor(o.seed, inst.g.N(), inj)
+		} else {
+			ro.CorruptExchange = faults.ExchangeCorruptor(o.seed, inst.g.N(), inj)
+		}
+		fmt.Fprintf(stdout, "fault: %s on %s plane, probability %v\n", o.fault, plane, o.faultProb)
+	}
+	return network.Run(inst.spec, inst.g, inst.inputs, inst.prover, ro)
+}
+
+func run(o simOptions, stdout io.Writer) error {
+	rng := rand.New(rand.NewSource(o.seed))
+	inst, err := buildInstance(o, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %s\n", inst.label, inst.desc)
+
+	var rep dip.Report
+	var res *network.Result
+	if o.fault == "" && !o.verbose {
+		// The canonical path: exactly what library users and dipserve run.
+		rep, err = dip.Run(inst.req)
+	} else {
+		res, err = runEngine(o, inst, stdout)
+		if err == nil {
+			rep = dip.ReportFromResult(inst.req.Protocol, res)
+		}
 	}
 	if err != nil {
 		return err
 	}
 
 	rejecting := 0
-	for _, d := range res.Decisions {
+	for _, d := range rep.Decisions {
 		if !d {
 			rejecting++
 		}
 	}
-	cost := experiments.SummarizeCost(&res.Cost)
 	// dipsim performs exactly one engine run per invocation, so the
 	// process-global delivery meters are this run's meters.
 	meters := obs.Snapshot()
 
-	fmt.Fprintf(stdout, "accepted: %v\n", res.Accepted)
-	fmt.Fprintf(stdout, "rejecting nodes: %d / %d\n", rejecting, len(res.Decisions))
-	fmt.Fprintf(stdout, "max prover bits per node: %d\n", cost.MaxProverBits)
-	fmt.Fprintf(stdout, "total prover bits:        %d\n", cost.TotalProverBits)
-	fmt.Fprintf(stdout, "max node-to-node bits:    %d\n", cost.MaxNodeToNodeBits)
+	fmt.Fprintf(stdout, "accepted: %v\n", rep.Accepted)
+	fmt.Fprintf(stdout, "rejecting nodes: %d / %d\n", rejecting, len(rep.Decisions))
+	fmt.Fprintf(stdout, "max prover bits per node: %d\n", rep.MaxProverBits)
+	fmt.Fprintf(stdout, "total prover bits:        %d\n", rep.TotalProverBits)
+	fmt.Fprintf(stdout, "max node-to-node bits:    %d\n", rep.MaxNodeToNodeBits)
 	fmt.Fprintf(stdout, "deliveries: %d (%d bits through the engine funnel)\n",
 		meters.Deliveries, meters.DeliveredBits)
-	fmt.Fprintf(stdout, "per-round bits at node %d (the max-cost node):\n", cost.MaxNode)
-	for ri, r := range cost.PerRound {
+	fmt.Fprintf(stdout, "per-round bits at node %d (the max-cost node):\n", rep.MaxNode)
+	for ri, r := range rep.PerRound {
 		fmt.Fprintf(stdout, "  round %d (%s): to prover %d, from prover %d, to neighbors %d\n",
 			ri, r.Kind, r.ToProver, r.FromProver, r.NodeToNode)
 	}
-	if o.verbose && res.Transcript != nil {
+	if o.verbose && res != nil && res.Transcript != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, res.Transcript)
 	}
 
 	if o.jsonPath != "" {
-		rec := simRecord{
-			Schema:    simSchema,
-			Protocol:  o.protocol,
-			Graph:     graphDesc,
-			Nodes:     nodes,
-			Seed:      o.seed,
-			Accepted:  res.Accepted,
-			Rejecting: rejecting,
-			Cost:      cost,
-		}
+		w := dip.WireReportFrom(rep, o.seed)
+		w.Graph = inst.desc
 		if o.fault != "" {
-			rec.Fault = o.fault
-			rec.FaultPlane = o.faultPlane
-			rec.FaultProb = o.faultProb
+			w.Fault = o.fault
+			w.FaultPlane = o.faultPlane
+			w.FaultProb = o.faultProb
 		}
-		rec.Deliveries = meters.Deliveries
-		rec.DeliveredBits = meters.DeliveredBits
-		data, merr := json.MarshalIndent(&rec, "", "  ")
-		if merr != nil {
-			return merr
+		w.Deliveries = meters.Deliveries
+		w.DeliveredBits = meters.DeliveredBits
+		if err := w.Validate(); err != nil {
+			return err
 		}
-		data = append(data, '\n')
 		if o.jsonPath == "-" {
-			_, werr := stdout.Write(data)
-			return werr
+			return w.Encode(stdout)
 		}
-		if werr := os.WriteFile(o.jsonPath, data, 0o644); werr != nil {
-			return werr
+		var buf bytes.Buffer
+		if err := w.Encode(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, buf.Bytes(), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

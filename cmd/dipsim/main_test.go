@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"dip"
 	"dip/internal/core"
 )
 
@@ -68,8 +69,9 @@ func TestKFlagDefaultsToSharedConstant(t *testing.T) {
 	}
 }
 
-// TestRunEmitsJSON smoke-tests the machine-readable output: valid JSON,
-// right schema, and per-round prover bits that sum to the aggregate.
+// TestRunEmitsJSON smoke-tests the machine-readable output: a valid
+// dip-report/v1 document with per-round prover bits that sum to the
+// aggregate (Validate re-checks the full invariant set).
 func TestRunEmitsJSON(t *testing.T) {
 	var out bytes.Buffer
 	o := simOptions{protocol: "sym-dmam", kind: "cycle", n: 8, k: 1, seed: 1, jsonPath: "-"}
@@ -81,25 +83,62 @@ func TestRunEmitsJSON(t *testing.T) {
 	if start < 0 {
 		t.Fatalf("no JSON in output:\n%s", text)
 	}
-	var rec simRecord
-	if err := json.Unmarshal([]byte(text[start:]), &rec); err != nil {
-		t.Fatalf("bad JSON: %v\n%s", err, text[start:])
+	rec, err := dip.DecodeWireReport(strings.NewReader(text[start:]))
+	if err != nil {
+		t.Fatalf("bad dip-report/v1 document: %v\n%s", err, text[start:])
 	}
-	if rec.Schema != simSchema {
-		t.Fatalf("schema %q, want %q", rec.Schema, simSchema)
+	if rec.Schema != dip.ReportSchema {
+		t.Fatalf("schema %q, want %q", rec.Schema, dip.ReportSchema)
 	}
-	if rec.Nodes != 8 || rec.Cost == nil {
+	if rec.Protocol != "sym-dmam" || rec.Nodes != 8 || len(rec.PerRound) == 0 {
 		t.Fatalf("malformed record: %+v", rec)
 	}
+	if rec.Graph == "" {
+		t.Fatalf("graph provenance missing: %+v", rec)
+	}
 	sum := 0
-	for _, r := range rec.Cost.PerRound {
+	for _, r := range rec.PerRound {
 		sum += r.ToProver + r.FromProver
 	}
-	if sum != rec.Cost.MaxProverBits {
-		t.Fatalf("per-round sum %d != max_prover_bits %d", sum, rec.Cost.MaxProverBits)
+	if sum != rec.MaxProverBits {
+		t.Fatalf("per-round sum %d != max_prover_bits %d", sum, rec.MaxProverBits)
 	}
 	if !strings.Contains(text, "per-round bits at node") {
 		t.Fatalf("human-readable per-round section missing:\n%s", text)
+	}
+}
+
+// TestRunMatchesDipRun pins dipsim's plain path to the public API: the
+// JSON document dipsim emits must agree with dip.Run on the request
+// dipsim reports having executed.
+func TestRunMatchesDipRun(t *testing.T) {
+	var out bytes.Buffer
+	o := simOptions{protocol: "sym-dam", kind: "cycle", n: 10, seed: 7, jsonPath: "-"}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	rec, err := dip.DecodeWireReport(strings.NewReader(text[strings.Index(text, "{"):]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([][2]int, 10)
+	for i := 0; i < 10; i++ {
+		edges[i] = [2]int{i, (i + 1) % 10}
+	}
+	rep, err := dip.Run(dip.Request{Protocol: "sym-dam", N: 10, Edges: edges, Options: dip.Options{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dip.WireReportFrom(rep, 7)
+	if rec.Accepted != want.Accepted || rec.MaxProverBits != want.MaxProverBits ||
+		rec.TotalProverBits != want.TotalProverBits || rec.MaxNode != want.MaxNode {
+		t.Fatalf("dipsim document %+v disagrees with dip.Run %+v", rec, want)
+	}
+	a, _ := json.Marshal(rec.PerRound)
+	b, _ := json.Marshal(want.PerRound)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("per-round breakdowns differ: %s vs %s", a, b)
 	}
 }
 
@@ -117,12 +156,15 @@ func TestRunWithFault(t *testing.T) {
 	if !strings.Contains(text, "fault: bitflip on prover plane") {
 		t.Fatalf("fault banner missing:\n%s", text)
 	}
-	var rec simRecord
-	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &rec); err != nil {
+	rec, err := dip.DecodeWireReport(strings.NewReader(text[strings.Index(text, "{"):]))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.Accepted {
 		t.Fatal("bit-flipped sym-dam run was accepted")
+	}
+	if len(rec.RejectingNodes) == 0 {
+		t.Fatalf("rejected run lists no rejecting nodes: %+v", rec)
 	}
 	if rec.Fault != "bitflip" || rec.FaultPlane != "prover" || rec.FaultProb != 1 {
 		t.Fatalf("fault fields not recorded: %+v", rec)

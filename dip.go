@@ -9,32 +9,45 @@
 // neighbors; the cost of a protocol is the number of bits each node
 // exchanges with the prover.
 //
-// This package exposes the paper's protocols through plain-Go entry points
-// (edge lists in, Report out). The full machinery — the proof engine, the
-// hash families, graph generators, adversarial provers, the lower-bound
-// framework and the experiment harness — lives in the internal packages and
-// is exercised by the examples, the experiment binary (cmd/dipbench) and
-// the benchmark suite.
+// Every protocol is reachable through one entry point: build a Request
+// (protocol name, graph as an edge list, options) and call Run — or
+// RunContext to bound the run by a context. Protocols lists the registry.
+// The historical per-protocol functions (ProveSymmetry, ...) remain as
+// thin wrappers over Run for source compatibility. The full machinery —
+// the proof engine, the hash families, graph generators, adversarial
+// provers, the lower-bound framework and the experiment harness — lives in
+// the internal packages and is exercised by the examples, the experiment
+// binary (cmd/dipbench), the verification service (cmd/dipserve) and the
+// benchmark suite.
 package dip
 
 import (
 	"fmt"
+	"time"
 
 	"dip/internal/core"
 	"dip/internal/graph"
 	"dip/internal/network"
 )
 
-// Options configure a protocol run.
+// Options configure a protocol run. The JSON form is part of the
+// dip-report/v1 request wire format consumed by cmd/dipserve.
 type Options struct {
 	// Seed makes runs reproducible: equal seeds (with the same inputs)
 	// yield identical node randomness. The prover additionally derives its
 	// hash moduli from Seed.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Repetitions is the parallel-repetition count of the GNI protocols
 	// (ignored elsewhere). 0 selects core.DefaultGNIRepetitions;
 	// negative values are rejected with an error.
-	Repetitions int
+	Repetitions int `json:"repetitions,omitempty"`
+	// Timeout, when positive, bounds the prover's per-round response time
+	// (plumbed to the engine's ProverTimeout): a prover that has not
+	// answered within it aborts the run with a structured engine error
+	// instead of hanging the caller. 0 means no bound; negative values are
+	// rejected with an error. The field name carries the unit so the wire
+	// form stays unambiguous.
+	Timeout time.Duration `json:"timeout_ns,omitempty"`
 }
 
 // resolveRepetitions maps Options.Repetitions onto a concrete count: 0
@@ -48,6 +61,15 @@ func resolveRepetitions(reps int) (int, error) {
 		return core.DefaultGNIRepetitions, nil
 	}
 	return reps, nil
+}
+
+// resolveTimeout validates Options.Timeout: 0 disables the bound,
+// negatives are invalid.
+func resolveTimeout(d time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("dip: Timeout must be non-negative, got %v (0 disables the prover deadline)", d)
+	}
+	return d, nil
 }
 
 // Report summarizes a protocol run.
@@ -69,9 +91,49 @@ type Report struct {
 	// MaxNodeToNodeBits is the largest number of bits any node sent to its
 	// neighbors.
 	MaxNodeToNodeBits int
+	// MaxNode is the lowest-indexed node attaining MaxProverBits; the
+	// per-round breakdown below is taken at this node, so its prover-bit
+	// entries sum exactly to MaxProverBits.
+	MaxNode int
+	// PerRound is the round-by-round cost at MaxNode, one entry per round
+	// of the protocol's schedule.
+	PerRound []RoundCost
+}
+
+// RoundCost is one round of Report.PerRound: the bits MaxNode exchanged on
+// each plane during that round.
+type RoundCost struct {
+	// Kind is "Arthur" or "Merlin".
+	Kind string `json:"kind"`
+	// ToProver counts challenge bits sent to the prover in this round.
+	ToProver int `json:"to_prover"`
+	// FromProver counts response bits received from the prover.
+	FromProver int `json:"from_prover"`
+	// NodeToNode counts bits forwarded to neighbors.
+	NodeToNode int `json:"node_to_node"`
+}
+
+// ReportFromResult shapes a raw engine result into a Report. It exists for
+// in-module tools (cmd/dipsim) that drive the engine directly — for fault
+// injection or transcript recording — but emit the same Report and
+// dip-report/v1 document as Run. network is an internal package, so the
+// signature is unusable outside this module.
+func ReportFromResult(name string, res *network.Result) Report {
+	return report(name, res)
 }
 
 func report(name string, res *network.Result) Report {
+	v := res.Cost.ArgMaxProverNode()
+	perRound := make([]RoundCost, len(res.Cost.PerRound))
+	for k := range res.Cost.PerRound {
+		r := &res.Cost.PerRound[k]
+		perRound[k] = RoundCost{
+			Kind:       r.Kind.String(),
+			ToProver:   r.ToProver[v],
+			FromProver: r.FromProver[v],
+			NodeToNode: r.NodeToNode[v],
+		}
+	}
 	return Report{
 		Protocol:          name,
 		Accepted:          res.Accepted,
@@ -79,6 +141,8 @@ func report(name string, res *network.Result) Report {
 		MaxProverBits:     res.Cost.MaxProverBits(),
 		TotalProverBits:   res.Cost.TotalProverBits(),
 		MaxNodeToNodeBits: res.Cost.MaxNodeToNodeBits(),
+		MaxNode:           v,
+		PerRound:          perRound,
 	}
 }
 
@@ -106,38 +170,14 @@ func buildGraph(n int, edges [][2]int) (*graph.Graph, error) {
 // the honest prover (which searches for the automorphism itself). The graph
 // must be connected.
 func ProveSymmetry(n int, edges [][2]int, opts Options) (Report, error) {
-	g, err := buildGraph(n, edges)
-	if err != nil {
-		return Report{}, err
-	}
-	proto, err := core.NewSymDMAM(n, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("sym-dmam", res), nil
+	return Run(Request{Protocol: "sym-dmam", N: n, Edges: edges, Options: opts})
 }
 
 // ProveSymmetryChallengeFirst runs Protocol 2 (Theorem 1.3): the
 // O(n log n)-bit dAM proof of symmetry, where the nodes speak first. The
 // graph must be connected.
 func ProveSymmetryChallengeFirst(n int, edges [][2]int, opts Options) (Report, error) {
-	g, err := buildGraph(n, edges)
-	if err != nil {
-		return Report{}, err
-	}
-	proto, err := core.NewSymDAM(n, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("sym-dam", res), nil
+	return Run(Request{Protocol: "sym-dam", N: n, Edges: edges, Options: opts})
 }
 
 // ProveDumbbellSymmetry runs the DSym dAM protocol of Theorem 1.2's upper
@@ -145,19 +185,7 @@ func ProveSymmetryChallengeFirst(n int, edges [][2]int, opts Options) (Report, e
 // automorphism. side and half are the (n, r) of Definition 5; the graph
 // must have 2·side + 2·half + 1 vertices.
 func ProveDumbbellSymmetry(side, half int, edges [][2]int, opts Options) (Report, error) {
-	proto, err := core.NewDSymDAM(side, half, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	g, err := buildGraph(proto.N(), edges)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("dsym-dam", res), nil
+	return Run(Request{Protocol: "dsym-dam", Side: side, Half: half, Edges: edges, Options: opts})
 }
 
 // ProveNonIsomorphism runs the distributed Goldwasser–Sipser dAMAM protocol
@@ -169,27 +197,7 @@ func ProveDumbbellSymmetry(side, half int, edges [][2]int, opts Options) (Report
 // The honest prover enumerates up to 2·n! permutations per repetition;
 // keep n at most about 8.
 func ProveNonIsomorphism(n int, edges0, edges1 [][2]int, opts Options) (Report, error) {
-	g0, err := buildGraph(n, edges0)
-	if err != nil {
-		return Report{}, err
-	}
-	g1, err := buildGraph(n, edges1)
-	if err != nil {
-		return Report{}, err
-	}
-	k, err := resolveRepetitions(opts.Repetitions)
-	if err != nil {
-		return Report{}, err
-	}
-	proto, err := core.NewGNIDAMAM(n, k, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g0, g1, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("gni-damam", res), nil
+	return Run(Request{Protocol: "gni-damam", N: n, Edges: edges0, Edges1: edges1, Options: opts})
 }
 
 // SymmetryAdviceBits returns the per-node advice length of the
@@ -205,19 +213,7 @@ func SymmetryAdviceBits(n int) (int, error) {
 
 // ProveSymmetryNonInteractive runs the Θ(n²)-bit LCP baseline.
 func ProveSymmetryNonInteractive(n int, edges [][2]int, opts Options) (Report, error) {
-	g, err := buildGraph(n, edges)
-	if err != nil {
-		return Report{}, err
-	}
-	lcp, err := core.NewSymLCP(n)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := lcp.Run(g, lcp.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("sym-lcp", res), nil
+	return Run(Request{Protocol: "sym-lcp", N: n, Edges: edges, Options: opts})
 }
 
 // IsSymmetric decides symmetry centrally (no protocol): a ground-truth
@@ -249,27 +245,7 @@ func AreIsomorphic(n int, edges0, edges1 [][2]int) (bool, error) {
 // correct on symmetric graphs too. The prover enumerates the automorphism
 // groups by brute force, so n is limited to 8.
 func ProveNonIsomorphismGeneral(n int, edges0, edges1 [][2]int, opts Options) (Report, error) {
-	g0, err := buildGraph(n, edges0)
-	if err != nil {
-		return Report{}, err
-	}
-	g1, err := buildGraph(n, edges1)
-	if err != nil {
-		return Report{}, err
-	}
-	k, err := resolveRepetitions(opts.Repetitions)
-	if err != nil {
-		return Report{}, err
-	}
-	proto, err := core.NewGNIGeneral(n, k, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g0, g1, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("gni-general", res), nil
+	return Run(Request{Protocol: "gni-general", N: n, Edges: edges0, Edges1: edges1, Options: opts})
 }
 
 // ProveSymmetryFingerprinted runs the randomized proof-labeling scheme
@@ -278,19 +254,7 @@ func ProveNonIsomorphismGeneral(n int, edges0, edges1 [][2]int, opts Options) (R
 // instead of the advice itself. Compare Report.MaxNodeToNodeBits against
 // ProveSymmetryNonInteractive to see the saving.
 func ProveSymmetryFingerprinted(n int, edges [][2]int, opts Options) (Report, error) {
-	g, err := buildGraph(n, edges)
-	if err != nil {
-		return Report{}, err
-	}
-	rpls, err := core.NewSymRPLS(n, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := rpls.Run(g, rpls.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("sym-rpls", res), nil
+	return Run(Request{Protocol: "sym-rpls", N: n, Edges: edges, Options: opts})
 }
 
 // ProveInducedNonIsomorphism runs the marked formulation of GNI (the
@@ -301,39 +265,5 @@ func ProveSymmetryFingerprinted(n int, edges [][2]int, opts Options) (Report, er
 // same size k, and the induced subgraphs should be asymmetric (the paper's
 // promise). The prover enumerates 2·k! permutations per repetition.
 func ProveInducedNonIsomorphism(n int, edges [][2]int, marks []int, opts Options) (Report, error) {
-	g, err := buildGraph(n, edges)
-	if err != nil {
-		return Report{}, err
-	}
-	if len(marks) != n {
-		return Report{}, fmt.Errorf("dip: %d marks for %d nodes", len(marks), n)
-	}
-	coreMarks := make([]core.Mark, n)
-	k := 0
-	for v, m := range marks {
-		switch m {
-		case 0:
-			coreMarks[v] = core.MarkZero
-			k++
-		case 1:
-			coreMarks[v] = core.MarkOne
-		case -1:
-			coreMarks[v] = core.MarkNone
-		default:
-			return Report{}, fmt.Errorf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
-		}
-	}
-	reps, err := resolveRepetitions(opts.Repetitions)
-	if err != nil {
-		return Report{}, err
-	}
-	proto, err := core.NewMarkedGNI(n, k, reps, opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	res, err := proto.Run(g, coreMarks, proto.HonestProver(), opts.Seed)
-	if err != nil {
-		return Report{}, err
-	}
-	return report("gni-marked", res), nil
+	return Run(Request{Protocol: "gni-marked", N: n, Edges: edges, Marks: marks, Options: opts})
 }

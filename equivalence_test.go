@@ -1,0 +1,154 @@
+package dip
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dip/internal/graph"
+)
+
+// TestLegacyEntryPointsMatchRun is the facade's compatibility contract:
+// every historical Prove* function must return a Report identical — field
+// for field, per-round breakdown included — to dip.Run on the equivalent
+// Request at the same seed. The table covers all eight protocol entry
+// points, so any future divergence between a wrapper and the registry
+// (changed defaults, reordered validation, different instance assembly)
+// fails here before it reaches a release.
+func TestLegacyEntryPointsMatchRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every protocol once")
+	}
+
+	cycle8 := edgesOf(graph.Cycle(8))
+	ring24 := edgesOf(graph.Cycle(24))
+
+	rng := rand.New(rand.NewSource(40))
+	dumbbell := edgesOf(graph.DSymGraph(graph.ConnectedGNP(6, 0.5, rng), 1))
+
+	// A rigid non-isomorphic pair for the GNI protocols.
+	gniRng := rand.New(rand.NewSource(41))
+	a, err := graph.RandomAsymmetricConnected(6, gniRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *graph.Graph
+	for {
+		if b, err = graph.RandomAsymmetricConnected(6, gniRng); err != nil {
+			t.Fatal(err)
+		}
+		if !graph.AreIsomorphic(a, b) {
+			break
+		}
+	}
+	edgesA, edgesB := edgesOf(a), edgesOf(b)
+
+	// C6 vs K3,3: both symmetric, exercising the promise-free protocol.
+	c6 := edgesOf(graph.Cycle(6))
+	k33g := graph.New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			k33g.AddEdge(u, v)
+		}
+	}
+	k33 := edgesOf(k33g)
+
+	// Marked formulation: a on 0..5 (mark 0), b on 6..11 (mark 1), hub 12.
+	markedN := 13
+	marks := make([]int, markedN)
+	var markedEdges [][2]int
+	for v := 0; v < 6; v++ {
+		marks[v] = 0
+		marks[v+6] = 1
+	}
+	marks[12] = -1
+	markedEdges = append(markedEdges, edgesA...)
+	for _, e := range edgesB {
+		markedEdges = append(markedEdges, [2]int{e[0] + 6, e[1] + 6})
+	}
+	for v := 0; v < 12; v++ {
+		markedEdges = append(markedEdges, [2]int{v, 12})
+	}
+
+	cases := []struct {
+		name   string
+		legacy func() (Report, error)
+		req    Request
+	}{
+		{
+			name:   "ProveSymmetry",
+			legacy: func() (Report, error) { return ProveSymmetry(8, cycle8, Options{Seed: 101}) },
+			req:    Request{Protocol: "sym-dmam", N: 8, Edges: cycle8, Options: Options{Seed: 101}},
+		},
+		{
+			name:   "ProveSymmetryChallengeFirst",
+			legacy: func() (Report, error) { return ProveSymmetryChallengeFirst(8, cycle8, Options{Seed: 102}) },
+			req:    Request{Protocol: "sym-dam", N: 8, Edges: cycle8, Options: Options{Seed: 102}},
+		},
+		{
+			name:   "ProveSymmetryNonInteractive",
+			legacy: func() (Report, error) { return ProveSymmetryNonInteractive(8, cycle8, Options{Seed: 103}) },
+			req:    Request{Protocol: "sym-lcp", N: 8, Edges: cycle8, Options: Options{Seed: 103}},
+		},
+		{
+			name:   "ProveSymmetryFingerprinted",
+			legacy: func() (Report, error) { return ProveSymmetryFingerprinted(24, ring24, Options{Seed: 104}) },
+			req:    Request{Protocol: "sym-rpls", N: 24, Edges: ring24, Options: Options{Seed: 104}},
+		},
+		{
+			name:   "ProveDumbbellSymmetry",
+			legacy: func() (Report, error) { return ProveDumbbellSymmetry(6, 1, dumbbell, Options{Seed: 105}) },
+			req:    Request{Protocol: "dsym-dam", Side: 6, Half: 1, Edges: dumbbell, Options: Options{Seed: 105}},
+		},
+		{
+			name: "ProveNonIsomorphism",
+			legacy: func() (Report, error) {
+				return ProveNonIsomorphism(6, edgesA, edgesB, Options{Seed: 106, Repetitions: 6})
+			},
+			req: Request{Protocol: "gni-damam", N: 6, Edges: edgesA, Edges1: edgesB,
+				Options: Options{Seed: 106, Repetitions: 6}},
+		},
+		{
+			name: "ProveNonIsomorphismGeneral",
+			legacy: func() (Report, error) {
+				return ProveNonIsomorphismGeneral(6, c6, k33, Options{Seed: 107, Repetitions: 6})
+			},
+			req: Request{Protocol: "gni-general", N: 6, Edges: c6, Edges1: k33,
+				Options: Options{Seed: 107, Repetitions: 6}},
+		},
+		{
+			name: "ProveInducedNonIsomorphism",
+			legacy: func() (Report, error) {
+				return ProveInducedNonIsomorphism(markedN, markedEdges, marks, Options{Seed: 108, Repetitions: 6})
+			},
+			req: Request{Protocol: "gni-marked", N: markedN, Edges: markedEdges, Marks: marks,
+				Options: Options{Seed: 108, Repetitions: 6}},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, lerr := tc.legacy()
+			unified, uerr := Run(tc.req)
+			if lerr != nil || uerr != nil {
+				t.Fatalf("legacy err %v, Run err %v", lerr, uerr)
+			}
+			if legacy.Protocol != tc.req.Protocol {
+				t.Fatalf("legacy report names protocol %q, want %q", legacy.Protocol, tc.req.Protocol)
+			}
+			if !reflect.DeepEqual(legacy, unified) {
+				t.Fatalf("reports diverge at seed %d:\nlegacy  %+v\nunified %+v",
+					tc.req.Options.Seed, legacy, unified)
+			}
+			// Same seed, same request: the run must also be deterministic,
+			// or the equality above would be meaningless.
+			again, err := Run(tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(unified, again) {
+				t.Fatalf("Run is not deterministic for %s at seed %d", tc.req.Protocol, tc.req.Options.Seed)
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dip/internal/stats"
+)
+
+// LoadSchema identifies the machine-readable load-test format emitted by
+// cmd/dipload: throughput and latency quantiles of a run against a
+// cmd/dipserve instance. Unlike dip-bench/v1 files it is NOT reproducible
+// byte-for-byte — wall-clock timings depend on the host — but its shape
+// and invariants are, and dipbench -validate checks them.
+const LoadSchema = "dip-load/v1"
+
+// LoadResultsFile is the versioned record of one dipload run.
+type LoadResultsFile struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	// Target is the base URL the load was sent to.
+	Target string `json:"target,omitempty"`
+	// Seed is the base seed; request i runs with DeriveSeed(seed, i).
+	Seed int64 `json:"seed"`
+	// Concurrency is the number of in-flight client workers.
+	Concurrency int `json:"concurrency"`
+	// Requests counts completed requests (2xx responses with a decodable
+	// report). Errors counts requests that ultimately failed; Retries
+	// counts 503-and-retry round trips (each eventually succeeded or is
+	// also in Errors). Dropped counts transport-level connection failures —
+	// the acceptance gate requires it to be zero.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Retries  int `json:"retries"`
+	Dropped  int `json:"dropped"`
+	// WallMS is the whole run's wall-clock and ThroughputRPS the completed
+	// requests per second over it.
+	WallMS        float64              `json:"wall_ms"`
+	ThroughputRPS float64              `json:"throughput_rps"`
+	Protocols     []LoadProtocolResult `json:"protocols"`
+}
+
+// LoadProtocolResult is the per-protocol slice of a load run.
+type LoadProtocolResult struct {
+	Protocol      string         `json:"protocol"`
+	Requests      int            `json:"requests"`
+	Errors        int            `json:"errors"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	LatencyMS     LatencySummary `json:"latency_ms"`
+}
+
+// LatencySummary is a quantile sketch of request latencies, in
+// milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// SummarizeLatencies computes the quantile sketch of a latency sample.
+func SummarizeLatencies(durations []time.Duration) LatencySummary {
+	if len(durations) == 0 {
+		return LatencySummary{}
+	}
+	ms := make([]float64, len(durations))
+	for i, d := range durations {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(ms)
+	return LatencySummary{
+		P50:  stats.Percentile(ms, 50),
+		P95:  stats.Percentile(ms, 95),
+		P99:  stats.Percentile(ms, 99),
+		Mean: stats.Mean(ms),
+		Max:  ms[len(ms)-1],
+	}
+}
+
+// Validate checks the structural invariants of a decoded load file.
+func (f *LoadResultsFile) Validate() error {
+	if f.Schema != LoadSchema {
+		return fmt.Errorf("load: schema %q, want %q", f.Schema, LoadSchema)
+	}
+	if f.Concurrency < 1 {
+		return fmt.Errorf("load: concurrency %d", f.Concurrency)
+	}
+	if f.Requests < 0 || f.Errors < 0 || f.Retries < 0 || f.Dropped < 0 {
+		return fmt.Errorf("load: negative counters")
+	}
+	if f.Requests == 0 {
+		return fmt.Errorf("load: no completed requests")
+	}
+	if f.WallMS <= 0 {
+		return fmt.Errorf("load: wall_ms %v", f.WallMS)
+	}
+	if f.ThroughputRPS < 0 {
+		return fmt.Errorf("load: throughput %v", f.ThroughputRPS)
+	}
+	if len(f.Protocols) == 0 {
+		return fmt.Errorf("load: no per-protocol results")
+	}
+	total := 0
+	for i, p := range f.Protocols {
+		if p.Protocol == "" {
+			return fmt.Errorf("load: protocol %d unnamed", i)
+		}
+		if p.Requests < 0 || p.Errors < 0 {
+			return fmt.Errorf("load: protocol %q: negative counters", p.Protocol)
+		}
+		l := p.LatencyMS
+		if l.P50 < 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+			return fmt.Errorf("load: protocol %q: non-monotone latency quantiles %+v", p.Protocol, l)
+		}
+		total += p.Requests
+	}
+	if total != f.Requests {
+		return fmt.Errorf("load: per-protocol requests sum to %d, total %d", total, f.Requests)
+	}
+	return nil
+}
+
+// Encode writes the file as stable, indented JSON with a trailing newline.
+func (f *LoadResultsFile) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile encodes the results to path.
+func (f *LoadResultsFile) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// DecodeLoadResults parses and validates a load file.
+func DecodeLoadResults(r io.Reader) (*LoadResultsFile, error) {
+	var f LoadResultsFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ReadLoadResultsFile decodes and validates the load file at path.
+func ReadLoadResultsFile(path string) (*LoadResultsFile, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return DecodeLoadResults(in)
+}

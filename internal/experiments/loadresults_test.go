@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleLoadFile() *LoadResultsFile {
+	return &LoadResultsFile{
+		Schema: LoadSchema, Tool: "dipload", Seed: 1, Concurrency: 8,
+		Requests: 100, WallMS: 250, ThroughputRPS: 400,
+		Protocols: []LoadProtocolResult{{
+			Protocol: "sym-dmam", Requests: 100, ThroughputRPS: 400,
+			LatencyMS: LatencySummary{P50: 1, P95: 2, P99: 3, Mean: 1.2, Max: 4},
+		}},
+	}
+}
+
+func TestLoadResultsRoundTrip(t *testing.T) {
+	f := sampleLoadFile()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLoadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != 100 || got.Concurrency != 8 || len(got.Protocols) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadResultsValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		mod   func(*LoadResultsFile)
+		wants string
+	}{
+		{"schema", func(f *LoadResultsFile) { f.Schema = "dip-load/v0" }, "schema"},
+		{"no requests", func(f *LoadResultsFile) { f.Requests = 0; f.Protocols[0].Requests = 0 }, "no completed"},
+		{"sum mismatch", func(f *LoadResultsFile) { f.Protocols[0].Requests = 99 }, "sum to"},
+		{"non-monotone quantiles", func(f *LoadResultsFile) { f.Protocols[0].LatencyMS.P95 = 0.5 }, "non-monotone"},
+		{"negative dropped", func(f *LoadResultsFile) { f.Dropped = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := sampleLoadFile()
+			tc.mod(f)
+			err := f.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wants)
+			}
+		})
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s := SummarizeLatencies(ds)
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("non-monotone summary: %+v", s)
+	}
+	if z := SummarizeLatencies(nil); z != (LatencySummary{}) {
+		t.Fatalf("empty sample: %+v", z)
+	}
+}

@@ -95,6 +95,12 @@ func (c *concRun) fail(err *RunError) {
 func (c *concRun) drive() *RunError {
 	n := c.n
 	for _, st := range c.script.steps {
+		// Cancellation is polled only on the driver: it owns the abort
+		// machinery, and failing here releases every node goroutine through
+		// the regular fail-fast path.
+		if rerr := c.checkCancel(st.ri); rerr != nil {
+			return rerr
+		}
 		switch st.kind {
 		case stepChallenge:
 			row := c.chalRows[st.arthur*n : (st.arthur+1)*n]

@@ -13,6 +13,9 @@ type sequentialExecutor struct{}
 func (sequentialExecutor) run(s *runState) *RunError {
 	n := s.n
 	for _, st := range s.script.steps {
+		if rerr := s.checkCancel(st.ri); rerr != nil {
+			return rerr
+		}
 		switch st.kind {
 		case stepChallenge:
 			row := s.chalRows[st.arthur*n : (st.arthur+1)*n]

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -75,6 +76,27 @@ func (s *runState) checkMessage(ri, v int, m wire.Message) *RunError {
 				m.Bits, len(m.Data), (m.Bits+7)/8))
 	}
 	return nil
+}
+
+// errRunCanceled is the cause inside a PhaseCanceled *RunError raised at a
+// step boundary (RunContext callers see the context's own error only when
+// the context was done before the run started; mid-run aborts surface
+// this sentinel, with the caller's context holding the reason).
+var errRunCanceled = errors.New("run canceled")
+
+// checkCancel polls Options.Cancel at a step boundary. Both executors call
+// it between steps — never inside one — so an aborted run has executed an
+// integral prefix of the script and the pooled state stays releasable.
+func (s *runState) checkCancel(ri int) *RunError {
+	if s.opts.Cancel == nil {
+		return nil
+	}
+	select {
+	case <-s.opts.Cancel:
+		return s.runError(PhaseCanceled, ri, -1, errRunCanceled)
+	default:
+		return nil
+	}
 }
 
 // runError builds a *RunError attributed to (phase, round, node) for this

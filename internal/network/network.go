@@ -49,6 +49,7 @@
 package network
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -252,6 +253,15 @@ type Options struct {
 	// is abandoned; a well-behaved prover that merely finishes late finds
 	// the run gone and its response discarded.
 	ProverTimeout time.Duration
+	// Cancel, when non-nil, aborts the run at the next step boundary after
+	// the channel becomes receivable: the run returns a *RunError in
+	// PhaseCanceled instead of finishing. Both executors poll it between
+	// steps of the round script, never inside one, so a canceled run still
+	// leaves the pooled engine state consistent and reusable. RunContext
+	// wires a context.Context's Done channel here; long-haul callers (the
+	// verification service) use it to stop paying for runs whose clients
+	// have gone away.
+	Cancel <-chan struct{}
 	// RecordTranscript attaches a full message transcript to the Result.
 	RecordTranscript bool
 	// Sequential forces the single-goroutine scheduler; Concurrent forces
@@ -328,4 +338,34 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 	res := s.finish()
 	s.release()
 	return res, nil
+}
+
+// RunContext is Run with a context.Context governing the whole run: a
+// context that is already done fails immediately in PhaseCanceled, a
+// cancellation mid-run aborts at the next step boundary (the context's
+// Done channel is wired into Options.Cancel), and a context deadline
+// additionally clamps Options.ProverTimeout to the remaining time, so a
+// prover cannot sit on a single Respond call past the caller's budget.
+// The verification service routes every request through here, which is
+// how per-request HTTP deadlines reach the engine.
+func RunContext(ctx context.Context, spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Options) (*Result, error) {
+	name := ""
+	if spec != nil {
+		name = spec.Name
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &RunError{Protocol: name, Phase: PhaseCanceled, Round: -1, Node: -1, Err: err}
+	}
+	opts.Cancel = ctx.Done()
+	if deadline, ok := ctx.Deadline(); ok {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, &RunError{Protocol: name, Phase: PhaseCanceled, Round: -1, Node: -1,
+				Err: context.DeadlineExceeded}
+		}
+		if opts.ProverTimeout <= 0 || remain < opts.ProverTimeout {
+			opts.ProverTimeout = remain
+		}
+	}
+	return Run(spec, g, inputs, p, opts)
 }

@@ -22,6 +22,10 @@ const (
 	PhaseDecide Phase = "decide"
 	// PhaseDeadline means Prover.Respond exceeded Options.ProverTimeout.
 	PhaseDeadline Phase = "deadline"
+	// PhaseCanceled means the run was aborted between steps because
+	// Options.Cancel fired (for RunContext: the context was canceled or its
+	// deadline passed before the run completed).
+	PhaseCanceled Phase = "canceled"
 )
 
 // RunError is the structured error returned by Run when a protocol or

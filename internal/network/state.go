@@ -87,14 +87,74 @@ type runState struct {
 }
 
 // statePool is the explicit free list (see the file comment for why it is
-// not a sync.Pool). poolCap bounds retained memory; a burst of concurrent
-// runs beyond it simply allocates fresh states.
+// not a sync.Pool). It is shared by the whole process: the experiment
+// harness's trial workers and the verification service's request workers
+// all check states out of this one list, so a warm server recycles engine
+// state across requests exactly like a warm harness recycles it across
+// trials. cap bounds retained memory; a burst of concurrent runs beyond it
+// simply allocates fresh states. hits/misses/drops feed StatePoolStats.
 var statePool struct {
 	mu   sync.Mutex
 	free []*runState
+	cap  int
+	// hits counts acquisitions served from the free list, misses those that
+	// allocated fresh state, drops releases discarded because the list was
+	// full. All are monotone over the process lifetime.
+	hits, misses, drops int64
 }
 
-const poolCap = 32
+const defaultPoolCap = 32
+
+// poolCapLocked returns the effective capacity (statePool.mu held).
+func poolCapLocked() int {
+	if statePool.cap <= 0 {
+		return defaultPoolCap
+	}
+	return statePool.cap
+}
+
+// PoolStats is a snapshot of the shared engine-state free list, exported
+// for service metrics: a hit ratio near 1 means steady-state traffic runs
+// allocation-free through the pool.
+type PoolStats struct {
+	Capacity int   `json:"capacity"`
+	Free     int   `json:"free"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Drops    int64 `json:"drops"`
+}
+
+// StatePoolStats returns the current free-list snapshot.
+func StatePoolStats() PoolStats {
+	statePool.mu.Lock()
+	defer statePool.mu.Unlock()
+	return PoolStats{
+		Capacity: poolCapLocked(),
+		Free:     len(statePool.free),
+		Hits:     statePool.hits,
+		Misses:   statePool.misses,
+		Drops:    statePool.drops,
+	}
+}
+
+// SetStatePoolCapacity resizes the shared free list and returns the
+// previous capacity. Long-running servers size it to their worker count so
+// a full complement of in-flight requests can recycle state without
+// allocating; n <= 0 restores the default. Shrinking drops the excess
+// retained states immediately.
+func SetStatePoolCapacity(n int) int {
+	statePool.mu.Lock()
+	defer statePool.mu.Unlock()
+	prev := poolCapLocked()
+	statePool.cap = n
+	if c := poolCapLocked(); len(statePool.free) > c {
+		for i := c; i < len(statePool.free); i++ {
+			statePool.free[i] = nil
+		}
+		statePool.free = statePool.free[:c]
+	}
+	return prev
+}
 
 // acquireState pops a pooled state or builds an empty one.
 func acquireState() *runState {
@@ -103,9 +163,11 @@ func acquireState() *runState {
 		s := statePool.free[n-1]
 		statePool.free[n-1] = nil
 		statePool.free = statePool.free[:n-1]
+		statePool.hits++
 		statePool.mu.Unlock()
 		return s
 	}
+	statePool.misses++
 	statePool.mu.Unlock()
 	return &runState{}
 }
@@ -225,8 +287,10 @@ func (s *runState) release() {
 	s.decisions = nil
 
 	statePool.mu.Lock()
-	if len(statePool.free) < poolCap {
+	if len(statePool.free) < poolCapLocked() {
 		statePool.free = append(statePool.free, s)
+	} else {
+		statePool.drops++
 	}
 	statePool.mu.Unlock()
 }

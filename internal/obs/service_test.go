@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("after Set: %d", got)
+	}
+}
+
+func TestServiceMetersSnapshot(t *testing.T) {
+	var m ServiceMeters
+	m.Requests.Add(5)
+	m.Rejected.Add(1)
+	m.InFlight.Add(2)
+	p := m.Protocol("sym-dmam")
+	p.Requests.Add(4)
+	p.Latency.Observe(10 * time.Millisecond)
+	p.Latency.Observe(30 * time.Millisecond)
+	m.Protocol("gni-damam").Errors.Add(1)
+
+	s := m.SnapshotService()
+	if s.Requests != 5 || s.Rejected != 1 || s.InFlight != 2 {
+		t.Fatalf("snapshot counters: %+v", s)
+	}
+	if len(s.Protocols) != 2 {
+		t.Fatalf("protocols: %+v", s.Protocols)
+	}
+	// Sorted by name: gni-damam before sym-dmam.
+	if s.Protocols[0].Protocol != "gni-damam" || s.Protocols[1].Protocol != "sym-dmam" {
+		t.Fatalf("protocol order: %+v", s.Protocols)
+	}
+	if got := s.Protocols[1].LatencyMeanMS; got < 19 || got > 21 {
+		t.Fatalf("mean latency = %v, want ~20", got)
+	}
+	// Same name returns the same meter.
+	if m.Protocol("sym-dmam") != p {
+		t.Fatal("Protocol not idempotent")
+	}
+}
+
+func TestServiceMetersConcurrent(t *testing.T) {
+	var m ServiceMeters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Requests.Add(1)
+				m.InFlight.Add(1)
+				m.Protocol("sym-dam").Latency.Observe(time.Microsecond)
+				m.InFlight.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.SnapshotService()
+	if s.Requests != 800 || s.InFlight != 0 {
+		t.Fatalf("after storm: %+v", s)
+	}
+	if s.Protocols[0].Requests != 0 || m.Protocol("sym-dam").Latency.Count() != 800 {
+		t.Fatalf("per-proto: %+v", s.Protocols)
+	}
+}

@@ -119,3 +119,26 @@ func MaxInt(xs []int) int {
 	}
 	return m
 }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
+// interpolation between closest ranks, the same estimator as numpy's
+// default. xs must be sorted ascending; an empty slice yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := rank - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}

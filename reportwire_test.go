@@ -1,0 +1,74 @@
+package dip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWireReportRoundTrip: a real run encodes, decodes, and validates.
+func TestWireReportRoundTrip(t *testing.T) {
+	rep, err := Run(Request{Protocol: "sym-dmam", N: 6,
+		Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, Options: Options{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := WireReportFrom(rep, 9)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("encoded report lacks trailing newline")
+	}
+	got, err := DecodeWireReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Protocol != "sym-dmam" || got.Nodes != 6 || got.Seed != 9 ||
+		got.MaxProverBits != rep.MaxProverBits || len(got.PerRound) != len(rep.PerRound) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestWireReportValidate: each invariant fires.
+func TestWireReportValidate(t *testing.T) {
+	good := func() *WireReport {
+		return &WireReport{
+			Schema: ReportSchema, Protocol: "sym-dam", Nodes: 4, Accepted: true,
+			MaxProverBits: 10, TotalProverBits: 30, MaxNodeToNodeBits: 2, MaxNode: 1,
+			PerRound: []RoundCost{{Kind: "Arthur", ToProver: 4}, {Kind: "Merlin", FromProver: 6}},
+		}
+	}
+	cases := []struct {
+		name  string
+		mod   func(*WireReport)
+		wants string
+	}{
+		{"wrong schema", func(w *WireReport) { w.Schema = "dip-report/v0" }, "schema"},
+		{"no protocol", func(w *WireReport) { w.Protocol = "" }, "missing protocol"},
+		{"accepted with rejectors", func(w *WireReport) { w.RejectingNodes = []int{2} }, "rejecting"},
+		{"rejector out of range", func(w *WireReport) { w.Accepted = false; w.RejectingNodes = []int{9} }, "outside"},
+		{"max node out of range", func(w *WireReport) { w.MaxNode = 4 }, "max_node"},
+		{"total below max", func(w *WireReport) { w.TotalProverBits = 5 }, "cost block"},
+		{"per-round sum off", func(w *WireReport) { w.PerRound[0].ToProver = 5 }, "per-round"},
+		{"bad round kind", func(w *WireReport) { w.PerRound[0].Kind = "Oracle" }, "kind"},
+		{"fault prob", func(w *WireReport) { w.FaultProb = 1.5 }, "fault_prob"},
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := good()
+			tc.mod(w)
+			err := w.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wants)
+			}
+		})
+	}
+}

@@ -1,0 +1,362 @@
+package dip
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dip/internal/core"
+	"dip/internal/graph"
+	"dip/internal/network"
+)
+
+// Request names a protocol and carries its instance: the graph(s) as edge
+// lists plus Options. Exactly the fields a protocol consumes may be set —
+// a populated field the protocol does not read is rejected, so a caller
+// that, say, sends Marks to sym-dmam learns about the mistake instead of
+// having it silently ignored. The JSON form is what cmd/dipserve accepts.
+type Request struct {
+	// Protocol is a registry name; see Protocols.
+	Protocol string `json:"protocol"`
+	// N is the number of vertices. dsym-dam derives its vertex count from
+	// Side and Half instead, and there N may be either 0 or that count.
+	N int `json:"n,omitempty"`
+	// Edges is the network graph (for GNI pairs: G₀), as undirected edges.
+	Edges [][2]int `json:"edges"`
+	// Edges1 is G₁ of a GNI pair (gni-damam, gni-general, gni-lcp only).
+	Edges1 [][2]int `json:"edges1,omitempty"`
+	// Marks is the 0/1/-1 node marking of gni-marked.
+	Marks []int `json:"marks,omitempty"`
+	// Side and Half are the dumbbell parameters (n, r) of dsym-dam.
+	Side int `json:"side,omitempty"`
+	Half int `json:"half,omitempty"`
+	// Options carries seed, repetitions and timeout.
+	Options Options `json:"options"`
+}
+
+// ProtocolInfo describes one registry entry.
+type ProtocolInfo struct {
+	// Name is the identifier accepted in Request.Protocol.
+	Name string `json:"name"`
+	// Family is the decision problem: "sym" (graph symmetry) or "gni"
+	// (graph non-isomorphism).
+	Family string `json:"family"`
+	// Rounds is the number of rounds in the protocol's schedule — the
+	// length of Report.PerRound on a completed run.
+	Rounds int `json:"rounds"`
+	// Summary is a one-line description.
+	Summary string `json:"summary"`
+}
+
+// entry is a registry row: the public description plus the run function
+// and the set of Request fields the protocol consumes.
+type entry struct {
+	info entryInfo
+	run  func(ctx context.Context, req *Request) (Report, error)
+	// uses flags which optional Request fields this protocol reads;
+	// dispatch rejects requests that set any other.
+	usesEdges1 bool
+	usesMarks  bool
+	usesSide   bool
+}
+
+type entryInfo = ProtocolInfo
+
+// registry lists every runnable protocol. Round counts are stated here
+// (rather than derived) so the listing needs no instance construction;
+// TestProtocolRoundsMatchSpecs pins them to the actual Specs.
+var registry = map[string]*entry{
+	"sym-dmam": {
+		info: entryInfo{Name: "sym-dmam", Family: "sym", Rounds: 3,
+			Summary: "O(log n) dMAM proof of graph symmetry (Theorem 1.1)"},
+		run: runSymDMAM,
+	},
+	"sym-dam": {
+		info: entryInfo{Name: "sym-dam", Family: "sym", Rounds: 2,
+			Summary: "O(n log n) dAM proof of symmetry, nodes speak first (Theorem 1.3)"},
+		run: runSymDAM,
+	},
+	"dsym-dam": {
+		info: entryInfo{Name: "dsym-dam", Family: "sym", Rounds: 2,
+			Summary: "O(log n) dAM proof of dumbbell symmetry (Theorem 1.2)"},
+		run:      runDSymDAM,
+		usesSide: true,
+	},
+	"sym-lcp": {
+		info: entryInfo{Name: "sym-lcp", Family: "sym", Rounds: 1,
+			Summary: "Θ(n²) non-interactive labeling-scheme baseline for symmetry"},
+		run: runSymLCP,
+	},
+	"sym-rpls": {
+		info: entryInfo{Name: "sym-rpls", Family: "sym", Rounds: 1,
+			Summary: "randomized proof-labeling scheme: Θ(n²) advice, O(log n) fingerprint exchange"},
+		run: runSymRPLS,
+	},
+	"gni-damam": {
+		info: entryInfo{Name: "gni-damam", Family: "gni", Rounds: 4,
+			Summary: "distributed Goldwasser–Sipser dAMAM proof of non-isomorphism (Theorem 1.5)"},
+		run:        runGNIDAMAM,
+		usesEdges1: true,
+	},
+	"gni-general": {
+		info: entryInfo{Name: "gni-general", Family: "gni", Rounds: 2,
+			Summary: "promise-free GNI, correct on symmetric graphs too"},
+		run:        runGNIGeneral,
+		usesEdges1: true,
+	},
+	"gni-marked": {
+		info: entryInfo{Name: "gni-marked", Family: "gni", Rounds: 4,
+			Summary: "marked single-graph formulation of GNI (Section 2.3)"},
+		run:       runGNIMarked,
+		usesMarks: true,
+	},
+	"gni-lcp": {
+		info: entryInfo{Name: "gni-lcp", Family: "gni", Rounds: 1,
+			Summary: "Θ(n²) non-interactive baseline for non-isomorphism"},
+		run:        runGNILCP,
+		usesEdges1: true,
+	},
+}
+
+// Protocols lists the registry sorted by name: stable output for the
+// service's /v1/protocols endpoint and for documentation.
+func Protocols() []ProtocolInfo {
+	out := make([]ProtocolInfo, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Run executes the named protocol on the request's instance against its
+// honest prover and reports the outcome and costs. It is the single entry
+// point behind every Prove* wrapper and behind cmd/dipserve.
+func Run(req Request) (Report, error) {
+	return RunContext(context.Background(), req)
+}
+
+// RunContext is Run bounded by a context: cancellation aborts the run at
+// the next engine step, and a context deadline additionally clamps the
+// prover deadline (Options.Timeout), whichever is tighter.
+func RunContext(ctx context.Context, req Request) (Report, error) {
+	e, ok := registry[req.Protocol]
+	if !ok {
+		return Report{}, fmt.Errorf("dip: unknown protocol %q (see dip.Protocols)", req.Protocol)
+	}
+	if !e.usesEdges1 && req.Edges1 != nil {
+		return Report{}, fmt.Errorf("dip: protocol %q takes no Edges1", req.Protocol)
+	}
+	if !e.usesMarks && req.Marks != nil {
+		return Report{}, fmt.Errorf("dip: protocol %q takes no Marks", req.Protocol)
+	}
+	if !e.usesSide && (req.Side != 0 || req.Half != 0) {
+		return Report{}, fmt.Errorf("dip: protocol %q takes no Side/Half", req.Protocol)
+	}
+	return e.run(ctx, &req)
+}
+
+// engineOptions validates the request options and maps them onto the
+// engine's knobs.
+func engineOptions(opts Options) (network.Options, error) {
+	timeout, err := resolveTimeout(opts.Timeout)
+	if err != nil {
+		return network.Options{}, err
+	}
+	return network.Options{Seed: opts.Seed, ProverTimeout: timeout}, nil
+}
+
+// finish runs an assembled single-graph instance (no node inputs) through
+// the engine and shapes the Report.
+func finish(ctx context.Context, name string, spec *network.Spec, g *graph.Graph,
+	prover network.Prover, opts Options) (Report, error) {
+	nopts, err := engineOptions(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := network.RunContext(ctx, spec, g, nil, prover, nopts)
+	if err != nil {
+		return Report{}, err
+	}
+	return report(name, res), nil
+}
+
+func runSymDMAM(ctx context.Context, req *Request) (Report, error) {
+	g, err := buildGraph(req.N, req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymDMAM(req.N, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return finish(ctx, "sym-dmam", proto.Spec(), g, proto.HonestProver(), req.Options)
+}
+
+func runSymDAM(ctx context.Context, req *Request) (Report, error) {
+	g, err := buildGraph(req.N, req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymDAM(req.N, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return finish(ctx, "sym-dam", proto.Spec(), g, proto.HonestProver(), req.Options)
+}
+
+func runDSymDAM(ctx context.Context, req *Request) (Report, error) {
+	proto, err := core.NewDSymDAM(req.Side, req.Half, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	if req.N != 0 && req.N != proto.N() {
+		return Report{}, fmt.Errorf("dip: dsym-dam with side=%d half=%d has %d vertices, request says n=%d",
+			req.Side, req.Half, proto.N(), req.N)
+	}
+	g, err := buildGraph(proto.N(), req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	return finish(ctx, "dsym-dam", proto.Spec(), g, proto.HonestProver(), req.Options)
+}
+
+func runSymLCP(ctx context.Context, req *Request) (Report, error) {
+	g, err := buildGraph(req.N, req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymLCP(req.N)
+	if err != nil {
+		return Report{}, err
+	}
+	return finish(ctx, "sym-lcp", proto.Spec(), g, proto.HonestProver(), req.Options)
+}
+
+func runSymRPLS(ctx context.Context, req *Request) (Report, error) {
+	g, err := buildGraph(req.N, req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewSymRPLS(req.N, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return finish(ctx, "sym-rpls", proto.Spec(), g, proto.HonestProver(), req.Options)
+}
+
+// buildGNIPair validates both edge lists of a GNI request.
+func buildGNIPair(req *Request) (g0, g1 *graph.Graph, err error) {
+	if g0, err = buildGraph(req.N, req.Edges); err != nil {
+		return nil, nil, err
+	}
+	if g1, err = buildGraph(req.N, req.Edges1); err != nil {
+		return nil, nil, err
+	}
+	return g0, g1, nil
+}
+
+func runGNIDAMAM(ctx context.Context, req *Request) (Report, error) {
+	g0, g1, err := buildGNIPair(req)
+	if err != nil {
+		return Report{}, err
+	}
+	k, err := resolveRepetitions(req.Options.Repetitions)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewGNIDAMAM(req.N, k, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return finishGNI(ctx, "gni-damam", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
+}
+
+func runGNIGeneral(ctx context.Context, req *Request) (Report, error) {
+	g0, g1, err := buildGNIPair(req)
+	if err != nil {
+		return Report{}, err
+	}
+	k, err := resolveRepetitions(req.Options.Repetitions)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewGNIGeneral(req.N, k, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return finishGNI(ctx, "gni-general", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
+}
+
+func runGNILCP(ctx context.Context, req *Request) (Report, error) {
+	g0, g1, err := buildGNIPair(req)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewGNILCP(req.N)
+	if err != nil {
+		return Report{}, err
+	}
+	return finishGNI(ctx, "gni-lcp", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
+}
+
+func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
+	g, err := buildGraph(req.N, req.Edges)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(req.Marks) != req.N {
+		return Report{}, fmt.Errorf("dip: %d marks for %d nodes", len(req.Marks), req.N)
+	}
+	coreMarks := make([]core.Mark, req.N)
+	k := 0
+	for v, m := range req.Marks {
+		switch m {
+		case 0:
+			coreMarks[v] = core.MarkZero
+			k++
+		case 1:
+			coreMarks[v] = core.MarkOne
+		case -1:
+			coreMarks[v] = core.MarkNone
+		default:
+			return Report{}, fmt.Errorf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
+		}
+	}
+	reps, err := resolveRepetitions(req.Options.Repetitions)
+	if err != nil {
+		return Report{}, err
+	}
+	proto, err := core.NewMarkedGNI(req.N, k, reps, req.Options.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	inputs, err := core.EncodeMarks(coreMarks)
+	if err != nil {
+		return Report{}, err
+	}
+	nopts, err := engineOptions(req.Options)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := network.RunContext(ctx, proto.Spec(), g, inputs, proto.HonestProver(), nopts)
+	if err != nil {
+		return Report{}, err
+	}
+	return report("gni-marked", res), nil
+}
+
+// finishGNI runs a two-graph instance: g0 is the network, g1 travels as
+// node inputs, row by row.
+func finishGNI(ctx context.Context, name string, spec *network.Spec, g0, g1 *graph.Graph,
+	prover network.Prover, opts Options) (Report, error) {
+	nopts, err := engineOptions(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := network.RunContext(ctx, spec, g0, core.EncodeGNIInputs(g1), prover, nopts)
+	if err != nil {
+		return Report{}, err
+	}
+	return report(name, res), nil
+}
