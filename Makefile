@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
 # smoke round-trip, a short mutation burst on every decoder fuzz target,
-# a fault-matrix smoke run, and a live service round-trip (dipserve under
-# dipload, drained cleanly).
-verify: lint build test race smoke fuzz-short fault-smoke serve-smoke
+# a fault-matrix smoke run, a live service round-trip (dipserve under
+# dipload, drained cleanly), and a plain+batch load round-trip with a
+# leak check on the drained service.
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -75,14 +76,43 @@ serve-smoke:
 	grep -q drained $$dir/serve.log || { echo "no drain marker in log"; cat $$dir/serve.log; exit 1; }; \
 	echo "serve-smoke: ok"
 
+# load-check exercises the request path end to end in both shapes: boot
+# dipserve on an ephemeral port, run a short plain load and a short batch
+# load, validate both dip-load/v1 files, fail on any request error, and
+# fail if the drained service reports leaked work (non-zero in-flight or
+# queue gauges on /metrics).
+load-check:
+	@dir=$$(mktemp -d /tmp/dip-load-check.XXXXXX); \
+	$(GO) build -o $$dir/dipserve ./cmd/dipserve || exit 1; \
+	$(GO) build -o $$dir/dipload ./cmd/dipload || exit 1; \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 4 -queue 16 >$$dir/serve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never bound"; cat $$dir/serve.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 32 -c 4 -requests 200 -seed 1 -json $$dir/plain.json || { cat $$dir/serve.log; exit 1; }; \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 32 -c 4 -requests 200 -batch 25 -seed 1 -json $$dir/batch.json || { cat $$dir/serve.log; exit 1; }; \
+	$(GO) run ./cmd/dipbench -validate $$dir/plain.json $$dir/batch.json || exit 1; \
+	grep -q '"errors": 0' $$dir/plain.json || { echo "plain load reported errors"; cat $$dir/plain.json; exit 1; }; \
+	grep -q '"errors": 0' $$dir/batch.json || { echo "batch load reported errors"; cat $$dir/batch.json; exit 1; }; \
+	curl -sf http://$$addr/metrics >$$dir/metrics.json || { echo "metrics unreachable"; exit 1; }; \
+	grep -q '"in_flight": 0' $$dir/metrics.json || { echo "in-flight gauge nonzero after load"; cat $$dir/metrics.json; exit 1; }; \
+	grep -q '"queue_depth": 0' $$dir/metrics.json || { echo "queue gauge nonzero after load"; cat $$dir/metrics.json; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve.log; exit 1; }; \
+	echo "load-check: ok"
+
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 2s .
 
-# bench-check re-measures the engine workload's allocs/op and fails if it
-# regresses more than 10% over the engine_bench record in BENCH_seed1.json.
+# bench-check re-measures allocs/op for both committed baselines and fails
+# on a >10% regression: the engine workload against the engine_bench record
+# in BENCH_seed1.json and the full request path against the request_bench
+# record in LOAD_seed2.json.
 bench-check:
-	$(GO) run ./cmd/dipbench -bench-check BENCH_seed1.json
+	$(GO) run ./cmd/dipbench -bench-check BENCH_seed1.json LOAD_seed2.json
 
 # tables regenerates every EXPERIMENTS.md table at full trial counts and
 # the committed BENCH_seed1.json / FAULT_seed1.json sidecars (quick sizes,

@@ -1,0 +1,83 @@
+package dip
+
+import (
+	"context"
+	"testing"
+
+	"dip/internal/graph"
+	"dip/internal/stats"
+)
+
+// BatchResult is one item's outcome in a RunBatch call: exactly one of
+// Report (Err == nil) or Err is meaningful.
+type BatchResult struct {
+	Report Report
+	Err    error
+}
+
+// RunBatch executes the requests in order and returns one result per
+// request. A failed item does not abort the batch: later items still run,
+// and the caller pairs results with requests by index.
+//
+// Batching exists for throughput: items that share an instance (same
+// graph, same protocol parameters, same seed) hit the setup caches after
+// the first item, so the per-item cost drops to the engine run itself.
+// The reports are identical to running each request alone — batching
+// changes scheduling, never semantics.
+func RunBatch(reqs []Request) []BatchResult {
+	return RunBatchContext(context.Background(), reqs)
+}
+
+// RunBatchContext is RunBatch bounded by a context. Cancellation marks
+// every not-yet-started item with the context error; the in-flight item
+// aborts at the engine's next step, as in RunContext.
+func RunBatchContext(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	for i := range reqs {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Report, out[i].Err = RunContext(ctx, reqs[i])
+	}
+	return out
+}
+
+// requestBenchNodes matches cmd/dipload's default instance size.
+const requestBenchNodes = 64
+
+// requestBenchTrials keeps the measurement under ~50ms at the workload's
+// steady-state cost.
+const requestBenchTrials = 50
+
+// MeasureRequestAllocs replays the load generator's reference workload —
+// sym-dmam on a 64-vertex cycle, a fresh derived seed per request, exactly
+// what `dipload -protocol sym-dmam -n 64` sends — under
+// testing.AllocsPerRun and reports the steady-state allocations per
+// request. The figure belongs in the request_bench block of dip-load/v1
+// files, where `dipbench -bench-check` diffs it against a fresh
+// measurement and fails on regressions. The warmup run AllocsPerRun
+// performs also warms the setup caches, so the figure is the steady state
+// a loaded service sees (per-request seeds vary, so protocol construction
+// including its prime search is deliberately NOT amortized here).
+func MeasureRequestAllocs() (float64, error) {
+	edges := graph.Cycle(requestBenchNodes).Edges()
+	var i int64
+	var runErr error
+	allocs := testing.AllocsPerRun(requestBenchTrials, func() {
+		if runErr != nil {
+			return
+		}
+		req := Request{
+			Protocol: "sym-dmam",
+			N:        requestBenchNodes,
+			Edges:    edges,
+			Options:  Options{Seed: stats.DeriveSeed(1, i)},
+		}
+		i++
+		if _, err := Run(req); err != nil {
+			runErr = err
+		}
+	})
+	return allocs, runErr
+}

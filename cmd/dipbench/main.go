@@ -58,7 +58,7 @@ func run() error {
 		faultsMode  = flag.Bool("faults", false, "run the fault-injection matrix (E12); -json emits dip-fault/v1")
 		validate    = flag.String("validate", "", "validate existing results files against their schemas and exit (accepts further paths as positional args)")
 		benchAllocs = flag.Bool("bench-allocs", true, "measure the engine reference workload's allocs/op and embed it in -json output")
-		benchCheck  = flag.String("bench-check", "", "re-measure engine allocs/op and fail if it regresses >10% over the engine_bench record in this results file")
+		benchCheck  = flag.String("bench-check", "", "re-measure allocs/op and fail on >10% regressions: dip-bench files gate the engine workload, dip-load files the request path (accepts further paths as positional args)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -69,7 +69,7 @@ func run() error {
 	}
 
 	if *benchCheck != "" {
-		return checkEngineAllocs(*benchCheck)
+		return checkBenchFiles(append([]string{*benchCheck}, flag.Args()...))
 	}
 
 	if *cpuprofile != "" {
@@ -206,9 +206,44 @@ func runFaults(cfg experiments.Config, jsonPath string) error {
 	return nil
 }
 
-// checkEngineAllocs is the allocation-regression gate: re-measure the
-// engine reference workload and compare against the engine_bench record
-// committed in a dip-bench/v1 file.
+// checkBenchFiles is the allocation-regression gate, dispatching on each
+// file's schema: dip-bench/v1 files gate the engine reference workload
+// (engine_bench block), dip-load/v1 files gate the full request path
+// (request_bench block). Accepts several files in one invocation
+// (`dipbench -bench-check BENCH_seed1.json LOAD_seed2.json`) and reports
+// every failure before exiting.
+func checkBenchFiles(paths []string) error {
+	failed := 0
+	for _, path := range paths {
+		if err := checkBenchFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed the bench check", failed, len(paths))
+	}
+	return nil
+}
+
+func checkBenchFile(path string) error {
+	schema, err := experiments.SniffSchema(path)
+	if err != nil {
+		return err
+	}
+	switch schema {
+	case experiments.Schema:
+		return checkEngineAllocs(path)
+	case experiments.LoadSchema:
+		return checkRequestAllocs(path)
+	default:
+		return fmt.Errorf("schema %q carries no allocation budget (want %s or %s)",
+			schema, experiments.Schema, experiments.LoadSchema)
+	}
+}
+
+// checkEngineAllocs re-measures the engine reference workload and compares
+// against the engine_bench record committed in a dip-bench/v1 file.
 func checkEngineAllocs(path string) error {
 	f, err := experiments.ReadResultsFile(path)
 	if err != nil {
@@ -224,6 +259,25 @@ func checkEngineAllocs(path string) error {
 	}
 	fmt.Printf("%s: engine bench OK: %.0f allocs/op measured vs %.0f recorded (limit +%d%%)\n",
 		path, measured.AllocsPerOp, recorded.AllocsPerOp, int(experiments.AllocRegressionLimit*100))
+	return nil
+}
+
+// checkRequestAllocs re-measures the service-layer request path and
+// compares against the request_bench record in a dip-load/v1 file.
+func checkRequestAllocs(path string) error {
+	f, err := experiments.ReadLoadResultsFile(path)
+	if err != nil {
+		return err
+	}
+	measured, err := dip.MeasureRequestAllocs()
+	if err != nil {
+		return err
+	}
+	if err := experiments.CheckRequestAllocs(f.RequestBench, measured); err != nil {
+		return err
+	}
+	fmt.Printf("%s: request bench OK: %.0f allocs/op measured vs %.0f recorded (limit +%d%%)\n",
+		path, measured, f.RequestBench.AllocsPerOp, int(experiments.AllocRegressionLimit*100))
 	return nil
 }
 

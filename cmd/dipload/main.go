@@ -37,9 +37,11 @@ type options struct {
 	n         int
 	clients   int
 	requests  int
+	batch     int
 	seed      int64
 	wait      time.Duration
 	jsonPath  string
+	reqBench  bool
 }
 
 // supportedProtocols maps the protocol names dipload can generate
@@ -60,9 +62,11 @@ func main() {
 	flag.IntVar(&o.n, "n", 64, "vertices per instance (cycle graph)")
 	flag.IntVar(&o.clients, "c", 8, "concurrent clients")
 	flag.IntVar(&o.requests, "requests", 2000, "total requests")
+	flag.IntVar(&o.batch, "batch", 0, "send batches of this many same-protocol requests through /v1/batch (0 = one request per body)")
 	flag.Int64Var(&o.seed, "seed", 1, "base seed (request i uses DeriveSeed(seed, i))")
 	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the service to report ready")
 	flag.StringVar(&o.jsonPath, "json", "", "write dip-load/v1 results to this file")
+	flag.BoolVar(&o.reqBench, "request-bench", false, "measure the in-process request path's allocs/op and embed it in -json output")
 	flag.Parse()
 
 	for _, p := range strings.Split(protoList, ",") {
@@ -76,8 +80,8 @@ func main() {
 		}
 		o.protocols = append(o.protocols, p)
 	}
-	if len(o.protocols) == 0 || o.n < 3 || o.clients < 1 || o.requests < 1 {
-		fmt.Fprintln(os.Stderr, "dipload: need at least one protocol, -n >= 3, -c >= 1, -requests >= 1")
+	if len(o.protocols) == 0 || o.n < 3 || o.clients < 1 || o.requests < 1 || o.batch < 0 {
+		fmt.Fprintln(os.Stderr, "dipload: need at least one protocol, -n >= 3, -c >= 1, -requests >= 1, -batch >= 0")
 		os.Exit(2)
 	}
 
@@ -93,6 +97,10 @@ type protoStats struct {
 	requests  int
 	errors    int
 	latencies []time.Duration
+	// batchLatencies holds whole-batch round trips in -batch mode;
+	// latencies then holds the per-request approximation (batch latency
+	// divided by item count), so both views stay comparable across modes.
+	batchLatencies []time.Duration
 }
 
 func run(o options) error {
@@ -107,19 +115,22 @@ func run(o options) error {
 	for i := 0; i < o.n; i++ {
 		edges[i] = [2]int{i, (i + 1) % o.n}
 	}
-	bodies := make([][]byte, o.requests)
-	for i := 0; i < o.requests; i++ {
-		req := dip.Request{
-			Protocol: o.protocols[i%len(o.protocols)],
-			N:        o.n,
-			Edges:    edges,
-			Options:  dip.Options{Seed: stats.DeriveSeed(o.seed, int64(i))},
+	var bodies [][]byte
+	if o.batch == 0 {
+		bodies = make([][]byte, o.requests)
+		for i := 0; i < o.requests; i++ {
+			req := dip.Request{
+				Protocol: o.protocols[i%len(o.protocols)],
+				N:        o.n,
+				Edges:    edges,
+				Options:  dip.Options{Seed: stats.DeriveSeed(o.seed, int64(i))},
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			bodies[i] = b
 		}
-		b, err := json.Marshal(req)
-		if err != nil {
-			return err
-		}
-		bodies[i] = b
 	}
 
 	perProto := make(map[string]*protoStats, len(o.protocols))
@@ -137,6 +148,14 @@ func run(o options) error {
 			MaxIdleConnsPerHost: o.clients,
 		},
 	}
+	var batches []batchJob
+	if o.batch > 0 {
+		var err error
+		if batches, err = buildBatches(o); err != nil {
+			return err
+		}
+	}
+
 	var next, retries, dropped, errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -144,6 +163,37 @@ func run(o options) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if o.batch > 0 {
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(batches)) {
+						return
+					}
+					job := batches[i]
+					ps := perProto[job.proto]
+					reqStart := time.Now()
+					good, retried, droppedConn := fireBatch(client, o.url, job.body, job.count)
+					lat := time.Since(reqStart)
+					retries.Add(retried)
+					if droppedConn {
+						dropped.Add(1)
+					}
+					bad := job.count - good
+					// Per-request latency approximation: the batch round
+					// trip spread evenly over its items (retry waits
+					// included, like every plain-mode sample).
+					per := lat / time.Duration(job.count)
+					ps.mu.Lock()
+					ps.requests += job.count
+					ps.errors += bad
+					ps.batchLatencies = append(ps.batchLatencies, lat)
+					for k := 0; k < job.count; k++ {
+						ps.latencies = append(ps.latencies, per)
+					}
+					ps.mu.Unlock()
+					errs.Add(int64(bad))
+				}
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(o.requests) {
@@ -185,13 +235,18 @@ func run(o options) error {
 		ps := perProto[name]
 		good := ps.requests - ps.errors
 		completed += good
-		protoResults = append(protoResults, experiments.LoadProtocolResult{
+		pr := experiments.LoadProtocolResult{
 			Protocol:      name,
 			Requests:      good,
 			Errors:        ps.errors,
 			ThroughputRPS: float64(good) / wall.Seconds(),
 			LatencyMS:     experiments.SummarizeLatencies(ps.latencies),
-		})
+		}
+		if len(ps.batchLatencies) > 0 {
+			bl := experiments.SummarizeLatencies(ps.batchLatencies)
+			pr.BatchLatencyMS = &bl
+		}
+		protoResults = append(protoResults, pr)
 	}
 
 	results := &experiments.LoadResultsFile{
@@ -208,6 +263,23 @@ func run(o options) error {
 		ThroughputRPS: float64(completed) / wall.Seconds(),
 		Protocols:     protoResults,
 	}
+	if o.batch > 0 {
+		results.BatchSize = o.batch
+		results.Batches = len(batches)
+	}
+	if o.reqBench {
+		allocs, err := dip.MeasureRequestAllocs()
+		if err != nil {
+			return fmt.Errorf("request bench: %w", err)
+		}
+		results.RequestBench = &experiments.RequestBench{
+			Workload:    "sym-dmam request, cycle graph, fresh seed per run",
+			Nodes:       64,
+			Trials:      50,
+			AllocsPerOp: allocs,
+		}
+		fmt.Printf("dipload: request bench %.0f allocs/op\n", allocs)
+	}
 	if err := results.Validate(); err != nil {
 		return err
 	}
@@ -218,6 +290,10 @@ func run(o options) error {
 	for _, pr := range results.Protocols {
 		fmt.Printf("  %-10s %5d ok  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  max %6.2fms\n",
 			pr.Protocol, pr.Requests, pr.LatencyMS.P50, pr.LatencyMS.P95, pr.LatencyMS.P99, pr.LatencyMS.Max)
+		if b := pr.BatchLatencyMS; b != nil {
+			fmt.Printf("  %-10s batch(%d): p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  max %6.2fms\n",
+				"", o.batch, b.P50, b.P95, b.P99, b.Max)
+		}
 	}
 	if o.jsonPath != "" {
 		if err := results.WriteFile(o.jsonPath); err != nil {
@@ -284,4 +360,88 @@ func waitReady(url string, bound time.Duration) error {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// batchJob is one pre-marshaled /v1/batch body: count same-protocol
+// requests sharing the instance, seeds preserved from the plain-mode
+// stream (request i still runs with DeriveSeed(seed, i)).
+type batchJob struct {
+	proto string
+	body  []byte
+	count int
+}
+
+// buildBatches groups the request stream by protocol and chunks each
+// group into bodies of up to o.batch items.
+func buildBatches(o options) ([]batchJob, error) {
+	edges := make([][2]int, o.n)
+	for i := 0; i < o.n; i++ {
+		edges[i] = [2]int{i, (i + 1) % o.n}
+	}
+	perProto := make(map[string][]dip.Request, len(o.protocols))
+	for i := 0; i < o.requests; i++ {
+		p := o.protocols[i%len(o.protocols)]
+		perProto[p] = append(perProto[p], dip.Request{
+			Protocol: p,
+			N:        o.n,
+			Edges:    edges,
+			Options:  dip.Options{Seed: stats.DeriveSeed(o.seed, int64(i))},
+		})
+	}
+	var jobs []batchJob
+	for _, p := range o.protocols {
+		reqs := perProto[p]
+		perProto[p] = nil
+		for len(reqs) > 0 {
+			size := o.batch
+			if size > len(reqs) {
+				size = len(reqs)
+			}
+			body, err := json.Marshal(struct {
+				Requests []dip.Request `json:"requests"`
+			}{reqs[:size]})
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, batchJob{proto: p, body: body, count: size})
+			reqs = reqs[size:]
+		}
+	}
+	return jobs, nil
+}
+
+// fireBatch sends one batch body, retrying 503 overflows like fire. good
+// counts elements that decoded as dip-report/v1 documents; a transport
+// failure reports the whole batch failed.
+func fireBatch(client *http.Client, url string, body []byte, count int) (good int, retried int64, droppedConn bool) {
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		resp, err := client.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retried, true
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var elems []json.RawMessage
+			derr := json.NewDecoder(resp.Body).Decode(&elems)
+			drain(resp)
+			if derr != nil || len(elems) != count {
+				return 0, retried, false
+			}
+			for _, e := range elems {
+				if _, err := dip.DecodeWireReport(bytes.NewReader(e)); err == nil {
+					good++
+				}
+			}
+			return good, retried, false
+		case http.StatusServiceUnavailable:
+			drain(resp)
+			retried++
+			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
+		default:
+			drain(resp)
+			return 0, retried, false
+		}
+	}
+	return 0, retried, false
 }

@@ -51,14 +51,20 @@ func defaultConfig() config {
 	}
 }
 
-// job is one admitted run request traveling from handler to worker. The
-// handler blocks on done; the worker fulfills exactly once.
+// job is one admitted unit of work traveling from handler to worker —
+// a single run request, or a whole batch (batch non-nil). The handler
+// blocks on done; the worker fulfills exactly once. A batch occupies one
+// queue slot and one worker for its whole duration: admission control is
+// per body, so a client trades queue fairness for setup amortization.
 type job struct {
 	ctx  context.Context
 	req  dip.Request
 	rep  dip.Report
 	err  error
 	done chan struct{}
+
+	batch   []dip.Request
+	results []dip.BatchResult
 }
 
 // server is the dipserve service: a bounded admission queue in front of a
@@ -137,6 +143,10 @@ func (s *server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
+	if j.batch != nil {
+		j.results = s.runBatch(ctx, j.batch)
+		return
+	}
 	pm := s.meters.Protocol(j.req.Protocol)
 	pm.Requests.Add(1)
 	start := time.Now()
@@ -148,10 +158,34 @@ func (s *server) runJob(j *job) {
 	}
 }
 
+// runBatch runs every item of a batch job sequentially on this worker,
+// metering each item like a plain request (one deadline covers the whole
+// batch, matching the admission unit).
+func (s *server) runBatch(ctx context.Context, reqs []dip.Request) []dip.BatchResult {
+	out := make([]dip.BatchResult, len(reqs))
+	for i := range reqs {
+		pm := s.meters.Protocol(reqs[i].Protocol)
+		pm.Requests.Add(1)
+		start := time.Now()
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+		} else {
+			out[i].Report, out[i].Err = s.runFunc(ctx, reqs[i])
+		}
+		pm.Latency.Observe(time.Since(start))
+		if out[i].Err != nil {
+			pm.Errors.Add(1)
+			s.meters.Failures.Add(1)
+		}
+	}
+	return out
+}
+
 // handler builds the service mux.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/protocols", s.handleProtocols)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -227,6 +261,100 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// batchBody is the /v1/batch request envelope.
+type batchBody struct {
+	Requests []dip.Request `json:"requests"`
+}
+
+// maxBatchItems bounds one batch body: a batch occupies a worker for its
+// whole duration, so the bound keeps a single client from turning the
+// bounded worker pool into one unbounded run.
+const maxBatchItems = 256
+
+// handleBatch admits a whole batch as one queue unit and answers with a
+// JSON array, one element per request in order: a dip-report/v1 document
+// on success, an error object (same shape as /v1/run errors) on failure.
+// Items share a worker and the process-wide setup caches, so a batch of
+// requests on one instance amortizes graph validation, protocol
+// construction and per-graph artifacts across its items.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var body batchBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding batch: %v", err)})
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch has no requests"})
+		return
+	}
+	if len(body.Requests) > maxBatchItems {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch of %d requests exceeds limit %d", len(body.Requests), maxBatchItems)})
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+		s.meters.Rejected.Add(1)
+		return
+	}
+
+	j := &job{ctx: r.Context(), batch: body.Requests, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+		s.meters.QueueDepth.Add(1)
+		s.meters.Requests.Add(int64(len(body.Requests)))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "admission queue full"})
+		s.meters.Rejected.Add(1)
+		return
+	}
+
+	<-j.done
+	if j.err != nil { // pre-run failure (client gone before a worker started)
+		status, phase := mapRunError(j.err)
+		writeJSON(w, status, errorBody{Error: j.err.Error(), Phase: phase})
+		return
+	}
+	// Assemble the array by hand from per-item Encode output so each
+	// element is byte-identical to the corresponding /v1/run body.
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, res := range j.results {
+		if i > 0 {
+			buf.WriteString(",\n")
+		}
+		if res.Err != nil {
+			_, phase := mapRunError(res.Err)
+			elem, err := json.MarshalIndent(errorBody{Error: res.Err.Error(), Phase: phase, Protocol: body.Requests[i].Protocol}, "", "  ")
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+				return
+			}
+			buf.Write(elem)
+			continue
+		}
+		var elem bytes.Buffer
+		if err := dip.WireReportFrom(res.Report, body.Requests[i].Options.Seed).Encode(&elem); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Protocol: body.Requests[i].Protocol})
+			return
+		}
+		buf.Write(bytes.TrimRight(elem.Bytes(), "\n"))
+	}
+	buf.WriteString("\n]\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
 // mapRunError translates a run failure into an HTTP status: engine phases
 // carry the distinction between a bad instance (setup), an exhausted
 // deadline, and a genuine protocol-level failure; everything that is not a
@@ -260,12 +388,13 @@ func (s *server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 // engine meters and the engine state-pool statistics. Composition happens
 // here because obs cannot import network (the engine publishes into obs).
 type metricsPayload struct {
-	Service   obs.ServiceMetrics `json:"service"`
-	Engine    obs.Metrics        `json:"engine"`
-	StatePool network.PoolStats  `json:"state_pool"`
-	Workers   int                `json:"workers"`
-	QueueCap  int                `json:"queue_capacity"`
-	UptimeMS  int64              `json:"uptime_ms"`
+	Service   obs.ServiceMetrics       `json:"service"`
+	Engine    obs.Metrics              `json:"engine"`
+	StatePool network.PoolStats        `json:"state_pool"`
+	Caches    []obs.CacheMetricsRecord `json:"caches"`
+	Workers   int                      `json:"workers"`
+	QueueCap  int                      `json:"queue_capacity"`
+	UptimeMS  int64                    `json:"uptime_ms"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -273,6 +402,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Service:   s.meters.SnapshotService(),
 		Engine:    obs.Snapshot(),
 		StatePool: network.StatePoolStats(),
+		Caches:    obs.SnapshotCaches(),
 		Workers:   s.cfg.workers,
 		QueueCap:  s.cfg.queue,
 		UptimeMS:  time.Since(s.started).Milliseconds(),

@@ -361,3 +361,80 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestBatchEndpoint: N requests in one body come back as an array whose
+// elements are byte-identical to the corresponding /v1/run answers, with
+// per-item errors inline instead of failing the whole batch.
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+
+	single := func(body string) string {
+		resp := postRun(t, ts.URL, body)
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	want0 := single(cycleRequest(8, 5))
+	want1 := single(cycleRequest(8, 6))
+
+	batch := `{"requests": [` + cycleRequest(8, 5) + `,` + cycleRequest(8, 6) +
+		`,{"protocol": "sym-dmam", "n": 4, "edges": [[0,9]]}]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var elems []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&elems); err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 {
+		t.Fatalf("%d elements, want 3", len(elems))
+	}
+	for i, want := range []string{want0, want1} {
+		if got := string(elems[i]) + "\n"; got != want {
+			t.Fatalf("element %d differs from /v1/run answer:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	var eb errorBody
+	if err := json.Unmarshal(elems[2], &eb); err != nil || eb.Error == "" {
+		t.Fatalf("element 2 is not an error object: %v / %s", err, elems[2])
+	}
+}
+
+// TestBatchEndpointBadRequests: empty batches, oversized batches, and
+// malformed bodies are refused before admission.
+func TestBatchEndpointBadRequests(t *testing.T) {
+	_, ts := startTestServer(t, config{}, nil)
+	var big strings.Builder
+	big.WriteString(`{"requests": [`)
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		big.WriteString(cycleRequest(4, int64(i)))
+	}
+	big.WriteString(`]}`)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{"requests": []}`},
+		{"malformed", `{"requests": `},
+		{"oversized", big.String()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}

@@ -46,6 +46,22 @@ func FromIndices(n int, indices ...int) *Set {
 // Len returns the length (number of bit positions) of the vector.
 func (s *Set) Len() int { return s.n }
 
+// AppendHash folds the vector's length and content into h (FNV-1a over the
+// backing words) and returns the extended hash. It allocates nothing, which
+// is what makes it usable as the per-request cache-key fold in the setup
+// cache: equal vectors fold equally, and the words beyond Len are kept
+// zeroed by trim, so the fold is canonical.
+func (s *Set) AppendHash(h uint64) uint64 {
+	const fnvPrime = 1099511628211
+	h ^= uint64(s.n)
+	h *= fnvPrime
+	for _, w := range s.words {
+		h ^= w
+		h *= fnvPrime
+	}
+	return h
+}
+
 // check panics if i is out of range.
 func (s *Set) check(i int) {
 	if i < 0 || i >= s.n {
@@ -110,6 +126,12 @@ func (s *Set) Clone() *Set {
 	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// CopyFrom overwrites s with t's bits. The sets must have equal length.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameLen(t, "CopyFrom")
+	copy(s.words, t.words)
 }
 
 // Equal reports whether s and t have the same length and the same bits.
@@ -285,10 +307,18 @@ func FromBytes(n int, data []byte) (*Set, error) {
 // This is the characteristic-vector action ρ(S) from Section 3.1.1 of the
 // paper: ρ(S)_v = 1 iff there is u with ρ(u) = v and S_u = 1.
 func (s *Set) Permute(p []int) *Set {
+	return s.PermuteInto(New(s.n), p)
+}
+
+// PermuteInto is Permute writing into a caller-provided set of the same
+// length, which is cleared first. It lets loops that permute many rows reuse
+// one scratch set instead of allocating per row. Returns out.
+func (s *Set) PermuteInto(out *Set, p []int) *Set {
 	if len(p) != s.n {
 		panic(fmt.Sprintf("bitset: permute mapping has length %d, want %d", len(p), s.n))
 	}
-	out := New(s.n)
+	out.sameLen(s, "PermuteInto")
+	out.Clear()
 	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
 		out.Add(p[i])
 	}

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"dip/internal/bitset"
 	"dip/internal/graph"
 	"dip/internal/hashing"
 	"dip/internal/network"
@@ -22,10 +23,11 @@ import (
 func fullMatrixHashes(g *graph.Graph, family *hashing.LinearFamily, i *big.Int, rho perm.Perm) (*big.Int, *big.Int) {
 	n := g.N()
 	ha, hb := new(big.Int), new(big.Int)
+	mapped := bitset.New(n)
 	for v := 0; v < n; v++ {
 		closed := g.ClosedRow(v)
-		ha = family.AddMod(ha, family.HashRowMatrix(i, n, v, closed))
-		hb = family.AddMod(hb, family.HashRowMatrix(i, n, rho[v], closed.Permute(rho)))
+		ha = family.AddModInto(ha, family.HashRowMatrix(i, n, v, closed))
+		hb = family.AddModInto(hb, family.HashRowMatrix(i, n, rho[v], closed.PermuteInto(mapped, rho)))
 	}
 	return ha, hb
 }

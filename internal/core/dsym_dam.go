@@ -254,7 +254,7 @@ func (d *DSymDAM) decide(v int, view *network.NodeView) bool {
 	}
 	aExpect := d.family.HashRowMatrix(i, d.total, v, closed)
 	for _, u := range children {
-		aExpect = d.family.AddMod(aExpect, neighborMsgs[u].a)
+		aExpect = d.family.AddModInto(aExpect, neighborMsgs[u].a)
 	}
 	if aExpect.Cmp(msg.a) != 0 {
 		return false
@@ -263,7 +263,7 @@ func (d *DSymDAM) decide(v int, view *network.NodeView) bool {
 	mappedRow := closed.Permute(d.sigma)
 	bExpect := d.family.HashRowMatrix(i, d.total, d.sigma[v], mappedRow)
 	for _, u := range children {
-		bExpect = d.family.AddMod(bExpect, neighborMsgs[u].b)
+		bExpect = d.family.AddModInto(bExpect, neighborMsgs[u].b)
 	}
 	if bExpect.Cmp(msg.b) != 0 {
 		return false

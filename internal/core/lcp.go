@@ -7,6 +7,7 @@ import (
 	"dip/internal/graph"
 	"dip/internal/network"
 	"dip/internal/perm"
+	"dip/internal/setupcache"
 	"dip/internal/spantree"
 	"dip/internal/wire"
 )
@@ -159,7 +160,7 @@ func (s *SymLCP) HonestProver() network.Prover {
 		if g.N() != s.n {
 			return nil, fmt.Errorf("core: graph has %d vertices, protocol built for %d", g.N(), s.n)
 		}
-		rho := graph.FindNontrivialAutomorphism(g)
+		rho := setupcache.ForGraph(g).Automorphism()
 		if rho == nil {
 			rho = perm.Identity(s.n) // will be rejected by the witness check
 		}
@@ -366,7 +367,7 @@ func (s *SpanTreeLCP) HonestProver() network.Prover {
 		if round != 0 {
 			return nil, fmt.Errorf("core: SpanTreeLCP prover called for round %d", round)
 		}
-		advice, err := spantree.Compute(view.Graph, 0)
+		advice, err := setupcache.ForGraph(view.Graph).SpanTree(0)
 		if err != nil {
 			return nil, err
 		}

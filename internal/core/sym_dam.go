@@ -12,6 +12,7 @@ import (
 	"dip/internal/network"
 	"dip/internal/perm"
 	"dip/internal/prime"
+	"dip/internal/setupcache"
 	"dip/internal/spantree"
 	"dip/internal/wire"
 )
@@ -211,7 +212,7 @@ func (s *SymDAM) decide(v int, view *network.NodeView) bool {
 	}
 	aExpect := s.family.HashRowMatrix(i, s.n, v, closed)
 	for _, u := range children {
-		aExpect = s.family.AddMod(aExpect, neighborMsgs[u].a)
+		aExpect = s.family.AddModInto(aExpect, neighborMsgs[u].a)
 	}
 	if aExpect.Cmp(msg.a) != 0 {
 		return false
@@ -222,7 +223,7 @@ func (s *SymDAM) decide(v int, view *network.NodeView) bool {
 	mappedRow := closed.Permute(msg.rho)
 	bExpect := s.family.HashRowMatrix(i, s.n, msg.rho[v], mappedRow)
 	for _, u := range children {
-		bExpect = s.family.AddMod(bExpect, neighborMsgs[u].b)
+		bExpect = s.family.AddModInto(bExpect, neighborMsgs[u].b)
 	}
 	if bExpect.Cmp(msg.b) != 0 {
 		return false
@@ -289,7 +290,10 @@ func (p *symDAMProver) Respond(round int, view *network.ProverView) (*network.Re
 	case p.fixedRho != nil:
 		rho, root = p.fixedRho, p.fixedRoot
 	default:
-		rho = graph.FindNontrivialAutomorphism(g)
+		// The honest search is seed-independent, so it goes through the
+		// per-graph setup cache (the PostHoc and fixed-mapping strategies
+		// above deliberately do not).
+		rho = setupcache.ForGraph(g).Automorphism()
 		if rho == nil {
 			rho = perm.Identity(s.n)
 			rho[0], rho[1] = 1, 0
@@ -307,7 +311,7 @@ func (p *symDAMProver) Respond(round int, view *network.ProverView) (*network.Re
 		rho, _ = p.PostHoc(g, i)
 	}
 
-	advice, err := spantree.Compute(g, root)
+	advice, err := setupcache.ForGraph(g).SpanTree(root)
 	if err != nil {
 		return nil, fmt.Errorf("core: SymDAM prover tree: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"dip/internal/network"
 	"dip/internal/perm"
 	"dip/internal/prime"
+	"dip/internal/setupcache"
 	"dip/internal/spantree"
 	"dip/internal/wire"
 )
@@ -214,7 +215,7 @@ func (s *SymDMAM) decide(v int, view *network.NodeView) bool {
 	}
 	aExpect := s.family.HashRowMatrix(i, s.n, v, closed)
 	for _, u := range children {
-		aExpect = s.family.AddMod(aExpect, neighborSecond[u].a)
+		aExpect = s.family.AddModInto(aExpect, neighborSecond[u].a)
 	}
 	if aExpect.Cmp(second.a) != 0 {
 		return false
@@ -223,14 +224,15 @@ func (s *SymDMAM) decide(v int, view *network.NodeView) bool {
 	// Line 3b: b_v = h_i([ρ(v), ρ(N(v))]) + Σ_{u∈C(v)} b_u, where node v
 	// learns the images ρ(u) of its neighbors from their first-round
 	// messages (Definition 1: v sees the responses of N(v)).
-	mappedRow := bitset.New(s.n)
+	mappedRow := closed // closed is dead past line 3a; reuse its storage
+	mappedRow.Clear()
 	mappedRow.Add(first.rho)
 	for _, nf := range neighborFirst {
 		mappedRow.Add(nf.rho)
 	}
 	bExpect := s.family.HashRowMatrix(i, s.n, first.rho, mappedRow)
 	for _, u := range children {
-		bExpect = s.family.AddMod(bExpect, neighborSecond[u].b)
+		bExpect = s.family.AddModInto(bExpect, neighborSecond[u].b)
 	}
 	if bExpect.Cmp(second.b) != 0 {
 		return false
@@ -299,11 +301,16 @@ func (p *symDMAMProver) first(view *network.ProverView) (*network.Response, erro
 	}
 	p.g = g
 
+	// Automorphism search and spanning-tree construction are pure functions
+	// of the graph's content, so both go through the per-graph setup cache:
+	// repeated requests on one instance (the service's steady state) pay
+	// for the refinement-backtracking search once.
+	art := setupcache.ForGraph(g)
 	if p.fixedRho != nil {
 		p.rho = p.fixedRho
 		p.root = p.fixedRoot
 	} else {
-		p.rho = graph.FindNontrivialAutomorphism(g)
+		p.rho = art.Automorphism()
 		if p.rho == nil {
 			// The graph is asymmetric: Merlin cannot win. Commit to a
 			// transposition so the protocol proceeds (and rejects).
@@ -313,7 +320,7 @@ func (p *symDMAMProver) first(view *network.ProverView) (*network.Response, erro
 		p.root = p.rho.Moved()
 	}
 
-	advice, err := spantree.Compute(g, p.root)
+	advice, err := art.SpanTree(p.root)
 	if err != nil {
 		return nil, fmt.Errorf("core: SymDMAM prover tree: %w", err)
 	}
@@ -357,13 +364,15 @@ func subtreeHashSums(g *graph.Graph, family *hashing.LinearFamily, i *big.Int, r
 	a = make([]*big.Int, n)
 	b = make([]*big.Int, n)
 	children := spantree.ChildLists(advice)
+	closed := bitset.New(n)
+	mapped := bitset.New(n)
 	for _, v := range spantree.PostOrder(advice) {
-		av := family.HashRowMatrix(i, n, v, g.ClosedRow(v))
-		mapped := g.ClosedRow(v).Permute(rho)
+		av := family.HashRowMatrix(i, n, v, g.ClosedRowInto(v, closed))
+		closed.PermuteInto(mapped, rho)
 		bv := family.HashRowMatrix(i, n, rho[v], mapped)
 		for _, c := range children[v] {
-			av = family.AddMod(av, a[c])
-			bv = family.AddMod(bv, b[c])
+			av = family.AddModInto(av, a[c])
+			bv = family.AddModInto(bv, b[c])
 		}
 		a[v], b[v] = av, bv
 	}

@@ -42,6 +42,50 @@ type LoadResultsFile struct {
 	WallMS        float64              `json:"wall_ms"`
 	ThroughputRPS float64              `json:"throughput_rps"`
 	Protocols     []LoadProtocolResult `json:"protocols"`
+	// BatchSize and Batches describe a `dipload -batch` run: requests were
+	// sent as Batches bodies of up to BatchSize items each through
+	// /v1/batch. Both are zero for plain (one-request-per-body) runs —
+	// readers of older files see exactly that.
+	BatchSize int `json:"batch_size,omitempty"`
+	Batches   int `json:"batches,omitempty"`
+	// RequestBench, when present, records the allocs/op of the in-process
+	// request path (dip.MeasureRequestAllocs) measured alongside the run;
+	// `dipbench -bench-check` diffs it against a fresh measurement.
+	RequestBench *RequestBench `json:"request_bench,omitempty"`
+}
+
+// RequestBench is the allocation budget of the full request path —
+// dispatch, setup (cached), engine run, report assembly — on the load
+// generator's reference workload. Like EngineBench it is a reproducible
+// function of the code, so it belongs in committed artifacts and gates
+// regressions.
+type RequestBench struct {
+	// Workload names the measured configuration.
+	Workload string `json:"workload"`
+	// Nodes is the instance size of the workload graph.
+	Nodes int `json:"nodes"`
+	// Trials is the number of measured runs (after one warmup run).
+	Trials int `json:"trials"`
+	// AllocsPerOp is the steady-state heap allocations per request.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// CheckRequestAllocs compares a fresh request-path measurement against a
+// recorded budget, failing beyond AllocRegressionLimit — the request-path
+// twin of CheckEngineAllocs.
+func CheckRequestAllocs(recorded *RequestBench, measuredAllocs float64) error {
+	if recorded == nil {
+		return fmt.Errorf("request bench: results file has no request_bench record to check against")
+	}
+	if recorded.AllocsPerOp <= 0 {
+		return fmt.Errorf("request bench: recorded allocs/op %v is not positive", recorded.AllocsPerOp)
+	}
+	limit := recorded.AllocsPerOp * (1 + AllocRegressionLimit)
+	if measuredAllocs > limit {
+		return fmt.Errorf("request bench: %.1f allocs/op exceeds recorded %.1f by more than %d%% (limit %.1f)",
+			measuredAllocs, recorded.AllocsPerOp, int(AllocRegressionLimit*100), limit)
+	}
+	return nil
 }
 
 // LoadProtocolResult is the per-protocol slice of a load run.
@@ -51,6 +95,11 @@ type LoadProtocolResult struct {
 	Errors        int            `json:"errors"`
 	ThroughputRPS float64        `json:"throughput_rps"`
 	LatencyMS     LatencySummary `json:"latency_ms"`
+	// BatchLatencyMS, present only in -batch runs, summarizes whole-batch
+	// round trips (LatencyMS then holds the per-request approximation:
+	// batch latency divided by batch size, queue-full retry time included
+	// in the mean like every other sample).
+	BatchLatencyMS *LatencySummary `json:"batch_latency_ms,omitempty"`
 }
 
 // LatencySummary is a quantile sketch of request latencies, in
@@ -117,10 +166,24 @@ func (f *LoadResultsFile) Validate() error {
 		if l.P50 < 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
 			return fmt.Errorf("load: protocol %q: non-monotone latency quantiles %+v", p.Protocol, l)
 		}
+		if b := p.BatchLatencyMS; b != nil {
+			if b.P50 < 0 || b.P50 > b.P95 || b.P95 > b.P99 || b.P99 > b.Max {
+				return fmt.Errorf("load: protocol %q: non-monotone batch latency quantiles %+v", p.Protocol, *b)
+			}
+		}
 		total += p.Requests
 	}
 	if total != f.Requests {
 		return fmt.Errorf("load: per-protocol requests sum to %d, total %d", total, f.Requests)
+	}
+	if f.BatchSize < 0 || f.Batches < 0 {
+		return fmt.Errorf("load: negative batch counters")
+	}
+	if (f.BatchSize == 0) != (f.Batches == 0) {
+		return fmt.Errorf("load: batch_size %d with batches %d", f.BatchSize, f.Batches)
+	}
+	if rb := f.RequestBench; rb != nil && rb.AllocsPerOp <= 0 {
+		return fmt.Errorf("load: request_bench allocs/op %v is not positive", rb.AllocsPerOp)
 	}
 	return nil
 }

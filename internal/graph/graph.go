@@ -123,6 +123,35 @@ func (g *Graph) ClosedRow(v int) *bitset.Set {
 	return r
 }
 
+// ClosedRowInto is ClosedRow writing into a caller-provided scratch set
+// of length N, for loops that hash many rows and want to reuse one buffer.
+// Returns dst.
+func (g *Graph) ClosedRowInto(v int, dst *bitset.Set) *bitset.Set {
+	g.checkVertex(v)
+	dst.CopyFrom(g.rows[v])
+	dst.Add(v)
+	return dst
+}
+
+// ContentHash folds the labeled graph's content (vertex count plus every
+// adjacency row) into a 64-bit FNV-1a style digest without allocating.
+// Equal graphs hash equally; the setup cache uses the digest as a lookup
+// key and re-verifies candidates with Equal, so collisions cost a rebuild,
+// never a wrong answer.
+func (g *Graph) ContentHash() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	h ^= uint64(g.n)
+	h *= fnvPrime
+	for _, r := range g.rows {
+		h = r.AppendHash(h)
+	}
+	return h
+}
+
 // Clone returns an independent copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{n: g.n, rows: make([]*bitset.Set, g.n)}

@@ -30,6 +30,15 @@ import (
 type LinearFamily struct {
 	m int      // dimension of the hashed vectors
 	p *big.Int // prime modulus; |H| = p
+	// pSmall is the modulus as a uint64 when it is below 2^32 — small
+	// enough that products of residues fit in uint64 — and 0 otherwise.
+	// Protocol 1's cubic-window modulus (p ≤ 100n³) qualifies for every
+	// realistic n, and the evaluation loops below use machine arithmetic
+	// for it: the residues are identical to the big.Int path (both compute
+	// Σ i^{j+1} mod p over the same ring), only ~20× cheaper and
+	// allocation-free per term. Protocol 2's Θ(n log n)-bit modulus never
+	// qualifies and always takes the big.Int path.
+	pSmall uint64
 }
 
 // NewLinearFamily returns the family for m-dimensional vectors over Z_p.
@@ -42,7 +51,39 @@ func NewLinearFamily(m int, p *big.Int) (*LinearFamily, error) {
 	if p.Cmp(big.NewInt(2)) < 0 {
 		return nil, fmt.Errorf("hashing: modulus %v < 2", p)
 	}
-	return &LinearFamily{m: m, p: new(big.Int).Set(p)}, nil
+	f := &LinearFamily{m: m, p: new(big.Int).Set(p)}
+	if f.p.IsUint64() {
+		if v := f.p.Uint64(); v < 1<<32 {
+			f.pSmall = v
+		}
+	}
+	return f, nil
+}
+
+// smallSeed reports whether i can take the machine-arithmetic path:
+// the modulus is small and 0 ≤ i < p. Out-of-range seeds (adversarial
+// callers) fall back to the big.Int path, which reduces them mod p with
+// the same result.
+func (f *LinearFamily) smallSeed(i *big.Int) (uint64, bool) {
+	if f.pSmall == 0 || !i.IsUint64() {
+		return 0, false
+	}
+	v := i.Uint64()
+	return v, v < f.pSmall
+}
+
+// powmodSmall computes base^exp mod p by square-and-multiply for p < 2^32
+// (so every product fits in uint64). base must already be reduced mod p.
+func powmodSmall(base, exp, p uint64) uint64 {
+	result := uint64(1 % p)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % p
+		}
+		base = base * base % p
+		exp >>= 1
+	}
+	return result
 }
 
 // M returns the dimension of the hashed vectors.
@@ -69,6 +110,16 @@ func (f *LinearFamily) ValidSeed(i *big.Int) bool {
 // 0-based; coordinate j corresponds to the monomial i^{j+1} so that the
 // constant term is never used and h_i(0) = 0.
 func (f *LinearFamily) HashIndicator(i *big.Int, coords []int) *big.Int {
+	if iv, ok := f.smallSeed(i); ok {
+		var sum uint64
+		for _, j := range coords {
+			if j < 0 || j >= f.m {
+				panic(fmt.Sprintf("hashing: coordinate %d out of range [0,%d)", j, f.m))
+			}
+			sum = (sum + powmodSmall(iv, uint64(j+1), f.pSmall)) % f.pSmall
+		}
+		return new(big.Int).SetUint64(sum)
+	}
 	sum := new(big.Int)
 	e := new(big.Int)
 	for _, j := range coords {
@@ -97,6 +148,25 @@ func (f *LinearFamily) HashRowMatrix(i *big.Int, n, row int, r *bitset.Set) *big
 	}
 	if r.Len() != n {
 		panic(fmt.Sprintf("hashing: row vector of length %d, want %d", r.Len(), n))
+	}
+	if iv, ok := f.smallSeed(i); ok {
+		// Iterate the set bits directly — no coords slice, no big.Int
+		// terms. The coordinates row*n+c are in range by the panics above.
+		// Successive exponents are close together (gaps of a few within one
+		// row), so after the first full powmod each term is the previous
+		// power times i^gap.
+		var sum, cur, prevExp uint64
+		for c := r.NextSet(0); c >= 0; c = r.NextSet(c + 1) {
+			e := uint64(row*n + c + 1)
+			if prevExp == 0 {
+				cur = powmodSmall(iv, e, f.pSmall)
+			} else {
+				cur = cur * powmodSmall(iv, e-prevExp, f.pSmall) % f.pSmall
+			}
+			prevExp = e
+			sum = (sum + cur) % f.pSmall
+		}
+		return new(big.Int).SetUint64(sum)
 	}
 	coords := make([]int, 0, r.Count())
 	for c := r.NextSet(0); c >= 0; c = r.NextSet(c + 1) {
@@ -131,6 +201,26 @@ func (f *LinearFamily) HashDense(i *big.Int, x []int64) *big.Int {
 // AddMod returns (a + b) mod p for this family's modulus: the tree-sum
 // operation used when hash values are aggregated up the spanning tree.
 func (f *LinearFamily) AddMod(a, b *big.Int) *big.Int {
+	if av, ok := f.smallSeed(a); ok {
+		if bv, ok := f.smallSeed(b); ok {
+			// Both below p < 2^32, so the sum cannot overflow.
+			return new(big.Int).SetUint64((av + bv) % f.pSmall)
+		}
+	}
 	s := new(big.Int).Add(a, b)
 	return s.Mod(s, f.p)
+}
+
+// AddModInto is AddMod for accumulation chains: it folds b into dst, which
+// the caller must own exclusively (a fresh hash value, not a decoded message
+// field someone else still reads). Reusing dst's storage keeps tree-sum
+// loops allocation-free on the small-modulus path.
+func (f *LinearFamily) AddModInto(dst, b *big.Int) *big.Int {
+	if av, ok := f.smallSeed(dst); ok {
+		if bv, ok := f.smallSeed(b); ok {
+			return dst.SetUint64((av + bv) % f.pSmall)
+		}
+	}
+	dst.Add(dst, b)
+	return dst.Mod(dst, f.p)
 }

@@ -215,3 +215,65 @@ func TestSeedHelpers(t *testing.T) {
 		t.Fatal("P aliases internal state")
 	}
 }
+
+// bigPathFamily returns a family identical to f except that the uint64
+// fast path is disabled, forcing every evaluation through big.Int.
+func bigPathFamily(t *testing.T, f *LinearFamily) *LinearFamily {
+	t.Helper()
+	g, err := NewLinearFamily(f.M(), f.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.pSmall = 0
+	return g
+}
+
+// TestSmallModulusFastPathMatchesBig cross-checks the uint64 evaluation
+// against the big.Int reference over random seeds, coordinate sets, and
+// row matrices. The two paths must agree bit-for-bit: cached reports are
+// compared byte-identically against cold runs downstream.
+func TestSmallModulusFastPathMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{3, 5, 8, 12} {
+		p, err := prime.ForCubicWindow(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewLinearFamily(n*n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.pSmall == 0 {
+			t.Fatalf("n=%d: cubic-window modulus %v did not take the fast path", n, p)
+		}
+		slow := bigPathFamily(t, fast)
+		for trial := 0; trial < 50; trial++ {
+			i := fast.RandomSeed(rng)
+			coords := make([]int, 0, n)
+			row := bitset.New(n)
+			for c := 0; c < n; c++ {
+				if rng.Intn(2) == 1 {
+					coords = append(coords, rng.Intn(n*n))
+					row.Add(c)
+				}
+			}
+			if got, want := fast.HashIndicator(i, coords), slow.HashIndicator(i, coords); got.Cmp(want) != 0 {
+				t.Fatalf("n=%d HashIndicator(%v, %v) = %v, big path %v", n, i, coords, got, want)
+			}
+			r := rng.Intn(n)
+			got, want := fast.HashRowMatrix(i, n, r, row), slow.HashRowMatrix(i, n, r, row)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("n=%d HashRowMatrix(%v, row %d) = %v, big path %v", n, i, r, got, want)
+			}
+			sum := fast.AddMod(got, want)
+			if sum.Cmp(slow.AddMod(got, want)) != 0 {
+				t.Fatalf("n=%d AddMod mismatch", n)
+			}
+		}
+		// Out-of-range and huge seeds must fall back, still correct.
+		huge := new(big.Int).Add(fast.P(), big.NewInt(5))
+		if got, want := fast.HashIndicator(huge, []int{1, 3}), slow.HashIndicator(huge, []int{1, 3}); got.Cmp(want) != 0 {
+			t.Fatalf("n=%d out-of-range seed: %v vs %v", n, got, want)
+		}
+	}
+}

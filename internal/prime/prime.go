@@ -9,6 +9,7 @@ package prime
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"math/rand"
 )
 
@@ -16,6 +17,79 @@ import (
 // inputs. math/big documents the error probability as at most 4^-rounds;
 // below 2^64 the test is exact for rounds >= 1.
 const probablyPrimeRounds = 30
+
+// isPrime dispatches on operand size: candidates below 2^64 go through the
+// deterministic uint64 Miller-Rabin (primality is a property of the number,
+// so the chosen primes — and everything derived from them — are unchanged;
+// both tests are exact in that range, this one just skips 30 rounds of
+// big.Int exponentiation on the request hot path). Larger candidates keep
+// the big.Int test.
+func isPrime(p *big.Int) bool {
+	if p.IsUint64() {
+		return isPrimeUint64(p.Uint64())
+	}
+	return p.ProbablyPrime(probablyPrimeRounds)
+}
+
+// mulmod64 returns a*b mod m using a 128-bit intermediate. Requires
+// a, b < m; then the high product word is < m, which bits.Div64 needs.
+func mulmod64(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+func powmod64(base, exp, m uint64) uint64 {
+	result := uint64(1) % m
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulmod64(result, base, m)
+		}
+		base = mulmod64(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// isPrimeUint64 is an exact primality test for the full uint64 range:
+// trial division by small primes, then Miller-Rabin with the 12-base set
+// {2,3,...,37}, which is deterministic for all n < 3.3·10^24.
+func isPrimeUint64(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, q := range [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == q {
+			return true
+		}
+		if n%q == 0 {
+			return false
+		}
+	}
+	// n is odd and > 37 here. Write n-1 = d·2^s with d odd.
+	d := n - 1
+	s := bits.TrailingZeros64(d)
+	d >>= uint(s)
+	for _, a := range [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powmod64(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		witness := true
+		for r := 1; r < s; r++ {
+			x = mulmod64(x, x, n)
+			if x == n-1 {
+				witness = false
+				break
+			}
+		}
+		if witness {
+			return false
+		}
+	}
+	return true
+}
 
 // InWindow returns a prime p with lo <= p <= hi, searching upward from a
 // deterministic pseudo-random starting point derived from seed so that
@@ -50,7 +124,7 @@ func InWindow(lo, hi *big.Int, seed int64) (*big.Int, error) {
 			wrapped = true
 			p.Set(start)
 		}
-		if p.ProbablyPrime(probablyPrimeRounds) {
+		if isPrime(p) {
 			return p, nil
 		}
 		p.Add(p, big.NewInt(1))
@@ -109,5 +183,5 @@ func Factorial(n int) *big.Int {
 
 // IsPrime reports whether p is (with overwhelming probability) prime.
 func IsPrime(p *big.Int) bool {
-	return p.ProbablyPrime(probablyPrimeRounds)
+	return isPrime(p)
 }

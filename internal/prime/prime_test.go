@@ -153,3 +153,25 @@ func TestDifferentSeedsCanDiffer(t *testing.T) {
 		t.Fatalf("all seeds produced the same prime: %v", seen)
 	}
 }
+
+func TestIsPrimeUint64MatchesBig(t *testing.T) {
+	// Exhaustive over a small range, then spot checks around the word
+	// boundary and in the cubic windows the request path actually scans.
+	for n := uint64(0); n < 2000; n++ {
+		want := new(big.Int).SetUint64(n).ProbablyPrime(probablyPrimeRounds)
+		if got := isPrimeUint64(n); got != want {
+			t.Fatalf("n=%d: uint64 test says %v, big.Int says %v", n, got, want)
+		}
+	}
+	spots := []uint64{
+		1<<32 - 5, 1<<32 + 15, 2621441, 2621443, 26214400,
+		18446744073709551557, 18446744073709551556, // largest uint64 prime and a neighbor
+		1<<62 + 1, 1<<61 - 1, // 2^61-1 is a Mersenne prime
+	}
+	for _, n := range spots {
+		want := new(big.Int).SetUint64(n).ProbablyPrime(probablyPrimeRounds)
+		if got := isPrimeUint64(n); got != want {
+			t.Fatalf("n=%d: uint64 test says %v, big.Int says %v", n, got, want)
+		}
+	}
+}

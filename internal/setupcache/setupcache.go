@@ -1,0 +1,162 @@
+// Package setupcache memoizes the seed-independent (and, for keyed
+// variants, seed-keyed) setup work of the request path: generated graphs,
+// per-graph artifacts (automorphisms, spanning trees), and constructed
+// protocol instances. Before this layer existed every service request
+// rebuilt the same instance from scratch — for the load-test workload the
+// automorphism search alone was ~40% of each request's CPU.
+//
+// The design rules, in priority order:
+//
+//  1. Correctness over hit rate. Digest-keyed entries carry a verifier:
+//     a candidate whose verifier rejects (a 64-bit collision, or a caller
+//     that mutated a graph after caching) is treated as a miss and the
+//     value is rebuilt — a collision costs a rebuild, never a wrong
+//     answer. Everything cached is a deterministic function of its key
+//     and verified content, so cached and cold paths are bit-identical by
+//     construction (asserted end-to-end by TestCachedRunsByteIdentical in
+//     the root package).
+//  2. Contention-free lookups. Each cache is sharded by key hash; a
+//     lookup takes one shard mutex for a map read. Builds run outside
+//     the lock (an automorphism search can take milliseconds) and
+//     re-check before inserting, so concurrent misses for one key build
+//     twice but cache once.
+//  3. Bounded. Each cache holds at most its capacity, evicting in FIFO
+//     order per shard, and meters hits/misses/evictions/size through
+//     internal/obs so cmd/dipserve can expose them on /metrics.
+package setupcache
+
+import (
+	"sync"
+
+	"dip/internal/obs"
+)
+
+// Key identifies one cached value: a kind tag, up to four integer
+// parameters (sizes, seeds, repetition counts — unused ones stay zero),
+// and a content digest for values keyed by graph content. Keys are
+// comparable and cheap to build on the hot path.
+type Key struct {
+	Kind   string
+	A      int64
+	B      int64
+	C      int64
+	D      int64
+	Digest uint64
+}
+
+const fnvPrime = 1099511628211
+
+func (k Key) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.Kind); i++ {
+		h ^= uint64(k.Kind[i])
+		h *= fnvPrime
+	}
+	for _, x := range [...]uint64{uint64(k.A), uint64(k.B), uint64(k.C), uint64(k.D), k.Digest} {
+		h ^= x
+		h *= fnvPrime
+	}
+	return h
+}
+
+// cacheShards is the lock-striping factor (a power of two). The caches are
+// read-mostly once warm, so a modest factor suffices to keep shard mutexes
+// uncontended next to the millisecond-scale runs between lookups.
+const cacheShards = 8
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[Key]any
+	// order is the FIFO eviction ring of this shard's keys, oldest first.
+	order []Key
+}
+
+// Cache is one named, sharded, bounded memo table.
+type Cache struct {
+	meter  *obs.CacheMeter
+	perCap int
+	shards [cacheShards]cacheShard
+}
+
+// New returns a cache registered under name holding at most capacity
+// entries (rounded up to one per shard).
+func New(name string, capacity int) *Cache {
+	perCap := capacity / cacheShards
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &Cache{meter: obs.Cache(name), perCap: perCap}
+	c.meter.Capacity.Set(int64(perCap * cacheShards))
+	return c
+}
+
+// Do returns the value cached under key, building and caching it on a
+// miss. verify, when non-nil, must confirm a candidate actually matches
+// the caller's inputs (digest keys are not injective); a rejected
+// candidate is rebuilt and the cached entry left in place. build errors
+// are returned without caching.
+func (c *Cache) Do(key Key, verify func(v any) bool, build func() (any, error)) (any, error) {
+	sh := &c.shards[key.hash()&(cacheShards-1)]
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok && (verify == nil || verify(v)) {
+		c.meter.Hits.Add(1)
+		return v, nil
+	}
+	c.meter.Misses.Add(1)
+	built, err := build()
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.m[key]; ok {
+		// Raced with another builder, or a verified collision holds the
+		// slot: prefer the incumbent when it matches (bounding memory),
+		// otherwise serve our build uncached.
+		if verify == nil || verify(cur) {
+			return cur, nil
+		}
+		return built, nil
+	}
+	if sh.m == nil {
+		sh.m = make(map[Key]any, c.perCap)
+	}
+	if len(sh.m) >= c.perCap {
+		oldest := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.m, oldest)
+		c.meter.Evictions.Add(1)
+		c.meter.Size.Add(-1)
+	}
+	sh.m[key] = built
+	sh.order = append(sh.order, key)
+	c.meter.Size.Add(1)
+	return built, nil
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Reset drops every entry (tests and cold-path baselines).
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		removed := len(sh.m)
+		sh.m = nil
+		sh.order = nil
+		sh.mu.Unlock()
+		c.meter.Size.Add(-int64(removed))
+	}
+}

@@ -31,7 +31,14 @@ func WidthFor(n int) int {
 // WidthForBig is WidthFor for big domains: the number of bits needed to
 // represent every value in [0, n).
 func WidthForBig(n *big.Int) int {
-	if n.Sign() <= 0 || n.Cmp(big.NewInt(1)) == 0 {
+	if n.IsUint64() {
+		u := n.Uint64()
+		if u <= 1 {
+			return 0
+		}
+		return bits.Len64(u - 1)
+	}
+	if n.Sign() <= 0 {
 		return 0
 	}
 	m := new(big.Int).Sub(n, big.NewInt(1))
@@ -62,6 +69,26 @@ func (w *Writer) writeBit(b bool) {
 // WriteBool appends one bit.
 func (w *Writer) WriteBool(b bool) { w.writeBit(b) }
 
+// writeChunk appends the low width bits of v (width ≤ 64), LSB first,
+// filling whole bytes at a time. It produces exactly the bit stream the
+// per-bit loop would: bit i of v lands at stream position nbit+i.
+func (w *Writer) writeChunk(v uint64, width int) {
+	for width > 0 {
+		off := w.nbit & 7
+		if off == 0 {
+			w.data = append(w.data, 0)
+		}
+		take := 8 - off
+		if take > width {
+			take = width
+		}
+		w.data[w.nbit>>3] |= byte(v&(1<<take-1)) << off
+		v >>= uint(take)
+		w.nbit += take
+		width -= take
+	}
+}
+
 // WriteUint appends v using exactly width bits, least-significant bit first.
 // It panics if v does not fit in width bits: callers size fields from the
 // domain, so overflow is a programming error.
@@ -72,9 +99,7 @@ func (w *Writer) WriteUint(v uint64, width int) {
 	if width < 64 && v>>uint(width) != 0 {
 		panic(fmt.Sprintf("wire: value %d does not fit in %d bits", v, width))
 	}
-	for i := 0; i < width; i++ {
-		w.writeBit(v&(1<<uint(i)) != 0)
-	}
+	w.writeChunk(v, width)
 }
 
 // WriteInt appends a non-negative int using exactly width bits.
@@ -94,6 +119,26 @@ func (w *Writer) WriteBig(v *big.Int, width int) {
 	if v.BitLen() > width {
 		panic(fmt.Sprintf("wire: big value of %d bits does not fit in %d bits", v.BitLen(), width))
 	}
+	if v.IsUint64() {
+		w.writeChunk(v.Uint64(), width)
+		return
+	}
+	if bits.UintSize == 64 {
+		// 64-bit Words align exactly with 64-bit chunks of the stream.
+		words := v.Bits()
+		for i := 0; i < width; i += 64 {
+			var chunk uint64
+			if i/64 < len(words) {
+				chunk = uint64(words[i/64])
+			}
+			take := width - i
+			if take > 64 {
+				take = 64
+			}
+			w.writeChunk(chunk, take)
+		}
+		return
+	}
 	for i := 0; i < width; i++ {
 		w.writeBit(v.Bit(i) == 1)
 	}
@@ -101,8 +146,12 @@ func (w *Writer) WriteBig(v *big.Int, width int) {
 
 // WriteBits appends raw bits from another encoded message.
 func (w *Writer) WriteBits(data []byte, nbit int) {
-	for i := 0; i < nbit; i++ {
-		w.writeBit(data[i/8]&(1<<(uint(i)%8)) != 0)
+	i := 0
+	for ; i+8 <= nbit; i += 8 {
+		w.writeChunk(uint64(data[i>>3]), 8)
+	}
+	if rem := nbit - i; rem > 0 {
+		w.writeChunk(uint64(data[i>>3])&(1<<rem-1), rem)
 	}
 }
 
@@ -157,22 +206,35 @@ func (r *Reader) readBit() (bool, error) {
 // ReadBool reads one bit.
 func (r *Reader) ReadBool() (bool, error) { return r.readBit() }
 
+// readChunk reads width bits (width ≤ 64, availability already checked by
+// the caller) a byte at a time, LSB first — the exact inverse of writeChunk.
+func (r *Reader) readChunk(width int) uint64 {
+	var v uint64
+	shift := 0
+	for width > 0 {
+		off := r.pos & 7
+		take := 8 - off
+		if take > width {
+			take = width
+		}
+		v |= uint64(r.data[r.pos>>3]>>off&(1<<take-1)) << shift
+		shift += take
+		r.pos += take
+		width -= take
+	}
+	return v
+}
+
 // ReadUint reads a width-bit unsigned value.
 func (r *Reader) ReadUint(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		return 0, fmt.Errorf("wire: invalid width %d", width)
 	}
-	var v uint64
-	for i := 0; i < width; i++ {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		if b {
-			v |= 1 << uint(i)
-		}
+	if r.pos+width > r.nbit {
+		r.pos = r.nbit // consume the tail, as the per-bit loop would
+		return 0, ErrShortMessage
 	}
-	return v, nil
+	return r.readChunk(width), nil
 }
 
 // ReadInt reads a width-bit value as an int.
@@ -189,17 +251,24 @@ func (r *Reader) ReadInt(width int) (int, error) {
 
 // ReadBig reads a width-bit value as a big integer.
 func (r *Reader) ReadBig(width int) (*big.Int, error) {
-	v := new(big.Int)
-	for i := 0; i < width; i++ {
-		b, err := r.readBit()
-		if err != nil {
-			return nil, err
-		}
-		if b {
-			v.SetBit(v, i, 1)
-		}
+	if width < 0 || r.pos+width > r.nbit {
+		r.pos = r.nbit
+		return nil, ErrShortMessage
 	}
-	return v, nil
+	if width <= 64 {
+		return new(big.Int).SetUint64(r.readChunk(width)), nil
+	}
+	// Wide values (Protocol 2's Θ(n log n)-bit hashes): assemble the bytes
+	// big-endian for one SetBytes call instead of width SetBit calls.
+	buf := make([]byte, (width+7)/8)
+	for j := 0; j < len(buf); j++ { // chunk j carries value bits [8j, 8j+take)
+		take := 8
+		if j == len(buf)-1 && width%8 != 0 {
+			take = width % 8
+		}
+		buf[len(buf)-1-j] = byte(r.readChunk(take))
+	}
+	return new(big.Int).SetBytes(buf), nil
 }
 
 // Done returns an error unless every bit of the message has been consumed.

@@ -182,39 +182,45 @@ func finish(ctx context.Context, name string, spec *network.Spec, g *graph.Graph
 }
 
 func runSymDMAM(ctx context.Context, req *Request) (Report, error) {
-	g, err := buildGraph(req.N, req.Edges)
+	g, err := cachedGraph(req.N, req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewSymDMAM(req.N, req.Options.Seed)
+	v, err := cachedProtocol("proto/sym-dmam", int64(req.N), 0, 0, req.Options.Seed,
+		func() (any, error) { return core.NewSymDMAM(req.N, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.SymDMAM)
 	return finish(ctx, "sym-dmam", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
 func runSymDAM(ctx context.Context, req *Request) (Report, error) {
-	g, err := buildGraph(req.N, req.Edges)
+	g, err := cachedGraph(req.N, req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewSymDAM(req.N, req.Options.Seed)
+	v, err := cachedProtocol("proto/sym-dam", int64(req.N), 0, 0, req.Options.Seed,
+		func() (any, error) { return core.NewSymDAM(req.N, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.SymDAM)
 	return finish(ctx, "sym-dam", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
 func runDSymDAM(ctx context.Context, req *Request) (Report, error) {
-	proto, err := core.NewDSymDAM(req.Side, req.Half, req.Options.Seed)
+	v, err := cachedProtocol("proto/dsym-dam", int64(req.Side), int64(req.Half), 0, req.Options.Seed,
+		func() (any, error) { return core.NewDSymDAM(req.Side, req.Half, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.DSymDAM)
 	if req.N != 0 && req.N != proto.N() {
 		return Report{}, fmt.Errorf("dip: dsym-dam with side=%d half=%d has %d vertices, request says n=%d",
 			req.Side, req.Half, proto.N(), req.N)
 	}
-	g, err := buildGraph(proto.N(), req.Edges)
+	g, err := cachedGraph(proto.N(), req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
@@ -222,35 +228,39 @@ func runDSymDAM(ctx context.Context, req *Request) (Report, error) {
 }
 
 func runSymLCP(ctx context.Context, req *Request) (Report, error) {
-	g, err := buildGraph(req.N, req.Edges)
+	g, err := cachedGraph(req.N, req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewSymLCP(req.N)
+	v, err := cachedProtocol("proto/sym-lcp", int64(req.N), 0, 0, 0,
+		func() (any, error) { return core.NewSymLCP(req.N) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.SymLCP)
 	return finish(ctx, "sym-lcp", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
 func runSymRPLS(ctx context.Context, req *Request) (Report, error) {
-	g, err := buildGraph(req.N, req.Edges)
+	g, err := cachedGraph(req.N, req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewSymRPLS(req.N, req.Options.Seed)
+	v, err := cachedProtocol("proto/sym-rpls", int64(req.N), 0, 0, req.Options.Seed,
+		func() (any, error) { return core.NewSymRPLS(req.N, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.SymRPLS)
 	return finish(ctx, "sym-rpls", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
 // buildGNIPair validates both edge lists of a GNI request.
 func buildGNIPair(req *Request) (g0, g1 *graph.Graph, err error) {
-	if g0, err = buildGraph(req.N, req.Edges); err != nil {
+	if g0, err = cachedGraph(req.N, req.Edges); err != nil {
 		return nil, nil, err
 	}
-	if g1, err = buildGraph(req.N, req.Edges1); err != nil {
+	if g1, err = cachedGraph(req.N, req.Edges1); err != nil {
 		return nil, nil, err
 	}
 	return g0, g1, nil
@@ -265,10 +275,12 @@ func runGNIDAMAM(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewGNIDAMAM(req.N, k, req.Options.Seed)
+	v, err := cachedProtocol("proto/gni-damam", int64(req.N), int64(k), 0, req.Options.Seed,
+		func() (any, error) { return core.NewGNIDAMAM(req.N, k, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.GNIDAMAM)
 	return finishGNI(ctx, "gni-damam", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
@@ -281,10 +293,12 @@ func runGNIGeneral(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewGNIGeneral(req.N, k, req.Options.Seed)
+	v, err := cachedProtocol("proto/gni-general", int64(req.N), int64(k), 0, req.Options.Seed,
+		func() (any, error) { return core.NewGNIGeneral(req.N, k, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.GNIGeneral)
 	return finishGNI(ctx, "gni-general", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
@@ -293,15 +307,17 @@ func runGNILCP(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewGNILCP(req.N)
+	v, err := cachedProtocol("proto/gni-lcp", int64(req.N), 0, 0, 0,
+		func() (any, error) { return core.NewGNILCP(req.N) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.GNILCP)
 	return finishGNI(ctx, "gni-lcp", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
 func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
-	g, err := buildGraph(req.N, req.Edges)
+	g, err := cachedGraph(req.N, req.Edges)
 	if err != nil {
 		return Report{}, err
 	}
@@ -327,10 +343,12 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	proto, err := core.NewMarkedGNI(req.N, k, reps, req.Options.Seed)
+	v, err := cachedProtocol("proto/gni-marked", int64(req.N), int64(k), int64(reps), req.Options.Seed,
+		func() (any, error) { return core.NewMarkedGNI(req.N, k, reps, req.Options.Seed) })
 	if err != nil {
 		return Report{}, err
 	}
+	proto := v.(*core.MarkedGNI)
 	inputs, err := core.EncodeMarks(coreMarks)
 	if err != nil {
 		return Report{}, err

@@ -1,0 +1,98 @@
+package dip
+
+import (
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/setupcache"
+)
+
+// The request path memoizes its two setup stages here: validated graphs
+// (keyed by vertex count and edge-list digest) and constructed protocol
+// instances (keyed by name and every constructor parameter, including the
+// seed — prime search is seed-dependent). Both caches hold values that are
+// immutable after construction, so concurrent requests share them freely;
+// both verify or exactly match their inputs, so a cached request is
+// byte-identical to a cold one (TestCachedRunsByteIdentical pins this).
+var (
+	graphCache = setupcache.New("graphs", 64)
+	protoCache = setupcache.New("protocols", 128)
+)
+
+// graphEntry pairs the cached graph with the exact edge list that built
+// it, so a digest collision (or a semantically different ordering that
+// happens to collide) is detected and rebuilt rather than served.
+type graphEntry struct {
+	n     int
+	edges [][2]int
+	g     *graph.Graph
+}
+
+func (e *graphEntry) matches(n int, edges [][2]int) bool {
+	if e.n != n || len(e.edges) != len(edges) {
+		return false
+	}
+	for i, ed := range edges {
+		if e.edges[i] != ed {
+			return false
+		}
+	}
+	return true
+}
+
+func edgesDigest(edges [][2]int) uint64 {
+	const fnvPrime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, e := range edges {
+		h ^= uint64(e[0])
+		h *= fnvPrime
+		h ^= uint64(e[1])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// cachedGraph is buildGraph behind the graphs cache. The returned graph is
+// shared across requests and must be treated read-only (the engine and
+// every prover already do).
+func cachedGraph(n int, edges [][2]int) (*graph.Graph, error) {
+	key := setupcache.Key{
+		Kind:   "graph",
+		A:      int64(n),
+		B:      int64(len(edges)),
+		Digest: edgesDigest(edges),
+	}
+	v, err := graphCache.Do(key,
+		func(v any) bool { return v.(*graphEntry).matches(n, edges) },
+		func() (any, error) {
+			g, err := buildGraph(n, edges)
+			if err != nil {
+				return nil, err
+			}
+			cp := make([][2]int, len(edges))
+			copy(cp, edges)
+			return &graphEntry{n: n, edges: cp, g: g}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graphEntry).g, nil
+}
+
+// cachedProtocol memoizes one protocol constructor call. The key carries
+// every constructor argument, so no verifier is needed: equal keys mean
+// equal (deterministically constructed) instances.
+func cachedProtocol(kind string, a, b, c, seed int64, build func() (any, error)) (any, error) {
+	key := setupcache.Key{Kind: kind, A: a, B: b, C: c, D: seed}
+	return protoCache.Do(key, nil, build)
+}
+
+// ResetSetupCaches drops every request-path memo: graphs, protocol
+// instances, per-graph artifacts (automorphisms, spanning trees) and
+// compiled round scripts. Tests use it to compare cold and warm runs; a
+// server never needs it.
+func ResetSetupCaches() {
+	graphCache.Reset()
+	protoCache.Reset()
+	setupcache.ResetAll()
+	network.ResetScriptCache()
+}
