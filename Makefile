@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
 # smoke round-trip, a short mutation burst on every decoder fuzz target,
 # a fault-matrix smoke run, a live service round-trip (dipserve under
-# dipload, drained cleanly), and a plain+batch load round-trip with a
-# leak check on the drained service.
-verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check
+# dipload, drained cleanly), a plain+batch load round-trip with a
+# leak check on the drained service, and an adversarial chaos session
+# against the live service (dipload -chaos).
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -43,9 +44,12 @@ smoke:
 # invocation, hence the loop).
 FUZZ_TIME ?= 2s
 fuzz-short:
-	@for target in FuzzReader FuzzRoundTrip FuzzSymDecoders FuzzDSymDecoder FuzzGNIDecoders FuzzLCPDecoders; do \
+	@for target in FuzzReader FuzzRoundTrip FuzzSymDecoders FuzzDSymDecoder FuzzGNIDecoders FuzzLCPDecoders FuzzWireReport FuzzRequestDecode; do \
 		pkg=./internal/core; \
-		case $$target in FuzzReader|FuzzRoundTrip) pkg=./internal/wire;; esac; \
+		case $$target in \
+			FuzzReader|FuzzRoundTrip) pkg=./internal/wire;; \
+			FuzzWireReport|FuzzRequestDecode) pkg=.;; \
+		esac; \
 		$(GO) test -run xxx -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) $$pkg || exit 1; \
 	done
 
@@ -102,6 +106,31 @@ load-check:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve.log; exit 1; }; \
 	echo "load-check: ok"
+
+# chaos-smoke hardens the serving boundary: boot dipserve on an ephemeral
+# port (with a generous rate limit so well-behaved smoke traffic is never
+# quota-refused), fire a seed-deterministic adversarial session through
+# `dipload -chaos` — malformed/truncated/oversized bodies, slowloris
+# drips, disconnects, garbage framing — then require a clean SIGTERM
+# drain and a panic-free server log. dipload itself gates on structured
+# 4xx/5xx answers, drained gauges, and a settled goroutine count.
+chaos-smoke:
+	@dir=$$(mktemp -d /tmp/dip-chaos-smoke.XXXXXX); \
+	$(GO) build -o $$dir/dipserve ./cmd/dipserve || exit 1; \
+	$(GO) build -o $$dir/dipload ./cmd/dipload || exit 1; \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 4 -queue 16 -rate-limit 500 >$$dir/serve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never bound"; cat $$dir/serve.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -chaos 120 -c 6 -seed 1 || { cat $$dir/serve.log; exit 1; }; \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 16 -c 2 -requests 20 -seed 2 >/dev/null || { echo "post-chaos load failed"; cat $$dir/serve.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "dipserve exited non-zero after chaos"; cat $$dir/serve.log; exit 1; }; \
+	grep -q drained $$dir/serve.log || { echo "no drain marker in log"; cat $$dir/serve.log; exit 1; }; \
+	if grep -qi panic $$dir/serve.log; then echo "panic in server log"; cat $$dir/serve.log; exit 1; fi; \
+	echo "chaos-smoke: ok"
 
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:

@@ -38,6 +38,7 @@ type options struct {
 	clients   int
 	requests  int
 	batch     int
+	chaos     int
 	seed      int64
 	wait      time.Duration
 	jsonPath  string
@@ -63,6 +64,7 @@ func main() {
 	flag.IntVar(&o.clients, "c", 8, "concurrent clients")
 	flag.IntVar(&o.requests, "requests", 2000, "total requests")
 	flag.IntVar(&o.batch, "batch", 0, "send batches of this many same-protocol requests through /v1/batch (0 = one request per body)")
+	flag.IntVar(&o.chaos, "chaos", 0, "chaos mode: fire this many adversarial HTTP exchanges (seed-deterministic scenarios) instead of a load run, then gate on service health")
 	flag.Int64Var(&o.seed, "seed", 1, "base seed (request i uses DeriveSeed(seed, i))")
 	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the service to report ready")
 	flag.StringVar(&o.jsonPath, "json", "", "write dip-load/v1 results to this file")
@@ -80,22 +82,35 @@ func main() {
 		}
 		o.protocols = append(o.protocols, p)
 	}
-	if len(o.protocols) == 0 || o.n < 3 || o.clients < 1 || o.requests < 1 || o.batch < 0 {
-		fmt.Fprintln(os.Stderr, "dipload: need at least one protocol, -n >= 3, -c >= 1, -requests >= 1, -batch >= 0")
+	if len(o.protocols) == 0 || o.n < 3 || o.clients < 1 || o.requests < 1 || o.batch < 0 || o.chaos < 0 {
+		fmt.Fprintln(os.Stderr, "dipload: need at least one protocol, -n >= 3, -c >= 1, -requests >= 1, -batch >= 0, -chaos >= 0")
 		os.Exit(2)
 	}
 
+	if o.chaos > 0 {
+		if err := runChaos(o); err != nil {
+			fmt.Fprintf(os.Stderr, "dipload: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "dipload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// protoStats collects one protocol's outcomes across workers.
+// protoStats collects one protocol's outcomes across workers. The four
+// outcome classes are disjoint: errors are protocol/service failures,
+// exhausted are retry budgets spent against 503s (overload, not
+// failure), dropped are transport losses; completed = requests -
+// errors - exhausted - dropped.
 type protoStats struct {
 	mu        sync.Mutex
 	requests  int
 	errors    int
+	exhausted int
+	dropped   int
 	latencies []time.Duration
 	// batchLatencies holds whole-batch round trips in -batch mode;
 	// latencies then holds the per-request approximation (batch latency
@@ -156,7 +171,7 @@ func run(o options) error {
 		}
 	}
 
-	var next, retries, dropped, errs atomic.Int64
+	var next, retries, dropped, errs, exhausted atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < o.clients; w++ {
@@ -172,13 +187,23 @@ func run(o options) error {
 					job := batches[i]
 					ps := perProto[job.proto]
 					reqStart := time.Now()
-					good, retried, droppedConn := fireBatch(client, o.url, job.body, job.count)
+					good, out, retried := fireBatch(client, o.url, job.body, job.count)
 					lat := time.Since(reqStart)
 					retries.Add(retried)
-					if droppedConn {
-						dropped.Add(1)
+					// All counters are per-item: one batch body carries
+					// job.count requests, so a dropped or exhausted batch
+					// moves its class by job.count, never by 1.
+					var bad, spent, lost int
+					switch out {
+					case fireOK:
+						bad = job.count - good
+					case fireExhausted:
+						spent = job.count
+					case fireDropped:
+						lost = job.count
+					default:
+						bad = job.count - good
 					}
-					bad := job.count - good
 					// Per-request latency approximation: the batch round
 					// trip spread evenly over its items (retry waits
 					// included, like every plain-mode sample).
@@ -186,12 +211,16 @@ func run(o options) error {
 					ps.mu.Lock()
 					ps.requests += job.count
 					ps.errors += bad
+					ps.exhausted += spent
+					ps.dropped += lost
 					ps.batchLatencies = append(ps.batchLatencies, lat)
 					for k := 0; k < job.count; k++ {
 						ps.latencies = append(ps.latencies, per)
 					}
 					ps.mu.Unlock()
 					errs.Add(int64(bad))
+					exhausted.Add(int64(spent))
+					dropped.Add(int64(lost))
 				}
 			}
 			for {
@@ -202,21 +231,28 @@ func run(o options) error {
 				proto := o.protocols[int(i)%len(o.protocols)]
 				ps := perProto[proto]
 				reqStart := time.Now()
-				ok, retried, droppedConn := fire(client, o.url, bodies[i])
+				out, retried := fire(client, o.url, bodies[i])
 				lat := time.Since(reqStart)
 				retries.Add(retried)
-				if droppedConn {
-					dropped.Add(1)
-				}
 				ps.mu.Lock()
 				ps.requests++
-				if !ok {
+				switch out {
+				case fireErr:
 					ps.errors++
+				case fireExhausted:
+					ps.exhausted++
+				case fireDropped:
+					ps.dropped++
 				}
 				ps.latencies = append(ps.latencies, lat)
 				ps.mu.Unlock()
-				if !ok {
+				switch out {
+				case fireErr:
 					errs.Add(1)
+				case fireExhausted:
+					exhausted.Add(1)
+				case fireDropped:
+					dropped.Add(1)
 				}
 			}
 		}()
@@ -233,12 +269,13 @@ func run(o options) error {
 	sort.Strings(names)
 	for _, name := range names {
 		ps := perProto[name]
-		good := ps.requests - ps.errors
+		good := ps.requests - ps.errors - ps.exhausted - ps.dropped
 		completed += good
 		pr := experiments.LoadProtocolResult{
 			Protocol:      name,
 			Requests:      good,
 			Errors:        ps.errors,
+			Exhausted:     ps.exhausted,
 			ThroughputRPS: float64(good) / wall.Seconds(),
 			LatencyMS:     experiments.SummarizeLatencies(ps.latencies),
 		}
@@ -257,6 +294,7 @@ func run(o options) error {
 		Concurrency:   o.clients,
 		Requests:      completed,
 		Errors:        int(errs.Load()),
+		Exhausted:     int(exhausted.Load()),
 		Retries:       int(retries.Load()),
 		Dropped:       int(dropped.Load()),
 		WallMS:        float64(wall) / float64(time.Millisecond),
@@ -284,9 +322,9 @@ func run(o options) error {
 		return err
 	}
 
-	fmt.Printf("dipload: %d requests in %v (%.1f req/s, c=%d), %d errors, %d retries, %d dropped\n",
+	fmt.Printf("dipload: %d requests in %v (%.1f req/s, c=%d), %d errors, %d exhausted, %d retries, %d dropped\n",
 		completed, wall.Round(time.Millisecond), results.ThroughputRPS, o.clients,
-		results.Errors, results.Retries, results.Dropped)
+		results.Errors, results.Exhausted, results.Retries, results.Dropped)
 	for _, pr := range results.Protocols {
 		fmt.Printf("  %-10s %5d ok  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  max %6.2fms\n",
 			pr.Protocol, pr.Requests, pr.LatencyMS.P50, pr.LatencyMS.P95, pr.LatencyMS.P99, pr.LatencyMS.Max)
@@ -307,31 +345,49 @@ func run(o options) error {
 	return nil
 }
 
+// fireOutcome classifies one request's fate. The classes matter because
+// they answer different questions: fireErr means the service (or its
+// answer) is wrong, fireExhausted means it is merely overloaded — its
+// every 503 was a correct admission answer — and fireDropped means the
+// transport failed underneath the exchange.
+type fireOutcome int
+
+const (
+	fireOK fireOutcome = iota
+	fireErr
+	fireExhausted
+	fireDropped
+)
+
 // fire sends one run request, retrying 503 admission overflows with a
-// short backoff. ok reports a decoded 200; retried counts overflow
-// round-trips; droppedConn reports a transport-level failure.
-func fire(client *http.Client, url string, body []byte) (ok bool, retried int64, droppedConn bool) {
+// short backoff; retried counts the overflow round-trips. An exhausted
+// retry budget is its own outcome, not an error: 50 polite 503s are a
+// capacity statement, not a protocol failure.
+func fire(client *http.Client, url string, body []byte) (out fireOutcome, retried int64) {
 	const maxAttempts = 50
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		resp, err := client.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return false, retried, true
+			return fireDropped, retried
 		}
 		switch resp.StatusCode {
 		case http.StatusOK:
 			_, derr := dip.DecodeWireReport(resp.Body)
 			drain(resp)
-			return derr == nil, retried, false
+			if derr != nil {
+				return fireErr, retried
+			}
+			return fireOK, retried
 		case http.StatusServiceUnavailable:
 			drain(resp)
 			retried++
 			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
 		default:
 			drain(resp)
-			return false, retried, false
+			return fireErr, retried
 		}
 	}
-	return false, retried, false
+	return fireExhausted, retried
 }
 
 // drain reads the body to EOF and closes it, so the transport can return
@@ -411,14 +467,15 @@ func buildBatches(o options) ([]batchJob, error) {
 }
 
 // fireBatch sends one batch body, retrying 503 overflows like fire. good
-// counts elements that decoded as dip-report/v1 documents; a transport
-// failure reports the whole batch failed.
-func fireBatch(client *http.Client, url string, body []byte, count int) (good int, retried int64, droppedConn bool) {
+// counts elements that decoded as dip-report/v1 documents (meaningful
+// only for fireOK); the outcome classifies the whole batch, and the
+// caller charges it per item.
+func fireBatch(client *http.Client, url string, body []byte, count int) (good int, out fireOutcome, retried int64) {
 	const maxAttempts = 50
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		resp, err := client.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return 0, retried, true
+			return 0, fireDropped, retried
 		}
 		switch resp.StatusCode {
 		case http.StatusOK:
@@ -426,22 +483,22 @@ func fireBatch(client *http.Client, url string, body []byte, count int) (good in
 			derr := json.NewDecoder(resp.Body).Decode(&elems)
 			drain(resp)
 			if derr != nil || len(elems) != count {
-				return 0, retried, false
+				return 0, fireErr, retried
 			}
 			for _, e := range elems {
 				if _, err := dip.DecodeWireReport(bytes.NewReader(e)); err == nil {
 					good++
 				}
 			}
-			return good, retried, false
+			return good, fireOK, retried
 		case http.StatusServiceUnavailable:
 			drain(resp)
 			retried++
 			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
 		default:
 			drain(resp)
-			return 0, retried, false
+			return 0, fireErr, retried
 		}
 	}
-	return 0, retried, false
+	return 0, fireExhausted, retried
 }

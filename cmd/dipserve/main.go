@@ -40,6 +40,8 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body", cfg.maxBody, "request body cap in bytes")
 	flag.DurationVar(&cfg.drain, "drain-timeout", cfg.drain, "graceful shutdown bound")
 	flag.StringVar(&cfg.addrFile, "addr-file", cfg.addrFile, "write the bound address to this file once listening")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", cfg.rateLimit, "per-client requests/second budget; batch items count individually (0 disables)")
+	flag.IntVar(&cfg.rateBurst, "rate-burst", cfg.rateBurst, "per-client token-bucket capacity (0 derives one second of budget)")
 	flag.Parse()
 
 	if err := serve(cfg); err != nil {

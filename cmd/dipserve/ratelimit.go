@@ -1,0 +1,120 @@
+package main
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter (stdlib only — the
+// container bakes no external deps). Each client identity owns a bucket
+// of capacity burst that refills at rate tokens per second; admitting a
+// request spends one token, a batch spends one per item. Buckets live
+// in one map under one mutex: the admission path is two float ops and a
+// map lookup, far below the cost of the JSON decode that follows it.
+type limiter struct {
+	rate  float64
+	burst float64
+	// now is injectable so tests can drive the clock.
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map: an adversary cycling spoofed
+// identities must not grow server memory without bound. When the map is
+// full, saturated (i.e. fully refilled, information-free) buckets are
+// evicted; if every bucket is mid-drain the newcomer is refused, which
+// fails toward protecting the service.
+const maxClients = 4096
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst <= 0 {
+		// Default burst: one second of budget, floor 1, so "-rate-limit
+		// 0.5" still admits a first request immediately.
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends cost tokens from key's bucket. When refused, retryAfter
+// is how long until the bucket holds enough tokens. A cost above the
+// bucket capacity is clamped to it: an over-burst batch drains the full
+// bucket rather than being unservable forever.
+func (l *limiter) allow(key string, cost int) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	need := float64(cost)
+	if need > l.burst {
+		need = l.burst
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxClients && !l.evictSaturated(now) {
+			return false, time.Second
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	return false, time.Duration((need - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictSaturated removes every bucket that has refilled to capacity by
+// now (dropping one is indistinguishable from keeping it). Reports
+// whether any slot was freed. Caller holds mu.
+func (l *limiter) evictSaturated(now time.Time) bool {
+	freed := false
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+			freed = true
+		}
+	}
+	return freed
+}
+
+// clientKey is the client identity the limiter buckets by: the host
+// part of the remote address, so every connection (and port) of one
+// client shares a budget.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a wait as a Retry-After value: whole
+// seconds, rounded up, at least 1 (a zero would invite an immediate,
+// certain-to-fail retry).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

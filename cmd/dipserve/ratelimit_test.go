@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestLimiter(rate float64, burst int) (*limiter, *fakeClock) {
+	l := newLimiter(rate, burst)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+// TestLimiterBurstThenRefill: a fresh bucket admits its full burst, then
+// refuses until the refill rate has restored a token.
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, clock := newTestLimiter(2, 4)
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("a", 1); !ok {
+			t.Fatalf("request %d of burst refused", i)
+		}
+	}
+	ok, retry := l.allow("a", 1)
+	if ok {
+		t.Fatal("admitted past the burst with no time elapsed")
+	}
+	// Empty bucket at 2 tokens/s: one token is 500ms away.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]", retry)
+	}
+	clock.advance(500 * time.Millisecond)
+	if ok, _ := l.allow("a", 1); !ok {
+		t.Fatal("refused after the refill interval")
+	}
+	// And the bucket never refills past its capacity.
+	clock.advance(time.Hour)
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("a", 1); !ok {
+			t.Fatalf("request %d refused after a long idle", i)
+		}
+	}
+	if ok, _ := l.allow("a", 1); ok {
+		t.Fatal("burst capacity not enforced after idle refill")
+	}
+}
+
+// TestLimiterPerClientIsolation: one client draining its bucket does not
+// touch another's budget.
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l, _ := newTestLimiter(1, 2)
+	l.allow("a", 1)
+	l.allow("a", 1)
+	if ok, _ := l.allow("a", 1); ok {
+		t.Fatal("client a not exhausted")
+	}
+	if ok, _ := l.allow("b", 1); !ok {
+		t.Fatal("client b charged for client a's traffic")
+	}
+}
+
+// TestLimiterBatchCost: a batch spends one token per item, and a batch
+// larger than the burst capacity is clamped — it drains the full bucket
+// instead of being unservable forever.
+func TestLimiterBatchCost(t *testing.T) {
+	l, clock := newTestLimiter(1, 4)
+	if ok, _ := l.allow("a", 3); !ok {
+		t.Fatal("batch of 3 refused against burst 4")
+	}
+	if ok, _ := l.allow("a", 3); ok {
+		t.Fatal("second batch of 3 admitted with 1 token left")
+	}
+	// Over-burst clamp: after a full refill, a batch of 100 against
+	// capacity 4 is admitted once (draining the bucket), not refused
+	// until the end of time.
+	clock.advance(time.Minute)
+	if ok, _ := l.allow("a", 100); !ok {
+		t.Fatal("over-burst batch refused despite a full bucket")
+	}
+	if ok, _ := l.allow("a", 1); ok {
+		t.Fatal("bucket not drained by the clamped batch")
+	}
+}
+
+// TestLimiterEviction: the bucket map is bounded; saturated buckets make
+// room for newcomers, and when every bucket is mid-drain the newcomer is
+// refused (failing toward protecting the service).
+func TestLimiterEviction(t *testing.T) {
+	l, clock := newTestLimiter(1, 1)
+	for i := 0; i < maxClients; i++ {
+		if ok, _ := l.allow(fmt.Sprintf("client-%d", i), 1); !ok {
+			t.Fatalf("client %d refused while filling the map", i)
+		}
+	}
+	// Every bucket just drained: the newcomer must be refused, not grow
+	// the map.
+	if ok, _ := l.allow("newcomer", 1); ok {
+		t.Fatal("newcomer admitted with the map full of draining buckets")
+	}
+	if len(l.buckets) > maxClients {
+		t.Fatalf("bucket map grew to %d, bound %d", len(l.buckets), maxClients)
+	}
+	// After the refill interval every old bucket is saturated and
+	// evictable; the newcomer gets a slot.
+	clock.advance(2 * time.Second)
+	if ok, _ := l.allow("newcomer", 1); !ok {
+		t.Fatal("newcomer refused although every bucket was saturated")
+	}
+	if len(l.buckets) > maxClients {
+		t.Fatalf("bucket map grew to %d after eviction, bound %d", len(l.buckets), maxClients)
+	}
+}
+
+// TestRetryAfterSeconds: whole seconds, rounded up, never zero.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestClientKey: the bucket identity is the host, so every port of one
+// client shares a budget, and an unparseable RemoteAddr degrades to the
+// raw string rather than a shared bucket.
+func TestClientKey(t *testing.T) {
+	r := &http.Request{RemoteAddr: "10.1.2.3:55001"}
+	if got := clientKey(r); got != "10.1.2.3" {
+		t.Fatalf("clientKey = %q", got)
+	}
+	r2 := &http.Request{RemoteAddr: "10.1.2.3:55999"}
+	if clientKey(r) != clientKey(r2) {
+		t.Fatal("two ports of one host got distinct buckets")
+	}
+	weird := &http.Request{RemoteAddr: "pipe"}
+	if got := clientKey(weird); got != "pipe" {
+		t.Fatalf("clientKey(unparseable) = %q", got)
+	}
+}

@@ -38,6 +38,12 @@ type config struct {
 	// addrFile, when set, receives the actual listen address once bound
 	// (supports port 0 in tests and smoke runs).
 	addrFile string
+	// rateLimit is the per-client admission budget in requests per second
+	// (batch items count individually); 0 disables rate limiting.
+	rateLimit float64
+	// rateBurst is the token-bucket capacity per client; 0 derives a
+	// default from rateLimit.
+	rateBurst int
 }
 
 func defaultConfig() config {
@@ -74,6 +80,17 @@ type server struct {
 	cfg    config
 	meters *obs.ServiceMeters
 	jobs   chan *job
+	// quit tells the workers to finish the queue and exit; stopped is
+	// closed once stop() has retired them and failed any straggler job.
+	// The jobs channel itself is NEVER closed: a handler may race its
+	// draining check against stop() (httpSrv.Shutdown can time out with
+	// handlers still between admission and enqueue), and a send on a
+	// closed channel would panic the process during its last breath.
+	quit    chan struct{}
+	stopped chan struct{}
+	// limiter is the per-client admission rate limiter; nil when
+	// cfg.rateLimit is 0.
+	limiter *limiter
 	// runFunc is dip.RunContext in production; tests inject stubs to pin
 	// queue/timeout behavior without real protocol runs.
 	runFunc  func(context.Context, dip.Request) (dip.Report, error)
@@ -89,13 +106,19 @@ func newServer(cfg config) *server {
 	if cfg.queue < 1 {
 		cfg.queue = 1
 	}
-	return &server{
+	s := &server{
 		cfg:     cfg,
 		meters:  &obs.ServiceMeters{},
 		jobs:    make(chan *job, cfg.queue),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
 		runFunc: dip.RunContext,
 		started: time.Now(),
 	}
+	if cfg.rateLimit > 0 {
+		s.limiter = newLimiter(cfg.rateLimit, cfg.rateBurst)
+	}
+	return s
 }
 
 // start launches the worker pool. stop drains it: the admission queue is
@@ -113,16 +136,54 @@ func (s *server) start() {
 	}
 }
 
+// stop retires the worker pool: every job queued before (or racing
+// with) the stop signal still runs or is failed, and every handler
+// blocked on a job is released. Safe against concurrent admission —
+// see the field comment on quit/stopped.
 func (s *server) stop() {
-	close(s.jobs)
+	close(s.quit)
 	s.wg.Wait()
+	// Fail any job that slipped into the queue after the workers took
+	// their final drain pass; its handler is released via j.done.
+	for {
+		select {
+		case j := <-s.jobs:
+			s.meters.QueueDepth.Add(-1)
+			j.err = errServerStopped
+			close(j.done)
+		default:
+			// Handlers that enqueue after this point find stopped
+			// closed and answer 503 without waiting on j.done.
+			close(s.stopped)
+			return
+		}
+	}
 }
+
+// errServerStopped marks a job the worker pool never ran because the
+// service shut down around it.
+var errServerStopped = errors.New("server stopped before the request ran")
 
 func (s *server) worker() {
 	defer s.wg.Done()
-	for j := range s.jobs {
-		s.meters.QueueDepth.Add(-1)
-		s.runJob(j)
+	for {
+		select {
+		case j := <-s.jobs:
+			s.meters.QueueDepth.Add(-1)
+			s.runJob(j)
+		case <-s.quit:
+			// Finish what is already queued, then exit. New jobs may
+			// still race in behind this drain; stop() sweeps those.
+			for {
+				select {
+				case j := <-s.jobs:
+					s.meters.QueueDepth.Add(-1)
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -150,12 +211,25 @@ func (s *server) runJob(j *job) {
 	pm := s.meters.Protocol(j.req.Protocol)
 	pm.Requests.Add(1)
 	start := time.Now()
-	j.rep, j.err = s.runFunc(ctx, j.req)
+	j.rep, j.err = s.safeRun(ctx, j.req)
 	pm.Latency.Observe(time.Since(start))
 	if j.err != nil {
 		pm.Errors.Add(1)
 		s.meters.Failures.Add(1)
 	}
+}
+
+// safeRun shields the worker from a panicking run: the engine recovers
+// prover/node panics itself, but the boundary must also survive bugs in
+// code outside that net (and injected run funcs in tests). The panic
+// surfaces as a plain error, which the status taxonomy maps to 500.
+func (s *server) safeRun(ctx context.Context, req dip.Request) (rep dip.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v", p)
+		}
+	}()
+	return s.runFunc(ctx, req)
 }
 
 // runBatch runs every item of a batch job sequentially on this worker,
@@ -170,7 +244,7 @@ func (s *server) runBatch(ctx context.Context, reqs []dip.Request) []dip.BatchRe
 		if err := ctx.Err(); err != nil {
 			out[i].Err = err
 		} else {
-			out[i].Report, out[i].Err = s.runFunc(ctx, reqs[i])
+			out[i].Report, out[i].Err = s.safeRun(ctx, reqs[i])
 		}
 		pm.Latency.Observe(time.Since(start))
 		if out[i].Err != nil {
@@ -214,11 +288,14 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
+	if !s.allowClient(w, r, 1) {
+		return
+	}
 	var req dip.Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		writeJSON(w, decodeStatus(err), errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
 	if s.draining.Load() {
@@ -242,7 +319,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	<-j.done
+	if !s.awaitJob(j) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errServerStopped.Error()})
+		return
+	}
 	if j.err != nil {
 		status, phase := mapRunError(j.err)
 		writeJSON(w, status, errorBody{Error: j.err.Error(), Phase: phase, Protocol: req.Protocol})
@@ -287,7 +367,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding batch: %v", err)})
+		writeJSON(w, decodeStatus(err), errorBody{Error: fmt.Sprintf("decoding batch: %v", err)})
 		return
 	}
 	if len(body.Requests) == 0 {
@@ -298,10 +378,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch of %d requests exceeds limit %d", len(body.Requests), maxBatchItems)})
 		return
 	}
+	// A batch spends one rate-limit token per item: admission control is
+	// per body, but quota accounting is per request, like every other
+	// meter on this path.
+	if !s.allowClient(w, r, len(body.Requests)) {
+		return
+	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
-		s.meters.Rejected.Add(1)
+		s.meters.Rejected.Add(int64(len(body.Requests)))
 		return
 	}
 
@@ -311,13 +397,20 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.meters.QueueDepth.Add(1)
 		s.meters.Requests.Add(int64(len(body.Requests)))
 	default:
+		// Rejected counts requests, not bodies: a turned-away batch of k
+		// items is k rejections, mirroring the Requests.Add above (the
+		// admission and rejection counters must stay in the same unit
+		// for rejected/(requests+rejected) to mean anything).
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "admission queue full"})
-		s.meters.Rejected.Add(1)
+		s.meters.Rejected.Add(int64(len(body.Requests)))
 		return
 	}
 
-	<-j.done
+	if !s.awaitJob(j) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errServerStopped.Error()})
+		return
+	}
 	if j.err != nil { // pre-run failure (client gone before a worker started)
 		status, phase := mapRunError(j.err)
 		writeJSON(w, status, errorBody{Error: j.err.Error(), Phase: phase})
@@ -355,11 +448,62 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// mapRunError translates a run failure into an HTTP status: engine phases
-// carry the distinction between a bad instance (setup), an exhausted
-// deadline, and a genuine protocol-level failure; everything that is not a
-// structured engine error is a bad request, because dip.RunContext
-// validates before it runs.
+// awaitJob blocks until the job is fulfilled. The false return is the
+// shutdown edge case: the handler enqueued after the workers' final
+// drain pass AND after stop()'s straggler sweep, so nobody will ever
+// close j.done — possible only when httpSrv.Shutdown timed out with
+// this handler still in flight. Any job fulfilled or swept during
+// stop() has its done closed before stopped closes, so the re-check is
+// race-free.
+func (s *server) awaitJob(j *job) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-s.stopped:
+		select {
+		case <-j.done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// allowClient enforces the per-client rate limit, spending cost tokens
+// (one per request carried by the body). On refusal it answers 429 with
+// a Retry-After hint and meters the turned-away requests.
+func (s *server) allowClient(w http.ResponseWriter, r *http.Request, cost int) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retryAfter := s.limiter.allow(clientKey(r), cost)
+	if ok {
+		return true
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "rate limit exceeded"})
+	s.meters.RateLimited.Add(int64(cost))
+	return false
+}
+
+// decodeStatus distinguishes the two ways a request body fails to
+// decode: a body the byte cap cut off is 413 (the client must shrink
+// it, not fix it), anything else is a plain 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// mapRunError translates a run failure into an HTTP status. The taxonomy:
+// engine phases carry the distinction between a bad instance (setup), an
+// exhausted deadline, and a genuine protocol-level failure; request
+// validation surfaces as dip.RequestError (the client's fault, 400); and
+// anything unclassified is an internal failure, 500 — never blamed on
+// the client, because an unrecognized error is by definition one the
+// request did not cause in any way the service can name.
 func mapRunError(err error) (status int, phase string) {
 	var rerr *network.RunError
 	if errors.As(err, &rerr) {
@@ -372,10 +516,14 @@ func mapRunError(err error) (status int, phase string) {
 			return http.StatusBadGateway, string(rerr.Phase)
 		}
 	}
+	var reqErr *dip.RequestError
+	if errors.As(err, &reqErr) {
+		return http.StatusBadRequest, "request"
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return http.StatusGatewayTimeout, "deadline"
 	}
-	return http.StatusBadRequest, ""
+	return http.StatusInternalServerError, "internal"
 }
 
 func (s *server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
@@ -395,9 +543,20 @@ type metricsPayload struct {
 	Workers   int                      `json:"workers"`
 	QueueCap  int                      `json:"queue_capacity"`
 	UptimeMS  int64                    `json:"uptime_ms"`
+	// Runtime exposes the process vitals chaos tooling gates on: a
+	// goroutine count that keeps rising across a load session is a leak,
+	// and so is monotone heap growth at steady request rates.
+	Runtime runtimeMetrics `json:"runtime"`
+}
+
+type runtimeMetrics struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, metricsPayload{
 		Service:   s.meters.SnapshotService(),
 		Engine:    obs.Snapshot(),
@@ -406,6 +565,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Workers:   s.cfg.workers,
 		QueueCap:  s.cfg.queue,
 		UptimeMS:  time.Since(s.started).Milliseconds(),
+		Runtime: runtimeMetrics{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+		},
 	})
 }
 

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +18,8 @@ import (
 	"time"
 
 	"dip"
+	"dip/internal/faults"
+	"dip/internal/network"
 )
 
 // startTestServer wires a server with cfg (zero fields defaulted) into an
@@ -436,5 +442,447 @@ func TestBatchEndpointBadRequests(t *testing.T) {
 				t.Fatalf("status %d, want 400", resp.StatusCode)
 			}
 		})
+	}
+}
+
+// TestMapRunError pins the full error taxonomy: engine phases keep their
+// distinctions, request validation is the client's fault, context ends
+// are 504, and — the regression this table exists for — an unclassified
+// error is an internal 500, never blamed on the client as a 400.
+func TestMapRunError(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		phase  string
+	}{
+		{"engine setup", &network.RunError{Protocol: "p", Phase: network.PhaseSetup, Round: -1, Node: -1, Err: errors.New("x")}, http.StatusBadRequest, "setup"},
+		{"engine challenge", &network.RunError{Protocol: "p", Phase: network.PhaseChallenge, Round: 0, Node: 1, Err: errors.New("x")}, http.StatusBadGateway, "challenge"},
+		{"engine respond", &network.RunError{Protocol: "p", Phase: network.PhaseRespond, Round: 0, Node: -1, Err: errors.New("x")}, http.StatusBadGateway, "respond"},
+		{"engine digest", &network.RunError{Protocol: "p", Phase: network.PhaseDigest, Round: 1, Node: 2, Err: errors.New("x")}, http.StatusBadGateway, "digest"},
+		{"engine decide", &network.RunError{Protocol: "p", Phase: network.PhaseDecide, Round: -1, Node: 0, Err: errors.New("x")}, http.StatusBadGateway, "decide"},
+		{"engine deadline", &network.RunError{Protocol: "p", Phase: network.PhaseDeadline, Round: 0, Node: -1, Err: errors.New("x")}, http.StatusGatewayTimeout, "deadline"},
+		{"engine canceled", &network.RunError{Protocol: "p", Phase: network.PhaseCanceled, Round: 0, Node: -1, Err: errors.New("x")}, http.StatusGatewayTimeout, "canceled"},
+		{"request validation", &dip.RequestError{Err: errors.New("bad instance")}, http.StatusBadRequest, "request"},
+		{"wrapped request validation", fmt.Errorf("running: %w", &dip.RequestError{Err: errors.New("bad")}), http.StatusBadRequest, "request"},
+		{"context deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline"},
+		{"context canceled", context.Canceled, http.StatusGatewayTimeout, "deadline"},
+		{"wrapped context deadline", fmt.Errorf("run: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, "deadline"},
+		{"unclassified", errors.New("disk on fire"), http.StatusInternalServerError, "internal"},
+		{"wrapped unclassified", fmt.Errorf("outer: %w", errors.New("inner")), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, phase := mapRunError(tc.err)
+			if status != tc.status || phase != tc.phase {
+				t.Fatalf("mapRunError(%v) = (%d, %q), want (%d, %q)", tc.err, status, phase, tc.status, tc.phase)
+			}
+		})
+	}
+}
+
+// TestInternalErrorStatus: an unclassified run failure travels the wire
+// as a 500 (the pre-fix fallback answered 400, telling the client to
+// fix a request that was fine), and a panicking run func is contained
+// into the same 500 with the service still alive afterwards.
+func TestInternalErrorStatus(t *testing.T) {
+	var mode atomic.Int64
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		switch mode.Load() {
+		case 1:
+			return dip.Report{}, errors.New("unclassified failure")
+		case 2:
+			panic("boom")
+		}
+		return dip.Report{Protocol: req.Protocol, Decisions: []bool{true}}, nil
+	}
+	_, ts := startTestServer(t, config{}, runFunc)
+
+	for _, tc := range []struct {
+		name string
+		mode int64
+	}{
+		{"plain error", 1},
+		{"panic", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mode.Store(tc.mode)
+			resp := postRun(t, ts.URL, cycleRequest(4, 1))
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusInternalServerError {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 500: %s", resp.StatusCode, b)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Phase != "internal" {
+				t.Fatalf("error body: %v / %+v", err, eb)
+			}
+		})
+	}
+	// The worker that contained the panic is still serving.
+	mode.Store(0)
+	resp := postRun(t, ts.URL, cycleRequest(4, 2))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after contained panic: %d", resp.StatusCode)
+	}
+}
+
+// TestOversizedBody: a body past the cap is refused 413 (the client must
+// shrink it, not fix it) on both endpoints, and the cut-off decode never
+// reaches admission.
+func TestOversizedBody(t *testing.T) {
+	s, ts := startTestServer(t, config{maxBody: 512}, nil)
+	big := cycleRequest(200, 1) // ~2KB of edges, far past the 512-byte cap
+	for _, path := range []string{"/v1/run", "/v1/batch"} {
+		t.Run(path, func(t *testing.T) {
+			body := big
+			if path == "/v1/batch" {
+				body = `{"requests": [` + big + `]}`
+			}
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 413: %s", resp.StatusCode, b)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body: %v / %+v", err, eb)
+			}
+		})
+	}
+	if s.meters.Requests.Value() != 0 {
+		t.Fatalf("oversized bodies were admitted: %d requests metered", s.meters.Requests.Value())
+	}
+}
+
+// TestMidBodyDisconnect: a client that promises a body and vanishes
+// mid-send must not wedge the service — the decoder sees the broken
+// read, the handler answers into the void, and the next well-behaved
+// request is served normally.
+func TestMidBodyDisconnect(t *testing.T) {
+	s, ts := startTestServer(t, config{}, nil)
+	body := cycleRequest(16, 1)
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := fmt.Sprintf("POST /v1/run HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
+	if _, err := conn.Write([]byte(head + body[:len(body)/3])); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The service shrugs: gauges drain and a normal request still works.
+	waitFor(t, func() bool {
+		return s.meters.InFlight.Value() == 0 && s.meters.QueueDepth.Value() == 0
+	})
+	resp := postRun(t, ts.URL, cycleRequest(8, 2))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after disconnect: %d", resp.StatusCode)
+	}
+}
+
+// TestStopUnderConcurrentAdmission is the drain-race regression test:
+// stop() fires while handlers are mid-admission, exactly the window in
+// which the pre-fix server closed s.jobs and a racing handler's enqueue
+// panicked the whole process ("send on closed channel"). With the fix
+// every storm request must come back 200 or 503 — and the process must
+// survive. Run under -race this also checks the quit/stopped signaling.
+func TestStopUnderConcurrentAdmission(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.workers = 2
+	cfg.queue = 4
+	cfg.timeout = time.Minute
+	s := newServer(cfg)
+	s.runFunc = func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		time.Sleep(200 * time.Microsecond) // hold workers busy so admission races stop()
+		return dip.Report{Protocol: req.Protocol}, nil
+	}
+	s.start()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body := []byte(cycleRequest(4, 1))
+	const clients = 8
+	const perClient = 60
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+				if err != nil {
+					// The httptest server itself never goes away; a
+					// transport error here would be a real failure.
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					b, _ := io.ReadAll(resp.Body)
+					t.Errorf("client %d: status %d: %s", c, resp.StatusCode, b)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+
+	// Stop mid-storm. The sleep puts stop() inside the storm window
+	// rather than before it; the exact interleaving varies per run, which
+	// is the point — any schedule must be panic-free.
+	time.Sleep(2 * time.Millisecond)
+	s.stop()
+	wg.Wait()
+
+	// After stop, admission still answers (503 via the stopped channel),
+	// never hangs.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-stop request: %d", resp.StatusCode)
+	}
+}
+
+// TestRateLimit429: with a per-client budget configured, a burst past it
+// answers 429 with a Retry-After hint, the turned-away requests are
+// metered in request units, and the budget refills.
+func TestRateLimit429(t *testing.T) {
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		return dip.Report{Protocol: req.Protocol}, nil
+	}
+	s, ts := startTestServer(t, config{rateLimit: 5, rateBurst: 3}, runFunc)
+	// Drive the limiter's clock by hand so the burst cannot refill
+	// mid-test on a slow runner.
+	clock := &fakeClock{t: time.Unix(2000, 0)}
+	s.limiter.now = clock.now
+
+	body := cycleRequest(4, 1)
+	for i := 0; i < 3; i++ {
+		resp := postRun(t, ts.URL, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp := postRun(t, ts.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.meters.RateLimited.Value(); got != 1 {
+		t.Fatalf("rate-limited meter = %d, want 1", got)
+	}
+	// The refusal is pre-admission: nothing was queued or run for it.
+	if got := s.meters.Requests.Value(); got != 3 {
+		t.Fatalf("admitted meter = %d, want 3", got)
+	}
+
+	clock.advance(time.Second) // 5 tokens/s refills the burst of 3
+	ok := postRun(t, ts.URL, body)
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("request after refill: %d", ok.StatusCode)
+	}
+}
+
+// TestRateLimitBatchCost: a batch spends one token per item — the
+// admission unit is the body, but the quota unit is the request, so a
+// k-item batch against a k-token budget exhausts it exactly.
+func TestRateLimitBatchCost(t *testing.T) {
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		return dip.Report{Protocol: req.Protocol, Decisions: []bool{true}}, nil
+	}
+	s, ts := startTestServer(t, config{rateLimit: 1, rateBurst: 4}, runFunc)
+	clock := &fakeClock{t: time.Unix(3000, 0)}
+	s.limiter.now = clock.now
+
+	batch := `{"requests": [` + cycleRequest(4, 1) + `,` + cycleRequest(4, 2) + `,` + cycleRequest(4, 3) + `]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch: %d", resp.StatusCode)
+	}
+	// 1 token left; the next 3-item batch is over budget and is metered
+	// as 3 refused requests.
+	resp2, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second batch: %d, want 429", resp2.StatusCode)
+	}
+	if got := s.meters.RateLimited.Value(); got != 3 {
+		t.Fatalf("rate-limited meter = %d, want 3 (per-item units)", got)
+	}
+	// And the quota counter is visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m metricsPayload
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Service.RateLimited != 3 {
+		t.Fatalf("/metrics rate_limited = %d, want 3", m.Service.RateLimited)
+	}
+	if m.Runtime.Goroutines < 1 {
+		t.Fatalf("/metrics runtime section missing: %+v", m.Runtime)
+	}
+}
+
+// TestBatchRejectionUnits: the pre-fix server admitted a batch as
+// Requests.Add(len) but rejected it as Rejected.Add(1); both counters
+// must move in request units or their ratio is meaningless.
+func TestBatchRejectionUnits(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{}, 8)
+	runFunc := func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		blocked <- struct{}{}
+		<-release
+		return dip.Report{Protocol: req.Protocol}, nil
+	}
+	s, ts := startTestServer(t, config{workers: 1, queue: 1, timeout: time.Minute}, runFunc)
+	defer close(release)
+
+	batch := `{"requests": [` + cycleRequest(4, 1) + `,` + cycleRequest(4, 2) + `,` + cycleRequest(4, 3) + `]}`
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	// Wedge the worker with one batch, fill the queue with a second.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() { post(); done <- struct{}{} }()
+	}
+	<-blocked
+	waitFor(t, func() bool { return s.meters.QueueDepth.Value() == 1 })
+
+	if status := post(); status != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full batch: %d, want 503", status)
+	}
+	if got := s.meters.Rejected.Value(); got != 3 {
+		t.Fatalf("rejected meter = %d, want 3 (per-item units, not 1 per body)", got)
+	}
+	// Admission moved in the same units: 2 batches * 3 items.
+	if got := s.meters.Requests.Value(); got != 6 {
+		t.Fatalf("admitted meter = %d, want 6", got)
+	}
+	for i := 0; i < 6; i++ {
+		release <- struct{}{}
+	}
+	<-done
+	<-done
+}
+
+// TestRequestStormChaos interleaves well-behaved clients with raw-TCP
+// chaos exchanges (malformed, truncated, oversized, slow, disconnecting,
+// unparseable) against the same listener: the well-behaved traffic must
+// keep succeeding, every answered chaos exchange must be 4xx/5xx, the
+// gauges must drain to zero, and the goroutine count must settle — the
+// in-process twin of `dipload -chaos`, and under -race the data-race
+// check for the adversarial path.
+func TestRequestStormChaos(t *testing.T) {
+	s, ts := startTestServer(t, config{workers: 4, queue: 8}, nil)
+	addr := ts.Listener.Addr().String()
+	baseline := runtime.NumGoroutine()
+
+	const goodClients = 4
+	const perGood = 10
+	const chaosClients = 4
+	const perChaos = 12
+	var ok200, ok503, badGood, chaosViolations atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < goodClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perGood; i++ {
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+					strings.NewReader(cycleRequest(10+(i%3)*2, int64(c*100+i))))
+				if err != nil {
+					t.Errorf("good client %d: %v", c, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if _, err := dip.DecodeWireReport(resp.Body); err != nil {
+						t.Errorf("good client %d: bad report: %v", c, err)
+					}
+					ok200.Add(1)
+				case http.StatusServiceUnavailable:
+					ok503.Add(1)
+				default:
+					badGood.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	body := []byte(cycleRequest(12, 7))
+	for c := 0; c < chaosClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perChaos; i++ {
+				sc, rng := faults.HTTPChaosFor(99, c*perChaos+i)
+				out, err := sc.Run(rng, addr, body)
+				if err != nil {
+					t.Errorf("chaos %s: %v", sc.Name, err)
+					continue
+				}
+				if sc.WantResponse && (out.Status < 400 || out.Status >= 600) {
+					chaosViolations.Add(1)
+					t.Errorf("chaos %s: status %d, want 4xx/5xx", sc.Name, out.Status)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if badGood.Load() != 0 || chaosViolations.Load() != 0 {
+		t.Fatalf("%d bad well-behaved answers, %d chaos violations", badGood.Load(), chaosViolations.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no well-behaved request succeeded under chaos")
+	}
+	// The boundary sheds the abuse completely: gauges drain and the
+	// goroutine count settles back (idle-connection reaping takes a few
+	// read-deadline cycles, hence the wait loop and slack).
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, func() bool {
+		return s.meters.InFlight.Value() == 0 && s.meters.QueueDepth.Value() == 0
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+12 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -22,7 +22,6 @@
 package dip
 
 import (
-	"fmt"
 	"time"
 
 	"dip/internal/core"
@@ -54,7 +53,7 @@ type Options struct {
 // selects the shared default, negatives are invalid.
 func resolveRepetitions(reps int) (int, error) {
 	if reps < 0 {
-		return 0, fmt.Errorf("dip: Repetitions must be non-negative, got %d (0 selects the default of %d)",
+		return 0, badRequestf("dip: Repetitions must be non-negative, got %d (0 selects the default of %d)",
 			reps, core.DefaultGNIRepetitions)
 	}
 	if reps == 0 {
@@ -67,7 +66,7 @@ func resolveRepetitions(reps int) (int, error) {
 // negatives are invalid.
 func resolveTimeout(d time.Duration) (time.Duration, error) {
 	if d < 0 {
-		return 0, fmt.Errorf("dip: Timeout must be non-negative, got %v (0 disables the prover deadline)", d)
+		return 0, badRequestf("dip: Timeout must be non-negative, got %v (0 disables the prover deadline)", d)
 	}
 	return d, nil
 }
@@ -149,16 +148,16 @@ func report(name string, res *network.Result) Report {
 // buildGraph validates an edge list and builds the graph.
 func buildGraph(n int, edges [][2]int) (*graph.Graph, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("dip: graph needs at least one vertex, got %d", n)
+		return nil, badRequestf("dip: graph needs at least one vertex, got %d", n)
 	}
 	g := graph.New(n)
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
-			return nil, fmt.Errorf("dip: edge {%d,%d} outside vertex range [0,%d)", u, v, n)
+			return nil, badRequestf("dip: edge {%d,%d} outside vertex range [0,%d)", u, v, n)
 		}
 		if u == v {
-			return nil, fmt.Errorf("dip: self-loop at %d", u)
+			return nil, badRequestf("dip: self-loop at %d", u)
 		}
 		g.AddEdge(u, v)
 	}

@@ -1,0 +1,38 @@
+package dip
+
+import "fmt"
+
+// RequestError marks a failure attributable to the request itself —
+// an unknown protocol, an invalid graph, out-of-range options — as
+// opposed to a failure of the run (engine errors carry a
+// *network.RunError) or of the process (anything else). The serving
+// layer keys its HTTP status taxonomy on this distinction: request
+// errors are the caller's fault (4xx), everything unclassified is the
+// server's (5xx). Every validation path of the request API wraps its
+// errors in RequestError; errors.As unwraps through fmt wrapping as
+// usual.
+type RequestError struct {
+	Err error
+}
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// badRequestf builds a RequestError from a format string.
+func badRequestf(format string, args ...any) error {
+	return &RequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// asBadRequest wraps err as a RequestError, passing nil through and
+// leaving already-classified request errors untouched (so messages are
+// not double-wrapped on nested validation paths).
+func asBadRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*RequestError); ok {
+		return err
+	}
+	return &RequestError{Err: err}
+}

@@ -29,14 +29,22 @@ type LoadResultsFile struct {
 	// Concurrency is the number of in-flight client workers.
 	Concurrency int `json:"concurrency"`
 	// Requests counts completed requests (2xx responses with a decodable
-	// report). Errors counts requests that ultimately failed; Retries
-	// counts 503-and-retry round trips (each eventually succeeded or is
-	// also in Errors). Dropped counts transport-level connection failures —
-	// the acceptance gate requires it to be zero.
-	Requests int `json:"requests"`
-	Errors   int `json:"errors"`
-	Retries  int `json:"retries"`
-	Dropped  int `json:"dropped"`
+	// report). Errors counts requests the service (or its answer)
+	// actually failed: a non-retryable error status or an undecodable
+	// report. Exhausted counts requests abandoned after the retry budget
+	// ran out against 503 admission overflows — a merely-overloaded
+	// service, NOT a protocol failure; consumers judging correctness
+	// must read Errors, consumers judging capacity read Exhausted.
+	// Retries counts 503-and-retry round trips (each eventually
+	// succeeded, exhausted its budget, or is in Errors). Dropped counts
+	// transport-level connection failures in request units (a dropped
+	// batch of k items is k) — the acceptance gate requires it to be
+	// zero.
+	Requests  int `json:"requests"`
+	Errors    int `json:"errors"`
+	Exhausted int `json:"exhausted"`
+	Retries   int `json:"retries"`
+	Dropped   int `json:"dropped"`
 	// WallMS is the whole run's wall-clock and ThroughputRPS the completed
 	// requests per second over it.
 	WallMS        float64              `json:"wall_ms"`
@@ -90,9 +98,12 @@ func CheckRequestAllocs(recorded *RequestBench, measuredAllocs float64) error {
 
 // LoadProtocolResult is the per-protocol slice of a load run.
 type LoadProtocolResult struct {
-	Protocol      string         `json:"protocol"`
-	Requests      int            `json:"requests"`
-	Errors        int            `json:"errors"`
+	Protocol string `json:"protocol"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Exhausted mirrors the top-level field per protocol: requests
+	// whose 503-retry budget ran out (overload, not failure).
+	Exhausted     int            `json:"exhausted,omitempty"`
 	ThroughputRPS float64        `json:"throughput_rps"`
 	LatencyMS     LatencySummary `json:"latency_ms"`
 	// BatchLatencyMS, present only in -batch runs, summarizes whole-batch
@@ -139,7 +150,7 @@ func (f *LoadResultsFile) Validate() error {
 	if f.Concurrency < 1 {
 		return fmt.Errorf("load: concurrency %d", f.Concurrency)
 	}
-	if f.Requests < 0 || f.Errors < 0 || f.Retries < 0 || f.Dropped < 0 {
+	if f.Requests < 0 || f.Errors < 0 || f.Exhausted < 0 || f.Retries < 0 || f.Dropped < 0 {
 		return fmt.Errorf("load: negative counters")
 	}
 	if f.Requests == 0 {
@@ -154,12 +165,12 @@ func (f *LoadResultsFile) Validate() error {
 	if len(f.Protocols) == 0 {
 		return fmt.Errorf("load: no per-protocol results")
 	}
-	total := 0
+	total, totalExhausted := 0, 0
 	for i, p := range f.Protocols {
 		if p.Protocol == "" {
 			return fmt.Errorf("load: protocol %d unnamed", i)
 		}
-		if p.Requests < 0 || p.Errors < 0 {
+		if p.Requests < 0 || p.Errors < 0 || p.Exhausted < 0 {
 			return fmt.Errorf("load: protocol %q: negative counters", p.Protocol)
 		}
 		l := p.LatencyMS
@@ -172,9 +183,13 @@ func (f *LoadResultsFile) Validate() error {
 			}
 		}
 		total += p.Requests
+		totalExhausted += p.Exhausted
 	}
 	if total != f.Requests {
 		return fmt.Errorf("load: per-protocol requests sum to %d, total %d", total, f.Requests)
+	}
+	if totalExhausted != f.Exhausted {
+		return fmt.Errorf("load: per-protocol exhausted sum to %d, total %d", totalExhausted, f.Exhausted)
 	}
 	if f.BatchSize < 0 || f.Batches < 0 {
 		return fmt.Errorf("load: negative batch counters")

@@ -44,6 +44,12 @@ func TestLoadResultsValidate(t *testing.T) {
 		{"sum mismatch", func(f *LoadResultsFile) { f.Protocols[0].Requests = 99 }, "sum to"},
 		{"non-monotone quantiles", func(f *LoadResultsFile) { f.Protocols[0].LatencyMS.P95 = 0.5 }, "non-monotone"},
 		{"negative dropped", func(f *LoadResultsFile) { f.Dropped = -1 }, "negative"},
+		{"negative exhausted", func(f *LoadResultsFile) { f.Exhausted = -1 }, "negative"},
+		{"negative per-proto exhausted", func(f *LoadResultsFile) {
+			f.Protocols[0].Exhausted = -1
+			f.Exhausted = -1
+		}, "negative"},
+		{"exhausted sum mismatch", func(f *LoadResultsFile) { f.Exhausted = 5 }, "exhausted sum"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -54,6 +60,33 @@ func TestLoadResultsValidate(t *testing.T) {
 				t.Fatalf("err = %v, want mention of %q", err, tc.wants)
 			}
 		})
+	}
+}
+
+// TestLoadResultsExhaustedDistinct: exhausted retry budgets are their
+// own ledger — a file recording overload is valid with zero errors, and
+// the per-protocol slices must sum to the top-level counter.
+func TestLoadResultsExhaustedDistinct(t *testing.T) {
+	f := sampleLoadFile()
+	f.Exhausted = 7
+	f.Protocols[0].Exhausted = 7
+	if err := f.Validate(); err != nil {
+		t.Fatalf("exhausted-but-healthy file rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	got, err := DecodeLoadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exhausted != 7 || got.Errors != 0 || got.Protocols[0].Exhausted != 7 {
+		t.Fatalf("exhausted not preserved: %+v", got)
+	}
+	if !strings.Contains(wire, `"exhausted": 7`) {
+		t.Fatalf("exhausted field missing from wire form:\n%s", wire)
 	}
 }
 

@@ -26,11 +26,14 @@ func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
 // safe for concurrent use from request handlers and workers.
 type ServiceMeters struct {
 	// Requests counts every admitted run request; Rejected counts requests
-	// turned away at admission (queue full or draining); Failures counts
-	// admitted requests whose run returned an error.
-	Requests Counter
-	Rejected Counter
-	Failures Counter
+	// turned away at admission (queue full or draining); RateLimited
+	// counts requests refused by the per-client quota (429); Failures
+	// counts admitted requests whose run returned an error. All four are
+	// in request units: a batch of k items moves them by k.
+	Requests    Counter
+	Rejected    Counter
+	RateLimited Counter
+	Failures    Counter
 	// InFlight is the number of requests currently executing; QueueDepth
 	// the number admitted but not yet picked up by a worker.
 	InFlight   Gauge
@@ -64,12 +67,13 @@ func (m *ServiceMeters) Protocol(name string) *ProtocolMeter {
 
 // ServiceMetrics is a JSON-able snapshot of a ServiceMeters.
 type ServiceMetrics struct {
-	Requests   int64                   `json:"requests"`
-	Rejected   int64                   `json:"rejected"`
-	Failures   int64                   `json:"failures"`
-	InFlight   int64                   `json:"in_flight"`
-	QueueDepth int64                   `json:"queue_depth"`
-	Protocols  []ProtocolMetricsRecord `json:"protocols,omitempty"`
+	Requests    int64                   `json:"requests"`
+	Rejected    int64                   `json:"rejected"`
+	RateLimited int64                   `json:"rate_limited"`
+	Failures    int64                   `json:"failures"`
+	InFlight    int64                   `json:"in_flight"`
+	QueueDepth  int64                   `json:"queue_depth"`
+	Protocols   []ProtocolMetricsRecord `json:"protocols,omitempty"`
 }
 
 // ProtocolMetricsRecord is the per-protocol slice of a snapshot.
@@ -85,11 +89,12 @@ type ProtocolMetricsRecord struct {
 // SnapshotService returns the current values, protocols sorted by name.
 func (m *ServiceMeters) SnapshotService() ServiceMetrics {
 	s := ServiceMetrics{
-		Requests:   m.Requests.Value(),
-		Rejected:   m.Rejected.Value(),
-		Failures:   m.Failures.Value(),
-		InFlight:   m.InFlight.Value(),
-		QueueDepth: m.QueueDepth.Value(),
+		Requests:    m.Requests.Value(),
+		Rejected:    m.Rejected.Value(),
+		RateLimited: m.RateLimited.Value(),
+		Failures:    m.Failures.Value(),
+		InFlight:    m.InFlight.Value(),
+		QueueDepth:  m.QueueDepth.Value(),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.perProto))

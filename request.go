@@ -2,7 +2,6 @@ package dip
 
 import (
 	"context"
-	"fmt"
 	"sort"
 
 	"dip/internal/core"
@@ -142,16 +141,16 @@ func Run(req Request) (Report, error) {
 func RunContext(ctx context.Context, req Request) (Report, error) {
 	e, ok := registry[req.Protocol]
 	if !ok {
-		return Report{}, fmt.Errorf("dip: unknown protocol %q (see dip.Protocols)", req.Protocol)
+		return Report{}, badRequestf("dip: unknown protocol %q (see dip.Protocols)", req.Protocol)
 	}
 	if !e.usesEdges1 && req.Edges1 != nil {
-		return Report{}, fmt.Errorf("dip: protocol %q takes no Edges1", req.Protocol)
+		return Report{}, badRequestf("dip: protocol %q takes no Edges1", req.Protocol)
 	}
 	if !e.usesMarks && req.Marks != nil {
-		return Report{}, fmt.Errorf("dip: protocol %q takes no Marks", req.Protocol)
+		return Report{}, badRequestf("dip: protocol %q takes no Marks", req.Protocol)
 	}
 	if !e.usesSide && (req.Side != 0 || req.Half != 0) {
-		return Report{}, fmt.Errorf("dip: protocol %q takes no Side/Half", req.Protocol)
+		return Report{}, badRequestf("dip: protocol %q takes no Side/Half", req.Protocol)
 	}
 	return e.run(ctx, &req)
 }
@@ -217,7 +216,7 @@ func runDSymDAM(ctx context.Context, req *Request) (Report, error) {
 	}
 	proto := v.(*core.DSymDAM)
 	if req.N != 0 && req.N != proto.N() {
-		return Report{}, fmt.Errorf("dip: dsym-dam with side=%d half=%d has %d vertices, request says n=%d",
+		return Report{}, badRequestf("dip: dsym-dam with side=%d half=%d has %d vertices, request says n=%d",
 			req.Side, req.Half, proto.N(), req.N)
 	}
 	g, err := cachedGraph(proto.N(), req.Edges)
@@ -322,7 +321,7 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 		return Report{}, err
 	}
 	if len(req.Marks) != req.N {
-		return Report{}, fmt.Errorf("dip: %d marks for %d nodes", len(req.Marks), req.N)
+		return Report{}, badRequestf("dip: %d marks for %d nodes", len(req.Marks), req.N)
 	}
 	coreMarks := make([]core.Mark, req.N)
 	k := 0
@@ -336,7 +335,7 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 		case -1:
 			coreMarks[v] = core.MarkNone
 		default:
-			return Report{}, fmt.Errorf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
+			return Report{}, badRequestf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
 		}
 	}
 	reps, err := resolveRepetitions(req.Options.Repetitions)
@@ -351,7 +350,7 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 	proto := v.(*core.MarkedGNI)
 	inputs, err := core.EncodeMarks(coreMarks)
 	if err != nil {
-		return Report{}, err
+		return Report{}, asBadRequest(err)
 	}
 	nopts, err := engineOptions(req.Options)
 	if err != nil {

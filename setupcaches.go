@@ -80,10 +80,16 @@ func cachedGraph(n int, edges [][2]int) (*graph.Graph, error) {
 
 // cachedProtocol memoizes one protocol constructor call. The key carries
 // every constructor argument, so no verifier is needed: equal keys mean
-// equal (deterministically constructed) instances.
+// equal (deterministically constructed) instances. Constructor failures
+// are parameter validation (n too small, inconsistent sizes), so they
+// surface as request errors.
 func cachedProtocol(kind string, a, b, c, seed int64, build func() (any, error)) (any, error) {
 	key := setupcache.Key{Kind: kind, A: a, B: b, C: c, D: seed}
-	return protoCache.Do(key, nil, build)
+	v, err := protoCache.Do(key, nil, build)
+	if err != nil {
+		return nil, asBadRequest(err)
+	}
+	return v, nil
 }
 
 // ResetSetupCaches drops every request-path memo: graphs, protocol
