@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
 # smoke round-trip, a short mutation burst on every decoder fuzz target,
 # a fault-matrix smoke run, a live service round-trip (dipserve under
 # dipload, drained cleanly), a plain+batch load round-trip with a
-# leak check on the drained service, and an adversarial chaos session
-# against the live service (dipload -chaos).
-verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke
+# leak check on the drained service, an adversarial chaos session
+# against the live service (dipload -chaos), and the job-tier
+# crash-replay drill (jobs-smoke: SIGKILL mid-backlog, restart, every
+# job completes exactly once).
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -131,6 +133,46 @@ chaos-smoke:
 	grep -q drained $$dir/serve.log || { echo "no drain marker in log"; cat $$dir/serve.log; exit 1; }; \
 	if grep -qi panic $$dir/serve.log; then echo "panic in server log"; cat $$dir/serve.log; exit 1; fi; \
 	echo "chaos-smoke: ok"
+
+# jobs-smoke proves the crash-replay contract end to end. Boot 1 runs
+# with a durable journal in ingest-only mode (-job-workers 0), so every
+# submitted job is deterministically still pending when the server is
+# SIGKILL'd — no graceful drain, no flush beyond the per-record journal
+# write. Boot 2 reopens the same journal with workers, replays the
+# backlog, and `dipload -jobs poll` requires every recorded job id to
+# finish with a validated dip-job/v1 envelope whose report matches the
+# submitted seed and protocol. The /metrics gates then pin "exactly
+# once": completed equals the backlog size, nothing parked, no ack
+# errors, and the replay marker in the log names the full backlog.
+jobs-smoke:
+	@dir=$$(mktemp -d /tmp/dip-jobs-smoke.XXXXXX); \
+	$(GO) build -o $$dir/dipserve ./cmd/dipserve || exit 1; \
+	$(GO) build -o $$dir/dipload ./cmd/dipload || exit 1; \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 2 -journal $$dir/jobs.journal -job-workers 0 >$$dir/serve1.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never bound"; cat $$dir/serve1.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -jobs submit -jobs-file $$dir/ids -protocol sym-dmam,sym-dam -n 24 -c 4 -requests 40 -seed 1 || { cat $$dir/serve1.log; exit 1; }; \
+	kill -9 $$pid; \
+	wait $$pid 2>/dev/null; \
+	rm -f $$dir/addr; \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 2 -journal $$dir/jobs.journal -job-workers 4 >$$dir/serve2.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never rebound"; cat $$dir/serve2.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -jobs poll -jobs-file $$dir/ids -seed 1 || { cat $$dir/serve2.log; exit 1; }; \
+	grep -q 'journal replayed 40 pending' $$dir/serve2.log || { echo "replay marker missing or wrong count"; cat $$dir/serve2.log; exit 1; }; \
+	curl -sf http://$$addr/metrics >$$dir/metrics.json || { echo "metrics unreachable"; exit 1; }; \
+	grep -q '"completed": 40' $$dir/metrics.json || { echo "completed != backlog (lost or doubled jobs)"; cat $$dir/metrics.json; exit 1; }; \
+	grep -q '"parked": 0' $$dir/metrics.json || { echo "jobs parked as poison"; cat $$dir/metrics.json; exit 1; }; \
+	grep -q '"ack_errors": 0' $$dir/metrics.json || { echo "journal refused settles"; cat $$dir/metrics.json; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve2.log; exit 1; }; \
+	grep -q drained $$dir/serve2.log || { echo "no drain marker in log"; cat $$dir/serve2.log; exit 1; }; \
+	echo "jobs-smoke: ok"
 
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:

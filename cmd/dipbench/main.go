@@ -300,7 +300,8 @@ func validateFiles(paths []string) error {
 }
 
 // validateFile dispatches on the file's schema field: dip-bench/v1,
-// dip-fault/v1, dip-report/v1 and dip-load/v1 files are all accepted.
+// dip-fault/v1, dip-report/v1, dip-job/v1 and dip-load/v1 files are all
+// accepted.
 func validateFile(path string) error {
 	schema, err := experiments.SniffSchema(path)
 	if err != nil {
@@ -314,6 +315,14 @@ func validateFile(path string) error {
 		}
 		fmt.Printf("%s: valid %s (protocol %s, %d nodes, seed %d, accepted=%v)\n",
 			path, w.Schema, w.Protocol, w.Nodes, w.Seed, w.Accepted)
+		return nil
+	case dip.JobSchema:
+		w, err := dip.ReadWireJobFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s (id %s, state %s, protocol %s, %d attempts)\n",
+			path, w.Schema, w.ID, w.State, w.Protocol, w.Attempts)
 		return nil
 	case experiments.LoadSchema:
 		f, err := experiments.ReadLoadResultsFile(path)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dip/internal/stats"
+)
+
+// Admission-overflow retry policy. The old schedule was a fixed linear
+// ramp (1ms, 2ms, ... per attempt); under many clients that synchronizes
+// retries into waves that hit the freed queue slot together. The
+// replacement is the standard shape: exponential growth capped at a
+// bound, plus deterministic jitter so two clients with different seeds
+// spread out — and derived from the seed so a load run's retry schedule
+// reproduces exactly.
+const (
+	retryBase = time.Millisecond
+	retryCap  = 250 * time.Millisecond
+)
+
+// retryDelay is the wait before retrying after the attempt-th 503
+// (0-based): min(base<<attempt, cap) plus jitter in [0, delay/2) keyed
+// by (seed, attempt), floored by the server's Retry-After hint when one
+// was given — the server knows its drain horizon better than any
+// client-side curve.
+func retryDelay(seed int64, attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBase
+	for i := 0; i < attempt && d < retryCap; i++ {
+		d *= 2
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	if half := int64(d / 2); half > 0 {
+		jitter := stats.DeriveSeed(seed, int64(attempt)) % half
+		if jitter < 0 {
+			jitter += half
+		}
+		d += time.Duration(jitter)
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryAfterHint parses the response's Retry-After header (the
+// delta-seconds form dipserve sends); absent or unparsable hints are 0.
+func retryAfterHint(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"dip/internal/stats"
+)
+
+// TestRetryDelaySchedule pins the backoff policy: exponential from
+// retryBase, capped at retryCap, jitter in [0, delay/2) that is a pure
+// function of (seed, attempt).
+func TestRetryDelaySchedule(t *testing.T) {
+	for attempt := 0; attempt < 12; attempt++ {
+		base := retryBase << attempt
+		if base > retryCap {
+			base = retryCap
+		}
+		got := retryDelay(7, attempt, 0)
+		if got < base || got >= base+base/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, got, base, base+base/2)
+		}
+		// Deterministic: the same (seed, attempt) always waits the same.
+		if again := retryDelay(7, attempt, 0); again != got {
+			t.Errorf("attempt %d: schedule not deterministic (%v vs %v)", attempt, got, again)
+		}
+		// Jitter matches the published derivation exactly.
+		want := base
+		if half := int64(base / 2); half > 0 {
+			j := stats.DeriveSeed(7, int64(attempt)) % half
+			if j < 0 {
+				j += half
+			}
+			want += time.Duration(j)
+		}
+		if got != want {
+			t.Errorf("attempt %d: delay %v, derivation says %v", attempt, got, want)
+		}
+	}
+	// Different seeds de-synchronize: across attempts 0..11 the two
+	// schedules must differ somewhere (the whole point of the jitter).
+	same := true
+	for attempt := 0; attempt < 12; attempt++ {
+		if retryDelay(1, attempt, 0) != retryDelay(2, attempt, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter: a server hint beyond the computed
+// delay becomes the floor; a smaller hint changes nothing.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	if got := retryDelay(1, 0, 2*time.Second); got != 2*time.Second {
+		t.Errorf("hint above the curve: %v, want 2s", got)
+	}
+	plain := retryDelay(1, 3, 0)
+	if got := retryDelay(1, 3, time.Nanosecond); got != plain {
+		t.Errorf("hint below the curve changed the delay: %v vs %v", got, plain)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"-5", 0},
+		{"soon", 0},
+	} {
+		if got := retryAfterHint(mk(tc.header)); got != tc.want {
+			t.Errorf("Retry-After %q: %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

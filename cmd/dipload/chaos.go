@@ -30,6 +30,14 @@ type chaosVitals struct {
 	heapBytes  uint64
 	inFlight   int64
 	queueDepth int64
+	// Job-tier gauges: after a session the async backlog must be drained
+	// (no pending or in-flight jobs) and nothing may have parked as
+	// poison or failed to ack — chaos at the HTTP boundary must never
+	// corrupt the durable tier behind it.
+	jobDepth    int64
+	jobInFlight int64
+	jobParked   int64
+	jobAckErrs  int64
 }
 
 // scenarioTally aggregates one scenario's outcomes across the session.
@@ -147,6 +155,14 @@ func runChaos(o options) error {
 		return fmt.Errorf("post-chaos /metrics shows stuck work: in_flight %d, queue_depth %d",
 			after.inFlight, after.queueDepth)
 	}
+	if after.jobDepth != 0 || after.jobInFlight != 0 {
+		return fmt.Errorf("post-chaos job tier not drained: backlog %d, in-flight %d",
+			after.jobDepth, after.jobInFlight)
+	}
+	if after.jobParked != 0 || after.jobAckErrs != 0 {
+		return fmt.Errorf("post-chaos job tier damaged: %d parked, %d ack errors",
+			after.jobParked, after.jobAckErrs)
+	}
 	const heapSlack = 256 << 20
 	if after.heapBytes > before.heapBytes+heapSlack {
 		return fmt.Errorf("post-chaos heap %d bytes exceeds baseline %d by more than %d",
@@ -185,6 +201,12 @@ func fetchVitals(base string) (chaosVitals, error) {
 			InFlight   int64 `json:"in_flight"`
 			QueueDepth int64 `json:"queue_depth"`
 		} `json:"service"`
+		Jobs struct {
+			InFlight  int64 `json:"in_flight"`
+			Depth     int64 `json:"queue_depth"`
+			Parked    int64 `json:"parked"`
+			AckErrors int64 `json:"ack_errors"`
+		} `json:"jobs"`
 		Runtime struct {
 			Goroutines     int    `json:"goroutines"`
 			HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
@@ -202,10 +224,14 @@ func fetchVitals(base string) (chaosVitals, error) {
 		return chaosVitals{}, fmt.Errorf("decoding /metrics: %w", err)
 	}
 	return chaosVitals{
-		goroutines: payload.Runtime.Goroutines,
-		heapBytes:  payload.Runtime.HeapAllocBytes,
-		inFlight:   payload.Service.InFlight,
-		queueDepth: payload.Service.QueueDepth,
+		goroutines:  payload.Runtime.Goroutines,
+		heapBytes:   payload.Runtime.HeapAllocBytes,
+		inFlight:    payload.Service.InFlight,
+		queueDepth:  payload.Service.QueueDepth,
+		jobDepth:    payload.Jobs.Depth,
+		jobInFlight: payload.Jobs.InFlight,
+		jobParked:   payload.Jobs.Parked,
+		jobAckErrs:  payload.Jobs.AckErrors,
 	}, nil
 }
 

@@ -43,6 +43,14 @@ type options struct {
 	wait      time.Duration
 	jsonPath  string
 	reqBench  bool
+	// jobsMode drives the async tier instead of /v1/run: "submit" only
+	// enqueues (and records the ids), "poll" verifies a recorded id set,
+	// "full" does both in one process. Empty stays in load mode.
+	jobsMode string
+	// jobsFile is the id manifest submit writes and poll reads.
+	jobsFile string
+	// pollWait bounds how long poll waits for the whole id set to settle.
+	pollWait time.Duration
 }
 
 // supportedProtocols maps the protocol names dipload can generate
@@ -69,6 +77,9 @@ func main() {
 	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the service to report ready")
 	flag.StringVar(&o.jsonPath, "json", "", "write dip-load/v1 results to this file")
 	flag.BoolVar(&o.reqBench, "request-bench", false, "measure the in-process request path's allocs/op and embed it in -json output")
+	flag.StringVar(&o.jobsMode, "jobs", "", "async job mode: submit (enqueue and record ids), poll (verify a recorded id set), full (both)")
+	flag.StringVar(&o.jobsFile, "jobs-file", "", "job id manifest: -jobs submit writes it, -jobs poll reads it")
+	flag.DurationVar(&o.pollWait, "poll-wait", time.Minute, "bound on waiting for the whole job set to settle in -jobs poll/full")
 	flag.Parse()
 
 	for _, p := range strings.Split(protoList, ",") {
@@ -90,6 +101,13 @@ func main() {
 	if o.chaos > 0 {
 		if err := runChaos(o); err != nil {
 			fmt.Fprintf(os.Stderr, "dipload: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if o.jobsMode != "" {
+		if err := runJobs(o); err != nil {
+			fmt.Fprintf(os.Stderr, "dipload: jobs: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -187,7 +205,7 @@ func run(o options) error {
 					job := batches[i]
 					ps := perProto[job.proto]
 					reqStart := time.Now()
-					good, out, retried := fireBatch(client, o.url, job.body, job.count)
+					good, out, retried := fireBatch(client, o.url, job.body, job.count, stats.DeriveSeed(o.seed, i))
 					lat := time.Since(reqStart)
 					retries.Add(retried)
 					// All counters are per-item: one batch body carries
@@ -231,7 +249,7 @@ func run(o options) error {
 				proto := o.protocols[int(i)%len(o.protocols)]
 				ps := perProto[proto]
 				reqStart := time.Now()
-				out, retried := fire(client, o.url, bodies[i])
+				out, retried := fire(client, o.url, bodies[i], stats.DeriveSeed(o.seed, i))
 				lat := time.Since(reqStart)
 				retries.Add(retried)
 				ps.mu.Lock()
@@ -359,11 +377,12 @@ const (
 	fireDropped
 )
 
-// fire sends one run request, retrying 503 admission overflows with a
-// short backoff; retried counts the overflow round-trips. An exhausted
-// retry budget is its own outcome, not an error: 50 polite 503s are a
+// fire sends one run request, retrying 503 admission overflows on the
+// capped-exponential schedule in backoff.go (seeded jitter, Retry-After
+// honored); retried counts the overflow round-trips. An exhausted retry
+// budget is its own outcome, not an error: 50 polite 503s are a
 // capacity statement, not a protocol failure.
-func fire(client *http.Client, url string, body []byte) (out fireOutcome, retried int64) {
+func fire(client *http.Client, url string, body []byte, seed int64) (out fireOutcome, retried int64) {
 	const maxAttempts = 50
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		resp, err := client.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
@@ -379,9 +398,10 @@ func fire(client *http.Client, url string, body []byte) (out fireOutcome, retrie
 			}
 			return fireOK, retried
 		case http.StatusServiceUnavailable:
+			hint := retryAfterHint(resp)
 			drain(resp)
 			retried++
-			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
+			time.Sleep(retryDelay(seed, attempt, hint))
 		default:
 			drain(resp)
 			return fireErr, retried
@@ -470,7 +490,7 @@ func buildBatches(o options) ([]batchJob, error) {
 // counts elements that decoded as dip-report/v1 documents (meaningful
 // only for fireOK); the outcome classifies the whole batch, and the
 // caller charges it per item.
-func fireBatch(client *http.Client, url string, body []byte, count int) (good int, out fireOutcome, retried int64) {
+func fireBatch(client *http.Client, url string, body []byte, count int, seed int64) (good int, out fireOutcome, retried int64) {
 	const maxAttempts = 50
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		resp, err := client.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
@@ -492,9 +512,10 @@ func fireBatch(client *http.Client, url string, body []byte, count int) (good in
 			}
 			return good, fireOK, retried
 		case http.StatusServiceUnavailable:
+			hint := retryAfterHint(resp)
 			drain(resp)
 			retried++
-			time.Sleep(time.Duration(1+attempt) * time.Millisecond)
+			time.Sleep(retryDelay(seed, attempt, hint))
 		default:
 			drain(resp)
 			return 0, fireErr, retried

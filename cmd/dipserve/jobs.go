@@ -1,0 +1,345 @@
+// The async job tier: POST /v1/jobs accepts the same dip.Request body
+// as /v1/run but answers immediately with a job id; a worker pool
+// drains the backlog through the same pooled engine, and GET
+// /v1/jobs/{id} serves status and, once done, the identical
+// dip-report/v1 document the synchronous path would have returned —
+// wrapped in a dip-job/v1 envelope. With -journal the queue is
+// file-backed: a SIGKILL'd server replays its backlog on restart, jobs
+// settled before the crash keep their results, and an Idempotency-Key
+// header dedups client resubmissions across the whole lifecycle.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dip"
+	"dip/internal/jobs"
+)
+
+// jobsConfig are the job-tier knobs; flags in main.go fill them.
+type jobsConfig struct {
+	// workers drains the job queue; 0 is ingest-only (accept and journal
+	// now, process on a later boot with workers — the crash smoke uses
+	// this to build a deterministic backlog).
+	workers int
+	// journal is the durable queue file; empty selects the in-memory
+	// backend (jobs do not survive a restart, results still TTL-evict).
+	journal string
+	// backlog bounds pending jobs; a full backlog answers 503.
+	backlog int
+	// attempts bounds retries per job before it parks as poison.
+	attempts int
+	// attemptTimeout bounds one run attempt; 0 inherits cfg.timeout.
+	attemptTimeout time.Duration
+	// backoffBase seeds the exponential retry delay.
+	backoffBase time.Duration
+	// resultTTL/resultCap bound the result store.
+	resultTTL time.Duration
+	resultCap int
+}
+
+func defaultJobsConfig() jobsConfig {
+	return jobsConfig{
+		workers:     2,
+		backlog:     jobs.DefaultBacklogBound,
+		attempts:    jobs.DefaultMaxAttempts,
+		backoffBase: jobs.DefaultBaseBackoff,
+		resultTTL:   jobs.DefaultResultTTL,
+		resultCap:   jobs.DefaultResultCap,
+	}
+}
+
+// jobsTier owns the queue, store, worker pool and metrics of the async
+// path.
+type jobsTier struct {
+	queue   jobs.Queue
+	store   *jobs.Store
+	pool    *jobs.Pool
+	metrics jobs.Metrics
+	cfg     jobsConfig
+	durable bool
+	// bootNS + seq mint job ids unique across restarts: the boot stamp
+	// distinguishes two processes, the sequence two jobs in one.
+	bootNS int64
+	seq    atomic.Int64
+}
+
+// newJobsTier builds (and for a journal, replays) the tier. run is the
+// seeded engine entry (dip.RunContext in production; tests inject).
+func newJobsTier(cfg jobsConfig, seed int64, run func(context.Context, dip.Request) (dip.Report, error)) (*jobsTier, error) {
+	t := &jobsTier{
+		cfg:    cfg,
+		bootNS: time.Now().UnixNano(),
+	}
+	t.store = jobs.NewStore(cfg.resultTTL, cfg.resultCap)
+
+	if cfg.journal != "" {
+		fq, err := jobs.OpenFileQueue(cfg.journal, cfg.backlog, cfg.resultTTL)
+		if err != nil {
+			return nil, err
+		}
+		t.queue = fq
+		t.durable = true
+		stats, settled := fq.Replayed()
+		t.metrics.Replayed.Add(int64(stats.Pending))
+		t.metrics.ReplayedSettled.Add(int64(stats.Settled))
+		for _, s := range settled {
+			t.store.Adopt(settledRecord(s))
+		}
+		// Pending jobs need store records too, or their status polls
+		// would 404 until a worker picks them up.
+		adoptPending(fq, t.store)
+	} else {
+		t.queue = jobs.NewMemQueue(cfg.backlog)
+	}
+
+	t.pool = jobs.NewPool(t.queue, jobs.PoolConfig{
+		Workers:        cfg.workers,
+		Run:            jobRunFunc(run),
+		Retryable:      jobRetryable,
+		MaxAttempts:    cfg.attempts,
+		AttemptTimeout: cfg.attemptTimeout,
+		BaseBackoff:    cfg.backoffBase,
+		Seed:           seed,
+		Store:          t.store,
+		Metrics:        &t.metrics,
+	})
+	return t, nil
+}
+
+// settledRecord shapes a replayed terminal job into its store record.
+func settledRecord(s jobs.Settled) jobs.Record {
+	rec := jobs.Record{
+		ID:        s.Job.ID,
+		Key:       s.Job.Key,
+		Meta:      payloadProtocol(s.Job.Payload),
+		Attempts:  s.Result.Attempts,
+		SettledMS: s.AtMS,
+	}
+	switch {
+	case s.Result.OK:
+		rec.State = jobs.StateDone
+		rec.Output = s.Result.Output
+	case s.Result.Parked:
+		rec.State = jobs.StateParked
+		rec.Error = s.Result.Error
+	default:
+		rec.State = jobs.StateFailed
+		rec.Error = s.Result.Error
+	}
+	return rec
+}
+
+// adoptPending registers a queued store record for every replayed
+// pending job, so status polls work from the first instant of the boot.
+func adoptPending(fq *jobs.FileQueue, store *jobs.Store) {
+	for _, j := range fq.PendingJobs() {
+		store.Adopt(jobs.Record{
+			ID:         j.ID,
+			Key:        j.Key,
+			Meta:       payloadProtocol(j.Payload),
+			State:      jobs.StateQueued,
+			EnqueuedMS: time.Now().UnixMilli(),
+		})
+	}
+}
+
+// payloadProtocol peeks the protocol name out of a stored payload.
+func payloadProtocol(payload json.RawMessage) string {
+	var head struct {
+		Protocol string `json:"protocol"`
+	}
+	_ = json.Unmarshal(payload, &head)
+	return head.Protocol
+}
+
+// mintID returns a job id unique across restarts.
+func (t *jobsTier) mintID() string {
+	return fmt.Sprintf("j-%x-%06d", t.bootNS, t.seq.Add(1))
+}
+
+// replayStats reports what a durable queue recovered at open (zeros,
+// false for the in-memory backend).
+func (t *jobsTier) replayStats() (jobs.ReplayStats, bool) {
+	if fq, ok := t.queue.(*jobs.FileQueue); ok {
+		st, _ := fq.Replayed()
+		return st, true
+	}
+	return jobs.ReplayStats{}, false
+}
+
+// stop drains the tier: workers finish their current attempt (backoff
+// waits are cut and the job nacked back), then the queue closes — for a
+// journal that is the flush+fsync that seals the backlog for the next
+// boot.
+func (t *jobsTier) stop() {
+	t.pool.Stop()
+	_ = t.queue.Close()
+}
+
+// jobRunFunc adapts the engine entry to the queue's payload-in,
+// payload-out shape: decode the stored dip.Request, run it, encode the
+// dip-report/v1 answer. The encoding is the same WireReportFrom path
+// /v1/run uses, so a job's report is byte-identical to the synchronous
+// answer for the same request — and identical across queue backends,
+// which only differ in how the payload waited.
+func jobRunFunc(run func(context.Context, dip.Request) (dip.Report, error)) jobs.RunFunc {
+	return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		var req dip.Request
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			// A payload that no longer decodes is the submission's
+			// fault forever: permanent, never retried.
+			return nil, &dip.RequestError{Err: fmt.Errorf("decoding job payload: %w", err)}
+		}
+		rep, err := run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := dip.WireReportFrom(rep, req.Options.Seed).Encode(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// jobRetryable classifies attempt failures with the same taxonomy the
+// synchronous path maps to HTTP statuses: 400-class failures (request
+// validation, setup) are the payload's fault and will fail identically
+// forever — permanent. Everything else (timeouts, mid-run faults,
+// contained panics, internal errors) might be load or a transient bug:
+// retry, bounded by the attempt budget and the poison lane.
+func jobRetryable(err error) bool {
+	status, _ := mapRunError(err)
+	return status != http.StatusBadRequest
+}
+
+// handleJobs is POST /v1/jobs: admit a request into the async tier.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only (poll GET /v1/jobs/{id})"})
+		return
+	}
+	if !s.allowClient(w, r, 1) {
+		return
+	}
+	var req dip.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, decodeStatus(err), errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+		s.meters.Rejected.Add(1)
+		return
+	}
+
+	t := s.async
+	key := r.Header.Get("Idempotency-Key")
+	id := t.mintID()
+	rec, dup := t.store.Enqueue(id, key, req.Protocol)
+	if dup {
+		// The key already names a job (queued, running or settled):
+		// answer its current state and never mint a second run. This is
+		// what makes client retry storms safe.
+		t.metrics.IdemHits.Add(1)
+		s.writeJob(w, http.StatusOK, rec)
+		return
+	}
+
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.store.Discard(id)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	if err := t.queue.Publish(&jobs.Job{ID: id, Key: key, Payload: payload}); err != nil {
+		// Withdraw the store record so a later resubmission (same key)
+		// mints a fresh job instead of pointing at one that never
+		// queued.
+		t.store.Discard(id)
+		switch {
+		case errors.Is(err, jobs.ErrBacklogFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "job backlog full"})
+			s.meters.Rejected.Add(1)
+		case errors.Is(err, jobs.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "job queue closed"})
+			s.meters.Rejected.Add(1)
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	t.metrics.Enqueued.Add(1)
+	s.meters.Requests.Add(1)
+	s.writeJob(w, http.StatusAccepted, rec)
+}
+
+// handleJobStatus is GET /v1/jobs/{id}: the polling endpoint.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "want /v1/jobs/{id}"})
+		return
+	}
+	rec, ok := s.async.store.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("job %s unknown (never submitted, or its result expired)", id)})
+		return
+	}
+	s.writeJob(w, http.StatusOK, rec)
+}
+
+// writeJob answers with the dip-job/v1 envelope for rec.
+func (s *server) writeJob(w http.ResponseWriter, status int, rec jobs.Record) {
+	env, err := wireJobFromRecord(rec)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, status, env)
+}
+
+// wireJobFromRecord shapes a store record into its dip-job/v1 document.
+func wireJobFromRecord(rec jobs.Record) (*dip.WireJob, error) {
+	env := &dip.WireJob{
+		Schema:         dip.JobSchema,
+		ID:             rec.ID,
+		State:          string(rec.State),
+		Protocol:       rec.Meta,
+		IdempotencyKey: rec.Key,
+		Attempts:       rec.Attempts,
+		EnqueuedUnixMS: rec.EnqueuedMS,
+		SettledUnixMS:  rec.SettledMS,
+	}
+	if rec.State == jobs.StateDone {
+		var rep dip.WireReport
+		if err := json.Unmarshal(rec.Output, &rep); err != nil {
+			return nil, fmt.Errorf("job %s stored an undecodable report: %w", rec.ID, err)
+		}
+		env.Report = &rep
+	} else {
+		env.Error = rec.Error
+	}
+	return env, nil
+}

@@ -4,10 +4,12 @@
 // answers with dip-report/v1 documents.
 //
 //	POST /v1/run        {"protocol": "sym-dmam", "n": 6, "edges": [[0,1], ...], "options": {"seed": 1}}
+//	POST /v1/jobs       same body, answered asynchronously: 202 + dip-job/v1 envelope
+//	GET  /v1/jobs/{id}  job status; a done job embeds its dip-report/v1 result
 //	GET  /v1/protocols  registry listing (name, family, rounds)
 //	GET  /metrics       service + engine meters and state-pool statistics
 //	GET  /healthz       liveness
-//	GET  /readyz        readiness (503 while draining)
+//	GET  /readyz        readiness (503 while draining) + queue/backlog depths
 //
 // Concurrency is bounded twice: a fixed worker pool (-workers) executes
 // runs, and a fixed-depth admission queue (-queue) holds what the workers
@@ -42,6 +44,14 @@ func main() {
 	flag.StringVar(&cfg.addrFile, "addr-file", cfg.addrFile, "write the bound address to this file once listening")
 	flag.Float64Var(&cfg.rateLimit, "rate-limit", cfg.rateLimit, "per-client requests/second budget; batch items count individually (0 disables)")
 	flag.IntVar(&cfg.rateBurst, "rate-burst", cfg.rateBurst, "per-client token-bucket capacity (0 derives one second of budget)")
+	flag.StringVar(&cfg.jobs.journal, "journal", cfg.jobs.journal, "job journal file: makes the async backlog survive SIGKILL (empty keeps jobs in memory)")
+	flag.IntVar(&cfg.jobs.workers, "job-workers", cfg.jobs.workers, "async job workers (0 = ingest-only: accept and journal now, process on a later boot)")
+	flag.IntVar(&cfg.jobs.backlog, "job-backlog", cfg.jobs.backlog, "pending job bound (full backlog answers 503)")
+	flag.IntVar(&cfg.jobs.attempts, "job-attempts", cfg.jobs.attempts, "run attempts per job before it parks as poison")
+	flag.DurationVar(&cfg.jobs.attemptTimeout, "job-attempt-timeout", cfg.jobs.attemptTimeout, "per-attempt deadline (0 inherits -timeout)")
+	flag.DurationVar(&cfg.jobs.backoffBase, "job-backoff", cfg.jobs.backoffBase, "base retry backoff (doubles per attempt, jittered)")
+	flag.DurationVar(&cfg.jobs.resultTTL, "result-ttl", cfg.jobs.resultTTL, "how long finished job results stay pollable")
+	flag.IntVar(&cfg.jobs.resultCap, "result-cap", cfg.jobs.resultCap, "finished job records retained (oldest evicted beyond)")
 	flag.Parse()
 
 	if err := serve(cfg); err != nil {
@@ -51,8 +61,15 @@ func main() {
 }
 
 func serve(cfg config) error {
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
 	s.start()
+	if stats, _ := s.async.replayStats(); stats.Pending+stats.Settled > 0 {
+		log.Printf("dipserve: journal replayed %d pending, %d settled (%d expired, %d torn bytes cut)",
+			stats.Pending, stats.Settled, stats.Expired, stats.TruncatedBytes)
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

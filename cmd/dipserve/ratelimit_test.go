@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -115,6 +117,116 @@ func TestLimiterEviction(t *testing.T) {
 	}
 	if len(l.buckets) > maxClients {
 		t.Fatalf("bucket map grew to %d after eviction, bound %d", len(l.buckets), maxClients)
+	}
+}
+
+// TestLimiterEvictionPrefersSaturated pins the eviction policy: with the
+// map full of saturated (fully refilled, information-free) buckets and
+// exactly one mid-drain bucket, a newcomer's arrival evicts the
+// saturated ones and keeps the draining one — the only bucket whose loss
+// would forget real rate state.
+func TestLimiterEvictionPrefersSaturated(t *testing.T) {
+	l, clock := newTestLimiter(1, 2)
+	for i := 0; i < maxClients-1; i++ {
+		if ok, _ := l.allow(fmt.Sprintf("victim-%d", i), 1); !ok {
+			t.Fatalf("victim %d refused while filling", i)
+		}
+	}
+	clock.advance(2 * time.Second) // every victim refills to capacity
+	if ok, _ := l.allow("draining", 2); !ok {
+		t.Fatal("draining client refused its burst")
+	}
+	// Map is at the bound; the newcomer forces an eviction sweep.
+	if ok, _ := l.allow("newcomer", 1); !ok {
+		t.Fatal("newcomer refused although every victim was saturated")
+	}
+	if n := len(l.buckets); n != 2 {
+		t.Fatalf("post-eviction map holds %d buckets, want 2 (draining + newcomer)", n)
+	}
+	if l.buckets["draining"] == nil {
+		t.Fatal("eviction dropped the mid-drain bucket instead of a saturated one")
+	}
+	if l.buckets["newcomer"] == nil {
+		t.Fatal("newcomer admitted but not tracked")
+	}
+}
+
+// TestLimiterChurnStorm storms the limiter from concurrent goroutines
+// with far more distinct client identities than the map bound — the
+// spoofed-identity attack the bound exists for — and asserts the map
+// never exceeds maxClients at any instant (a monitor samples it
+// mid-storm) and holds no residue beyond the bound afterwards. Run under
+// -race this also checks the single-mutex discipline around the bucket
+// map and eviction sweep.
+func TestLimiterChurnStorm(t *testing.T) {
+	// A very hot refill rate makes every bucket saturate (and become
+	// evictable) microseconds after its last use, so the storm exercises
+	// the eviction path constantly instead of deadlocking on refusals.
+	l := newLimiter(50000, 1)
+
+	const goroutines = 6
+	const perG = 1200 // 7200 distinct hosts, ~1.75x the map bound
+	var maxSeen atomic.Int64
+	sample := func() {
+		l.mu.Lock()
+		n := int64(len(l.buckets))
+		l.mu.Unlock()
+		for {
+			cur := maxSeen.Load()
+			if n <= cur || maxSeen.CompareAndSwap(cur, n) {
+				return
+			}
+		}
+	}
+	stop := make(chan struct{})
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sample()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	var refused atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if ok, _ := l.allow(fmt.Sprintf("host-%d-%d", g, i), 1); !ok {
+					refused.Add(1)
+				}
+				// Revisit an earlier identity so the storm mixes fresh
+				// inserts with refill-path hits on surviving buckets.
+				if i%3 == 0 {
+					l.allow(fmt.Sprintf("host-%d-%d", g, i/2), 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+	sample()
+
+	if got := maxSeen.Load(); got > maxClients {
+		t.Fatalf("bucket map reached %d mid-storm, bound %d", got, maxClients)
+	}
+	if n := len(l.buckets); n > maxClients {
+		t.Fatalf("bucket map holds %d after the storm, bound %d", n, maxClients)
+	}
+	// Refusals may happen in the instant between a fill and the next
+	// saturation, but a limiter that refused most of the storm is broken.
+	if r := refused.Load(); r > goroutines*perG/10 {
+		t.Fatalf("%d of %d fresh identities refused", r, goroutines*perG)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dip"
+	"dip/internal/jobs"
 	"dip/internal/network"
 	"dip/internal/obs"
 )
@@ -44,6 +45,8 @@ type config struct {
 	// rateBurst is the token-bucket capacity per client; 0 derives a
 	// default from rateLimit.
 	rateBurst int
+	// jobs are the async tier knobs (POST /v1/jobs); see jobsConfig.
+	jobs jobsConfig
 }
 
 func defaultConfig() config {
@@ -54,6 +57,7 @@ func defaultConfig() config {
 		timeout: 10 * time.Second,
 		maxBody: 8 << 20,
 		drain:   15 * time.Second,
+		jobs:    defaultJobsConfig(),
 	}
 }
 
@@ -91,6 +95,10 @@ type server struct {
 	// limiter is the per-client admission rate limiter; nil when
 	// cfg.rateLimit is 0.
 	limiter *limiter
+	// async is the durable job tier behind POST /v1/jobs — its queue,
+	// store, and worker pool are independent of the synchronous
+	// admission queue above.
+	async *jobsTier
 	// runFunc is dip.RunContext in production; tests inject stubs to pin
 	// queue/timeout behavior without real protocol runs.
 	runFunc  func(context.Context, dip.Request) (dip.Report, error)
@@ -99,7 +107,7 @@ type server struct {
 	wg       sync.WaitGroup
 }
 
-func newServer(cfg config) *server {
+func newServer(cfg config) (*server, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -118,7 +126,22 @@ func newServer(cfg config) *server {
 	if cfg.rateLimit > 0 {
 		s.limiter = newLimiter(cfg.rateLimit, cfg.rateBurst)
 	}
-	return s
+	jc := cfg.jobs
+	if jc.attemptTimeout == 0 {
+		// A job attempt defaults to the same deadline a synchronous run
+		// gets: the async tier changes when work runs, not how long it may.
+		jc.attemptTimeout = cfg.timeout
+	}
+	// The run closure reads s.runFunc at call time, so tests that inject
+	// a stub after construction steer the job tier too.
+	async, err := newJobsTier(jc, s.started.UnixNano(), func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		return s.runFunc(ctx, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.async = async
+	return s, nil
 }
 
 // start launches the worker pool. stop drains it: the admission queue is
@@ -134,6 +157,7 @@ func (s *server) start() {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.async.pool.Start()
 }
 
 // stop retires the worker pool: every job queued before (or racing
@@ -155,6 +179,10 @@ func (s *server) stop() {
 			// Handlers that enqueue after this point find stopped
 			// closed and answer 503 without waiting on j.done.
 			close(s.stopped)
+			// Retire the job tier last: its workers finish their current
+			// attempt, backoff waits nack their job back, and closing the
+			// queue seals the journal for the next boot.
+			s.async.stop()
 			return
 		}
 	}
@@ -260,19 +288,43 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobStatus)
 	mux.HandleFunc("/v1/protocols", s.handleProtocols)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
+}
+
+// readyBody is the /readyz answer: not just a status word but the
+// load picture an orchestrator or smoke gate wants in one probe — the
+// synchronous admission queue's depth, the async backlog and its
+// in-flight count, and whether the server is draining.
+type readyBody struct {
+	Status       string `json:"status"`
+	QueueDepth   int64  `json:"queue_depth"`
+	JobBacklog   int    `json:"job_backlog"`
+	JobsInFlight int    `json:"jobs_in_flight"`
+	Draining     bool   `json:"draining"`
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := readyBody{
+		Status:       "ready",
+		QueueDepth:   s.meters.QueueDepth.Value(),
+		JobBacklog:   s.async.queue.Depth(),
+		JobsInFlight: s.async.queue.InFlight(),
+		Draining:     s.draining.Load(),
+	}
+	if body.Draining {
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // errorBody is the JSON error response of every non-2xx answer.
@@ -540,6 +592,7 @@ type metricsPayload struct {
 	Engine    obs.Metrics              `json:"engine"`
 	StatePool network.PoolStats        `json:"state_pool"`
 	Caches    []obs.CacheMetricsRecord `json:"caches"`
+	Jobs      jobs.MetricsSnapshot     `json:"jobs"`
 	Workers   int                      `json:"workers"`
 	QueueCap  int                      `json:"queue_capacity"`
 	UptimeMS  int64                    `json:"uptime_ms"`
@@ -562,6 +615,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Engine:    obs.Snapshot(),
 		StatePool: network.StatePoolStats(),
 		Caches:    obs.SnapshotCaches(),
+		Jobs:      s.async.metrics.Snapshot(s.async.queue, s.async.store, s.async.cfg.workers, s.async.durable),
 		Workers:   s.cfg.workers,
 		QueueCap:  s.cfg.queue,
 		UptimeMS:  time.Since(s.started).Milliseconds(),

@@ -39,7 +39,13 @@ func startTestServer(t *testing.T, cfg config, runFunc func(context.Context, dip
 	if cfg.maxBody == 0 {
 		cfg.maxBody = def.maxBody
 	}
-	s := newServer(cfg)
+	if cfg.jobs == (jobsConfig{}) {
+		cfg.jobs = def.jobs
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	if runFunc != nil {
 		s.runFunc = runFunc
 	}
@@ -600,7 +606,10 @@ func TestStopUnderConcurrentAdmission(t *testing.T) {
 	cfg.workers = 2
 	cfg.queue = 4
 	cfg.timeout = time.Minute
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runFunc = func(ctx context.Context, req dip.Request) (dip.Report, error) {
 		time.Sleep(200 * time.Microsecond) // hold workers busy so admission races stop()
 		return dip.Report{Protocol: req.Protocol}, nil

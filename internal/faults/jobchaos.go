@@ -1,0 +1,149 @@
+// Job-tier chaos: the async sibling of the HTTP-boundary scenarios.
+// Where HTTPChaos rewrites one HTTP exchange, these helpers attack the
+// durable job tier at its three weak points — the worker mid-attempt,
+// the journal file between boots, and the submission path under client
+// retry storms. They are deliberately small, deterministic building
+// blocks: tests in internal/jobs and cmd/dipserve compose them into the
+// crash/replay/dedup assertions the tier's robustness claims rest on.
+package faults
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+)
+
+// WorkerKill wraps a job-tier run function so that seed-deterministically
+// chosen attempts die by panic mid-attempt — the process-internal
+// equivalent of kill -9 on a worker. kills is the number of initial
+// calls (in arrival order) that panic; after the budget is spent the
+// inner function runs untouched, so a pool with retries must converge.
+// The wrapper is safe for concurrent workers.
+func WorkerKill(seed int64, kills int, inner func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error)) func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	remaining := kills
+	return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+		mu.Lock()
+		kill := remaining > 0
+		if kill {
+			remaining--
+			// Burn one rng draw per kill so distinct seeds produce
+			// distinct panic payloads — useful when logs from two chaos
+			// sessions must be told apart.
+			_ = rng.Int63()
+		}
+		mu.Unlock()
+		if kill {
+			panic(fmt.Sprintf("faults: worker-kill (seed %d)", seed))
+		}
+		return inner(ctx, payload)
+	}
+}
+
+// TruncateJournalTail chops n bytes off the end of the journal at path,
+// simulating the torn final write of a SIGKILL'd process. Replay must
+// recover everything before the torn record and drop only the tail.
+func TruncateJournalTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// GarbleJournalTail overwrites the last n bytes of the journal with
+// seed-deterministic garbage — a torn write that left bytes behind
+// instead of cutting them. Replay must stop at the garbage, not crash.
+func GarbleJournalTail(path string, seed int64, n int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if n > info.Size() {
+		n = info.Size()
+	}
+	garbage := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(garbage)
+	// Keep newlines out so the garbage stays one undecodable line
+	// rather than several.
+	for i := range garbage {
+		if garbage[i] == '\n' {
+			garbage[i] = 'x'
+		}
+	}
+	_, err = f.WriteAt(garbage, info.Size()-n)
+	return err
+}
+
+// DupStormResult summarizes a duplicate-submission storm.
+type DupStormResult struct {
+	// IDs is the set of distinct job IDs the service answered with; an
+	// idempotent submission path yields exactly one.
+	IDs map[string]int
+	// Statuses tallies HTTP statuses across the storm.
+	Statuses map[int]int
+	// Transport counts exchanges that failed before a status arrived.
+	Transport int
+}
+
+// DupSubmitStorm fires k concurrent POST /v1/jobs submissions carrying
+// the same Idempotency-Key and body at base (e.g. "http://host:port").
+// Every 2xx answer's job id is tallied; an idempotent service answers
+// all of them with one id.
+func DupSubmitStorm(base, key string, body []byte, k int) DupStormResult {
+	res := DupStormResult{IDs: map[string]int{}, Statuses: map[int]int{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				res.Transport++
+				mu.Unlock()
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Idempotency-Key", key)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				mu.Lock()
+				res.Transport++
+				mu.Unlock()
+				return
+			}
+			var env struct {
+				ID string `json:"id"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&env)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			res.Statuses[resp.StatusCode]++
+			if derr == nil && resp.StatusCode >= 200 && resp.StatusCode < 300 && env.ID != "" {
+				res.IDs[env.ID]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}

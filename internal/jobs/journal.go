@@ -1,0 +1,365 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The file-backed queue is an append-only journal of two record kinds:
+//
+//	{"v":1,"op":"enq","at_ms":...,"job":{"id":...,"key":...,"payload":...}}
+//	{"v":1,"op":"settle","at_ms":...,"id":...,"result":{...}}
+//
+// one JSON document per line. Publish appends an enq record, Ack appends
+// a settle record; Nack and Dequeue touch nothing — an in-flight job is
+// simply one whose enq has no settle yet, so a crash anywhere between
+// dequeue and ack replays the job as pending on the next open. That is
+// the whole recovery story: replay is a single forward pass that
+// partitions enq records into settled (result retained for the store)
+// and pending (re-enqueued in original order).
+//
+// Torn tails are expected: a SIGKILL can land mid-write, leaving a final
+// partial line. Replay stops at the first undecodable record, truncates
+// the file back to the last good byte offset, and reports the cut — the
+// journal loses at most the single record being written at the instant
+// of death, which for an enq means the client never got its 202 and
+// resubmits (idempotency key dedups), and for a settle means the job
+// re-runs (deterministic, so the effect is identical).
+//
+// Open also compacts: settled records older than retain are dropped and
+// the file is rewritten to hold only live state, so the journal's size
+// is bounded by backlog + retained results, not by lifetime throughput.
+
+// journalVersion is the record format version.
+const journalVersion = 1
+
+// journalRecord is one line of the journal file.
+type journalRecord struct {
+	V    int    `json:"v"`
+	Op   string `json:"op"`
+	AtMS int64  `json:"at_ms"`
+	// enq fields
+	Job *Job `json:"job,omitempty"`
+	// settle fields
+	ID     string  `json:"id,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Settled is one replayed terminal job: what Open recovered from an
+// enq+settle pair, handed to the caller to reseed its result store.
+type Settled struct {
+	Job    Job
+	Result Result
+	AtMS   int64 // settle wall-clock, for TTL accounting across restarts
+}
+
+// ReplayStats describes what Open recovered from an existing journal.
+type ReplayStats struct {
+	// Pending is how many unsettled jobs were re-enqueued.
+	Pending int
+	// Settled is how many terminal jobs were recovered (and retained
+	// through compaction).
+	Settled int
+	// Expired is how many settle records were dropped by compaction
+	// because they aged past the retain bound.
+	Expired int
+	// TruncatedBytes is how many bytes of torn tail were cut; 0 on a
+	// clean journal.
+	TruncatedBytes int64
+}
+
+// FileQueue is the durable backend: MemQueue ordering semantics plus an
+// append-only journal that makes the backlog survive SIGKILL.
+type FileQueue struct {
+	mem  *MemQueue
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+
+	replay  ReplayStats
+	settled []Settled
+	pending []Job
+
+	// now is injectable for tests; records carry wall-clock stamps only
+	// for TTL accounting, never for ordering.
+	now func() time.Time
+}
+
+// OpenFileQueue opens (or creates) the journal at path, replays it, and
+// returns the queue with any unsettled backlog already pending. bound
+// caps the pending backlog as in NewMemQueue; retain bounds how old a
+// settled record may be before compaction drops it (0 keeps all).
+func OpenFileQueue(path string, bound int, retain time.Duration) (*FileQueue, error) {
+	q := &FileQueue{
+		mem:  NewMemQueue(bound),
+		path: path,
+		now:  time.Now,
+	}
+	if err := q.openAndReplay(retain); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// openAndReplay reads the journal, truncates any torn tail, compacts it,
+// and re-enqueues the pending backlog.
+func (q *FileQueue) openAndReplay(retain time.Duration) error {
+	data, err := os.ReadFile(q.path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("jobs: reading journal: %w", err)
+	}
+
+	type enqState struct {
+		job     *Job
+		settled *Result
+		atMS    int64
+	}
+	var order []string // enq order
+	byID := make(map[string]*enqState)
+
+	good := int64(0) // byte offset of the last fully-decoded record
+	for off := int64(0); off < int64(len(data)); {
+		nl := int64(-1)
+		for i := off; i < int64(len(data)); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // no terminator: torn tail
+		}
+		line := data[off : nl+1]
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // undecodable record: torn or corrupt tail
+		}
+		switch rec.Op {
+		case "enq":
+			if rec.Job == nil || rec.Job.ID == "" {
+				return fmt.Errorf("jobs: journal enq record without a job at offset %d", off)
+			}
+			if byID[rec.Job.ID] == nil {
+				byID[rec.Job.ID] = &enqState{job: rec.Job}
+				order = append(order, rec.Job.ID)
+			}
+		case "settle":
+			st := byID[rec.ID]
+			if st == nil {
+				return fmt.Errorf("jobs: journal settles unknown job %q at offset %d", rec.ID, off)
+			}
+			if st.settled == nil {
+				st.settled = rec.Result
+				st.atMS = rec.AtMS
+			}
+		default:
+			return fmt.Errorf("jobs: journal record with unknown op %q at offset %d", rec.Op, off)
+		}
+		good = nl + 1
+		off = nl + 1
+	}
+	q.replay.TruncatedBytes = int64(len(data)) - good
+
+	// Partition into pending (re-enqueue) and settled (retain unless
+	// expired), preserving enq order for both.
+	cutoff := int64(0)
+	if retain > 0 {
+		cutoff = q.now().Add(-retain).UnixMilli()
+	}
+	var pendingJobs []*Job
+	for _, id := range order {
+		st := byID[id]
+		switch {
+		case st.settled == nil:
+			pendingJobs = append(pendingJobs, st.job)
+			q.pending = append(q.pending, *st.job)
+			q.replay.Pending++
+		case retain > 0 && st.atMS < cutoff:
+			q.replay.Expired++
+		default:
+			res := *st.settled
+			q.settled = append(q.settled, Settled{Job: *st.job, Result: res, AtMS: st.atMS})
+			q.replay.Settled++
+		}
+	}
+
+	// Compact: rewrite the journal to live state only, atomically via a
+	// temp file so a crash mid-compaction leaves the old journal intact.
+	tmp := q.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, s := range q.settled {
+		job := s.Job
+		res := s.Result
+		if err := writeRecord(w, journalRecord{V: journalVersion, Op: "enq", AtMS: s.AtMS, Job: &job}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := writeRecord(w, journalRecord{V: journalVersion, Op: "settle", AtMS: s.AtMS, ID: job.ID, Result: &res}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for _, j := range pendingJobs {
+		if err := writeRecord(w, journalRecord{V: journalVersion, Op: "enq", AtMS: q.now().UnixMilli(), Job: j}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, q.path); err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+
+	// Reopen for appends and seed the in-memory queue. Settled IDs are
+	// registered as seen so a duplicate Publish of a finished job is
+	// still refused.
+	q.f, err = os.OpenFile(q.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	q.w = bufio.NewWriter(q.f)
+	for _, s := range q.settled {
+		q.mem.mu.Lock()
+		q.mem.seen[s.Job.ID] = true
+		q.mem.mu.Unlock()
+	}
+	for _, j := range pendingJobs {
+		if err := q.mem.Publish(j); err != nil {
+			// A replayed backlog larger than the bound must not lose
+			// jobs: the bound applies to new admissions, not recovery.
+			if errors.Is(err, ErrBacklogFull) {
+				q.mem.mu.Lock()
+				q.mem.seen[j.ID] = true
+				q.mem.pending = append(q.mem.pending, j)
+				q.mem.mu.Unlock()
+				continue
+			}
+			return fmt.Errorf("jobs: replaying job %s: %w", j.ID, err)
+		}
+	}
+	return nil
+}
+
+func writeRecord(w *bufio.Writer, rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding journal record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("jobs: appending journal record: %w", err)
+	}
+	return nil
+}
+
+// Replayed returns what Open recovered: stats plus the settled jobs the
+// caller should reseed its result store with.
+func (q *FileQueue) Replayed() (ReplayStats, []Settled) {
+	return q.replay, q.settled
+}
+
+// PendingJobs returns the unsettled backlog Open re-enqueued, in order —
+// the caller reseeds its status store with these so polls answer from
+// the first instant of the new boot.
+func (q *FileQueue) PendingJobs() []Job {
+	return q.pending
+}
+
+// append writes one record and flushes it to the OS. The flush (not
+// fsync) is the durability point we promise: the backlog survives
+// process death; surviving whole-machine power loss would need fsync
+// per record, which the serving path does not pay by default.
+func (q *FileQueue) append(rec journalRecord) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if err := writeRecord(q.w, rec); err != nil {
+		return err
+	}
+	return q.w.Flush()
+}
+
+func (q *FileQueue) Publish(j *Job) error {
+	// Admit in memory first (duplicate/bound checks), then journal. If
+	// the append fails the job is withdrawn so memory and file agree.
+	if err := q.mem.Publish(j); err != nil {
+		return err
+	}
+	if err := q.append(journalRecord{V: journalVersion, Op: "enq", AtMS: q.now().UnixMilli(), Job: j}); err != nil {
+		q.mem.mu.Lock()
+		for i, p := range q.mem.pending {
+			if p.ID == j.ID {
+				q.mem.pending = append(q.mem.pending[:i], q.mem.pending[i+1:]...)
+				break
+			}
+		}
+		delete(q.mem.seen, j.ID)
+		q.mem.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (q *FileQueue) Dequeue(ctx context.Context) (*Job, error) { return q.mem.Dequeue(ctx) }
+
+func (q *FileQueue) Ack(id string, res Result) error {
+	if err := q.mem.Ack(id, res); err != nil {
+		return err
+	}
+	return q.append(journalRecord{V: journalVersion, Op: "settle", AtMS: q.now().UnixMilli(), ID: id, Result: &res})
+}
+
+func (q *FileQueue) Nack(id string) error { return q.mem.Nack(id) }
+
+func (q *FileQueue) Depth() int { return q.mem.Depth() }
+
+func (q *FileQueue) InFlight() int { return q.mem.InFlight() }
+
+func (q *FileQueue) Close() error {
+	// Stop admissions and dequeues first, then seal the file.
+	_ = q.mem.Close()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var ferr error
+	if q.w != nil {
+		ferr = q.w.Flush()
+	}
+	if q.f != nil {
+		if err := q.f.Sync(); err != nil && ferr == nil {
+			ferr = err
+		}
+		if err := q.f.Close(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	return ferr
+}

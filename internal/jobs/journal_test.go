@@ -1,0 +1,262 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dip/internal/faults"
+)
+
+func openTestQueue(t *testing.T, path string) *FileQueue {
+	t.Helper()
+	q, err := OpenFileQueue(path, 0, 0)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return q
+}
+
+// TestFileQueueReplay is the crash-replay contract: publish a backlog,
+// settle part of it, drop the queue without closing (SIGKILL), reopen —
+// the unsettled jobs replay pending in order, the settled ones come back
+// as results, and nothing runs twice.
+func TestFileQueueReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if err := q.Publish(mkJob(i)); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	// Settle the first two, leave one in flight (dequeued, never acked),
+	// and three pending.
+	for i := 0; i < 2; i++ {
+		j, _ := q.Dequeue(ctx)
+		out := json.RawMessage(fmt.Sprintf(`{"ran":%q}`, j.ID))
+		if err := q.Ack(j.ID, Result{OK: true, Output: out, Attempts: 1}); err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+	}
+	if _, err := q.Dequeue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process dies here.
+
+	q2 := openTestQueue(t, path)
+	stats, settled := q2.Replayed()
+	if stats.Pending != 4 {
+		t.Fatalf("replayed pending = %d, want 4 (3 queued + 1 in-flight at crash)", stats.Pending)
+	}
+	if stats.Settled != 2 || len(settled) != 2 {
+		t.Fatalf("replayed settled = %d (%d records), want 2", stats.Settled, len(settled))
+	}
+	if stats.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", stats.TruncatedBytes)
+	}
+	for i, s := range settled {
+		if want := fmt.Sprintf("j-%04d", i); s.Job.ID != want {
+			t.Fatalf("settled[%d] = %s, want %s", i, s.Job.ID, want)
+		}
+		if !s.Result.OK || !strings.Contains(string(s.Result.Output), s.Job.ID) {
+			t.Fatalf("settled[%d] lost its result: %+v", i, s.Result)
+		}
+	}
+	// Pending order: the in-flight job (j-0002) was enqueued before
+	// j-0003..5, so it replays first.
+	for i := 2; i < 6; i++ {
+		j, err := q2.Dequeue(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("j-%04d", i); j.ID != want {
+			t.Fatalf("replayed dequeue = %s, want %s", j.ID, want)
+		}
+		if err := q2.Ack(j.ID, Result{OK: true, Attempts: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Settled IDs must stay refused after replay: a client retrying a
+	// completed job cannot re-run it.
+	if err := q2.Publish(mkJob(0)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("republish of settled job after replay: %v, want ErrDuplicateID", err)
+	}
+	if err := q2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third open finds everything settled: nothing pending.
+	q3 := openTestQueue(t, path)
+	stats3, settled3 := q3.Replayed()
+	if stats3.Pending != 0 || stats3.Settled != 6 || len(settled3) != 6 {
+		t.Fatalf("third open: %+v with %d settled, want 0 pending / 6 settled", stats3, len(settled3))
+	}
+	q3.Close()
+}
+
+// TestFileQueueTornTail: a SIGKILL mid-write leaves a partial record;
+// replay recovers the prefix and reports the cut.
+func TestFileQueueTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	for i := 0; i < 3; i++ {
+		if err := q.Publish(mkJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.TruncateJournalTail(path, 7); err != nil {
+		t.Fatalf("truncating: %v", err)
+	}
+
+	q2 := openTestQueue(t, path)
+	stats, _ := q2.Replayed()
+	if stats.Pending != 2 {
+		t.Fatalf("pending after torn tail = %d, want 2 (the torn enq is lost)", stats.Pending)
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The lost job's client never saw a 202: resubmission must be
+	// accepted, not refused as a duplicate.
+	if err := q2.Publish(mkJob(2)); err != nil {
+		t.Fatalf("resubmitting the torn job: %v", err)
+	}
+	q2.Close()
+}
+
+// TestFileQueueGarbledTail: garbage bytes at the tail (torn write that
+// left data) stop replay without error and are compacted away.
+func TestFileQueueGarbledTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	for i := 0; i < 4; i++ {
+		q.Publish(mkJob(i))
+	}
+	q.Close()
+	if err := faults.GarbleJournalTail(path, 42, 11); err != nil {
+		t.Fatal(err)
+	}
+	q2 := openTestQueue(t, path)
+	stats, _ := q2.Replayed()
+	if stats.Pending != 3 {
+		t.Fatalf("pending after garbled tail = %d, want 3", stats.Pending)
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Fatal("garbled tail not reported as truncated")
+	}
+	q2.Close()
+	// Compaction rewrote the file: a fresh open sees a clean journal.
+	q3 := openTestQueue(t, path)
+	stats3, _ := q3.Replayed()
+	if stats3.TruncatedBytes != 0 {
+		t.Fatalf("compacted journal still torn: %+v", stats3)
+	}
+	q3.Close()
+}
+
+// TestFileQueueCompactionExpiry: settled records older than the retain
+// bound are dropped at open; younger ones survive.
+func TestFileQueueCompactionExpiry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		q.Publish(mkJob(i))
+		j, _ := q.Dequeue(ctx)
+		q.Ack(j.ID, Result{OK: true, Attempts: 1})
+	}
+	q.Close()
+
+	// Rewrite the first settle's stamp into the deep past by reopening
+	// with a retain window and a clock far in the future for record 0
+	// only: simplest is to edit the file — but records are opaque here,
+	// so instead reopen with retain long enough to keep both, then with
+	// a tiny retain after aging.
+	q2, err := OpenFileQueue(path, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := q2.Replayed()
+	if stats.Settled != 2 || stats.Expired != 0 {
+		t.Fatalf("fresh settles: %+v, want 2 settled, 0 expired", stats)
+	}
+	q2.Close()
+
+	q3 := &FileQueue{mem: NewMemQueue(0), path: path, now: func() time.Time { return time.Now().Add(48 * time.Hour) }}
+	if err := q3.openAndReplay(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stats3, settled3 := q3.Replayed()
+	if stats3.Settled != 0 || stats3.Expired != 2 || len(settled3) != 0 {
+		t.Fatalf("aged settles: %+v, want all expired", stats3)
+	}
+	q3.Close()
+}
+
+// TestFileQueueReplayOverBound: a replayed backlog larger than the
+// bound is never dropped — the bound gates new admissions only.
+func TestFileQueueReplayOverBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q, err := OpenFileQueue(path, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := q.Publish(mkJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+
+	q2, err := OpenFileQueue(path, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := q2.Replayed()
+	if stats.Pending != 8 {
+		t.Fatalf("replay dropped jobs to honor the bound: pending %d, want 8", stats.Pending)
+	}
+	if err := q2.Publish(mkJob(100)); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("new admission over bound: %v, want ErrBacklogFull", err)
+	}
+	q2.Close()
+}
+
+// TestFileQueueJournalBounded: the journal compacts at open — after a
+// large settled history expires, the file shrinks instead of growing
+// with lifetime throughput.
+func TestFileQueueJournalBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		q.Publish(mkJob(i))
+		j, _ := q.Dequeue(ctx)
+		q.Ack(j.ID, Result{OK: true, Output: json.RawMessage(`{"x":1}`), Attempts: 1})
+	}
+	q.Close()
+	grown, _ := os.Stat(path)
+
+	q2 := &FileQueue{mem: NewMemQueue(0), path: path, now: func() time.Time { return time.Now().Add(48 * time.Hour) }}
+	if err := q2.openAndReplay(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	q2.Close()
+	compacted, _ := os.Stat(path)
+	if compacted.Size() >= grown.Size() {
+		t.Fatalf("journal did not compact: %d -> %d bytes", grown.Size(), compacted.Size())
+	}
+	if compacted.Size() != 0 {
+		t.Fatalf("fully-expired journal should be empty, is %d bytes", compacted.Size())
+	}
+}

@@ -1,0 +1,161 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkJob(i int) *Job {
+	return &Job{
+		ID:      fmt.Sprintf("j-%04d", i),
+		Payload: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)),
+	}
+}
+
+// TestMemQueueFIFO: jobs come out in publish order, and settling them
+// empties the in-flight set.
+func TestMemQueueFIFO(t *testing.T) {
+	q := NewMemQueue(0)
+	for i := 0; i < 5; i++ {
+		if err := q.Publish(mkJob(i)); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if d := q.Depth(); d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		j, err := q.Dequeue(ctx)
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("j-%04d", i); j.ID != want {
+			t.Fatalf("dequeue %d = %s, want %s (FIFO violated)", i, j.ID, want)
+		}
+		if err := q.Ack(j.ID, Result{OK: true}); err != nil {
+			t.Fatalf("ack %s: %v", j.ID, err)
+		}
+	}
+	if q.Depth() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not empty after drain: depth %d, inflight %d", q.Depth(), q.InFlight())
+	}
+}
+
+// TestMemQueueDuplicateID: a republished ID is refused, even after the
+// original settled — IDs are once-ever.
+func TestMemQueueDuplicateID(t *testing.T) {
+	q := NewMemQueue(0)
+	j := mkJob(1)
+	if err := q.Publish(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Publish(mkJob(1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate publish: %v, want ErrDuplicateID", err)
+	}
+	got, _ := q.Dequeue(context.Background())
+	q.Ack(got.ID, Result{OK: true})
+	if err := q.Publish(mkJob(1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("republish after settle: %v, want ErrDuplicateID", err)
+	}
+}
+
+// TestMemQueueBound: the backlog bound refuses the overflow publish and
+// admits again once a slot frees.
+func TestMemQueueBound(t *testing.T) {
+	q := NewMemQueue(2)
+	if err := q.Publish(mkJob(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Publish(mkJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Publish(mkJob(2)); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("over-bound publish: %v, want ErrBacklogFull", err)
+	}
+	j, _ := q.Dequeue(context.Background())
+	if err := q.Publish(mkJob(2)); err != nil {
+		t.Fatalf("publish after dequeue freed a slot: %v", err)
+	}
+	q.Ack(j.ID, Result{OK: true})
+}
+
+// TestMemQueueNackFront: a nacked job goes to the front of the line,
+// keeping its admission-order place.
+func TestMemQueueNackFront(t *testing.T) {
+	q := NewMemQueue(0)
+	q.Publish(mkJob(0))
+	q.Publish(mkJob(1))
+	ctx := context.Background()
+	j, _ := q.Dequeue(ctx)
+	if err := q.Nack(j.ID); err != nil {
+		t.Fatalf("nack: %v", err)
+	}
+	again, _ := q.Dequeue(ctx)
+	if again.ID != j.ID {
+		t.Fatalf("after nack dequeued %s, want %s back first", again.ID, j.ID)
+	}
+}
+
+// TestMemQueueDequeueBlocks: an empty queue blocks Dequeue until a
+// publish arrives, and honors context cancellation and Close.
+func TestMemQueueDequeueBlocks(t *testing.T) {
+	q := NewMemQueue(0)
+	got := make(chan *Job, 1)
+	go func() {
+		j, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Errorf("dequeue: %v", err)
+		}
+		got <- j
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Publish(mkJob(7))
+	select {
+	case j := <-got:
+		if j.ID != "j-0007" {
+			t.Fatalf("dequeued %s", j.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked dequeue never woke for the publish")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := q.Dequeue(ctx)
+		errCh <- err
+	}()
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled dequeue: %v", err)
+	}
+
+	go func() {
+		_, err := q.Dequeue(context.Background())
+		errCh <- err
+	}()
+	q.Close()
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("dequeue on closed queue: %v", err)
+	}
+	if err := q.Publish(mkJob(9)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish on closed queue: %v", err)
+	}
+}
+
+// TestQueueAckUnknown: settling a job that is not in flight is an error
+// on both backends.
+func TestQueueAckUnknown(t *testing.T) {
+	q := NewMemQueue(0)
+	if err := q.Ack("nope", Result{OK: true}); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("ack unknown: %v", err)
+	}
+	if err := q.Nack("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("nack unknown: %v", err)
+	}
+}

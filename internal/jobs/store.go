@@ -1,0 +1,260 @@
+package jobs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position as the store tracks it.
+type State string
+
+const (
+	// StateQueued: published, not yet picked up by a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is attempting it (including backoff waits
+	// between attempts).
+	StateRunning State = "running"
+	// StateDone: finished successfully; Result holds the output.
+	StateDone State = "done"
+	// StateFailed: finished with a permanent (non-retryable) error.
+	StateFailed State = "failed"
+	// StateParked: poison — every attempt failed retryably until the
+	// budget ran out; parked jobs are not retried again.
+	StateParked State = "parked"
+)
+
+// Terminal reports whether s is a finished state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateParked
+}
+
+// Record is everything the store knows about one job. Values are
+// returned by copy; the store's internal record is never shared.
+type Record struct {
+	ID  string
+	Key string
+	// Meta is a caller-chosen annotation carried through the lifecycle
+	// (the service stores the protocol name for status answers).
+	Meta     string
+	State    State
+	Attempts int
+	// Output is the job's product when State is StateDone.
+	Output json.RawMessage
+	// Error describes the failure for StateFailed/StateParked.
+	Error      string
+	EnqueuedMS int64
+	SettledMS  int64
+}
+
+// Store is the bounded, TTL-evicting job status/result store. Live jobs
+// (queued/running) are never evicted — their population is bounded by
+// the queue bound plus the worker count; terminal records expire after
+// ttl and are evicted oldest-first when the store exceeds cap. The
+// idempotency index (Key -> ID) lives and dies with its record.
+type Store struct {
+	mu      sync.Mutex
+	byID    map[string]*Record
+	byKey   map[string]string
+	ttl     time.Duration
+	cap     int
+	now     func() time.Time
+	evicted int64
+}
+
+// DefaultResultTTL and DefaultResultCap bound the store when the caller
+// does not choose: results live an hour, and at most 64k records are
+// retained (oldest terminal evicted beyond that).
+const (
+	DefaultResultTTL = time.Hour
+	DefaultResultCap = 65536
+)
+
+// NewStore builds a store with the given result TTL and record cap
+// (zero values pick the defaults).
+func NewStore(ttl time.Duration, capacity int) *Store {
+	if ttl <= 0 {
+		ttl = DefaultResultTTL
+	}
+	if capacity <= 0 {
+		capacity = DefaultResultCap
+	}
+	return &Store{
+		byID:  make(map[string]*Record),
+		byKey: make(map[string]string),
+		ttl:   ttl,
+		cap:   capacity,
+		now:   time.Now,
+	}
+}
+
+// Enqueue registers a fresh queued record. When key is non-empty and
+// already maps to a live or terminal record, no new record is created
+// and the existing one is returned with dup=true — that is the
+// idempotency contract: one key, one job, however many submissions.
+func (s *Store) Enqueue(id, key, meta string) (rec Record, dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if key != "" {
+		if prior, ok := s.byKey[key]; ok {
+			if r, ok := s.byID[prior]; ok {
+				return *r, true
+			}
+			// Key pointed at an evicted record: fall through and remint.
+			delete(s.byKey, key)
+		}
+	}
+	r := &Record{
+		ID:         id,
+		Key:        key,
+		Meta:       meta,
+		State:      StateQueued,
+		EnqueuedMS: s.now().UnixMilli(),
+	}
+	s.byID[id] = r
+	if key != "" {
+		s.byKey[key] = id
+	}
+	return *r, false
+}
+
+// Adopt installs a replayed record (from a journal) verbatim: settled
+// jobs keep their terminal state and original timestamps, pending jobs
+// re-enter as queued.
+func (s *Store) Adopt(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := rec
+	s.byID[r.ID] = &r
+	if r.Key != "" {
+		s.byKey[r.Key] = r.ID
+	}
+}
+
+// Discard withdraws a non-terminal record (an admission that failed
+// after the record was minted, e.g. a full backlog): the record and its
+// key mapping go away as if the submission never happened.
+func (s *Store) Discard(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok || r.State.Terminal() {
+		return
+	}
+	delete(s.byID, id)
+	if r.Key != "" && s.byKey[r.Key] == id {
+		delete(s.byKey, r.Key)
+	}
+}
+
+// MarkRunning moves id to running and records the attempt count.
+func (s *Store) MarkRunning(id string, attempts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.byID[id]; ok {
+		r.State = StateRunning
+		r.Attempts = attempts
+	}
+}
+
+// MarkQueued returns id to queued (a nacked attempt going back to the
+// backlog, e.g. during drain).
+func (s *Store) MarkQueued(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.byID[id]; ok && !r.State.Terminal() {
+		r.State = StateQueued
+	}
+}
+
+// Settle records a terminal result for id.
+func (s *Store) Settle(id string, res Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok || r.State.Terminal() {
+		return
+	}
+	r.Attempts = res.Attempts
+	r.SettledMS = s.now().UnixMilli()
+	switch {
+	case res.OK:
+		r.State = StateDone
+		r.Output = res.Output
+	case res.Parked:
+		r.State = StateParked
+		r.Error = res.Error
+	default:
+		r.State = StateFailed
+		r.Error = res.Error
+	}
+	s.sweepLocked()
+}
+
+// Get returns the record for id.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	r, ok := s.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Len is the number of retained records; Evicted counts records the
+// store has dropped (TTL or capacity) over its lifetime.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+func (s *Store) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// sweepLocked drops expired terminal records, then — if still above
+// cap — the oldest-settled terminal records until back under. Live
+// records are never dropped. Caller holds mu.
+func (s *Store) sweepLocked() {
+	cutoff := s.now().Add(-s.ttl).UnixMilli()
+	for id, r := range s.byID {
+		if r.State.Terminal() && r.SettledMS < cutoff {
+			s.dropLocked(id, r)
+		}
+	}
+	if len(s.byID) <= s.cap {
+		return
+	}
+	type aged struct {
+		id        string
+		settledMS int64
+	}
+	var terminal []aged
+	for id, r := range s.byID {
+		if r.State.Terminal() {
+			terminal = append(terminal, aged{id, r.SettledMS})
+		}
+	}
+	sort.Slice(terminal, func(i, j int) bool { return terminal[i].settledMS < terminal[j].settledMS })
+	for _, t := range terminal {
+		if len(s.byID) <= s.cap {
+			break
+		}
+		s.dropLocked(t.id, s.byID[t.id])
+	}
+}
+
+func (s *Store) dropLocked(id string, r *Record) {
+	delete(s.byID, id)
+	if r.Key != "" && s.byKey[r.Key] == id {
+		delete(s.byKey, r.Key)
+	}
+	s.evicted++
+}

@@ -1,0 +1,137 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// storeClock drives a Store's injectable clock.
+type storeClock struct{ t time.Time }
+
+func (c *storeClock) now() time.Time          { return c.t }
+func (c *storeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestStore(ttl time.Duration, capacity int) (*Store, *storeClock) {
+	s := NewStore(ttl, capacity)
+	c := &storeClock{t: time.Unix(1700000000, 0)}
+	s.now = c.now
+	return s, c
+}
+
+// TestStoreLifecycle: queued -> running -> done, with the output held.
+func TestStoreLifecycle(t *testing.T) {
+	s, _ := newTestStore(time.Hour, 100)
+	rec, dup := s.Enqueue("a", "", "sym-dmam")
+	if dup || rec.State != StateQueued {
+		t.Fatalf("enqueue: %+v dup=%v", rec, dup)
+	}
+	s.MarkRunning("a", 1)
+	if r, _ := s.Get("a"); r.State != StateRunning || r.Attempts != 1 {
+		t.Fatalf("running: %+v", r)
+	}
+	s.Settle("a", Result{OK: true, Output: json.RawMessage(`{"ok":1}`), Attempts: 2})
+	r, ok := s.Get("a")
+	if !ok || r.State != StateDone || string(r.Output) != `{"ok":1}` || r.Attempts != 2 {
+		t.Fatalf("done: %+v ok=%v", r, ok)
+	}
+	// A second settle must not overwrite the terminal record.
+	s.Settle("a", Result{Error: "late", Attempts: 3})
+	if r, _ := s.Get("a"); r.State != StateDone {
+		t.Fatalf("terminal record overwritten: %+v", r)
+	}
+}
+
+// TestStoreIdempotency: the same key returns the same record without
+// minting a new job; distinct keys are independent.
+func TestStoreIdempotency(t *testing.T) {
+	s, _ := newTestStore(time.Hour, 100)
+	first, dup := s.Enqueue("a", "key-1", "p")
+	if dup {
+		t.Fatal("fresh key reported dup")
+	}
+	again, dup := s.Enqueue("b", "key-1", "p")
+	if !dup || again.ID != first.ID {
+		t.Fatalf("dup submit: got %+v dup=%v, want original %s", again, dup, first.ID)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("dup submission minted a record")
+	}
+	// Dedup holds through the whole lifecycle, including terminal.
+	s.Settle("a", Result{OK: true, Output: json.RawMessage(`1`), Attempts: 1})
+	done, dup := s.Enqueue("c", "key-1", "p")
+	if !dup || done.ID != "a" || done.State != StateDone {
+		t.Fatalf("dup after settle: %+v dup=%v", done, dup)
+	}
+	if _, dup := s.Enqueue("d", "key-2", "p"); dup {
+		t.Fatal("distinct key reported dup")
+	}
+}
+
+// TestStoreTTL: terminal records expire after the TTL; live ones never.
+func TestStoreTTL(t *testing.T) {
+	s, clock := newTestStore(time.Minute, 100)
+	s.Enqueue("done", "k1", "p")
+	s.Settle("done", Result{OK: true, Attempts: 1})
+	s.Enqueue("live", "k2", "p")
+	s.MarkRunning("live", 1)
+
+	clock.advance(2 * time.Minute)
+	if _, ok := s.Get("done"); ok {
+		t.Fatal("terminal record survived past TTL")
+	}
+	if _, ok := s.Get("live"); !ok {
+		t.Fatal("live record evicted by TTL")
+	}
+	// The expired record's idempotency key is released with it.
+	if _, dup := s.Enqueue("done2", "k1", "p"); dup {
+		t.Fatal("evicted record still deduping its key")
+	}
+	if s.Evicted() == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+// TestStoreCapEvictsOldestTerminal: over cap, the oldest-settled
+// terminal records go first and live records are never touched.
+func TestStoreCapEvictsOldestTerminal(t *testing.T) {
+	s, clock := newTestStore(time.Hour, 4)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("t%d", i)
+		s.Enqueue(id, "", "p")
+		s.Settle(id, Result{OK: true, Attempts: 1})
+		clock.advance(time.Second)
+	}
+	s.Enqueue("live", "", "p")
+	if s.Len() != 5 {
+		t.Fatalf("len = %d before sweep trigger", s.Len())
+	}
+	// Next mutation sweeps: cap 4, so the oldest terminal (t0) goes.
+	s.Enqueue("x", "", "p")
+	if _, ok := s.Get("t0"); ok {
+		t.Fatal("oldest terminal record survived cap eviction")
+	}
+	if _, ok := s.Get("t3"); !ok {
+		t.Fatal("newest terminal record evicted before older ones")
+	}
+	if _, ok := s.Get("live"); !ok {
+		t.Fatal("live record evicted to satisfy cap")
+	}
+}
+
+// TestStoreAdopt: replayed records keep their terminal state, stamps,
+// and idempotency mapping.
+func TestStoreAdopt(t *testing.T) {
+	s, clock := newTestStore(time.Hour, 100)
+	// The stamp must be within TTL of the store's clock, or the sweep
+	// (correctly) drops the adopted record as expired.
+	stamp := clock.now().Add(-time.Minute).UnixMilli()
+	s.Adopt(Record{ID: "r1", Key: "k", State: StateDone, Output: json.RawMessage(`2`), Attempts: 3, SettledMS: stamp})
+	r, ok := s.Get("r1")
+	if !ok || r.State != StateDone || r.SettledMS != stamp {
+		t.Fatalf("adopted: %+v ok=%v", r, ok)
+	}
+	if got, dup := s.Enqueue("new", "k", "p"); !dup || got.ID != "r1" {
+		t.Fatalf("adopted key not deduping: %+v dup=%v", got, dup)
+	}
+}

@@ -1,0 +1,140 @@
+package dip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JobSchema identifies the versioned JSON envelope of an async job:
+// what POST /v1/jobs returns at submission and GET /v1/jobs/{id}
+// returns while polling. A finished job embeds its dip-report/v1
+// document unchanged, so the async tier answers byte-for-byte the same
+// report the synchronous /v1/run path would have.
+const JobSchema = "dip-job/v1"
+
+// Job lifecycle states as they appear on the wire.
+const (
+	JobStateQueued  = "queued"
+	JobStateRunning = "running"
+	JobStateDone    = "done"
+	JobStateFailed  = "failed"
+	JobStateParked  = "parked"
+)
+
+// WireJob is the dip-job/v1 document.
+type WireJob struct {
+	Schema string `json:"schema"`
+	// ID is the job handle for GET /v1/jobs/{id}.
+	ID string `json:"id"`
+	// State is one of queued, running, done, failed, parked.
+	State string `json:"state"`
+	// Protocol is the request's protocol name, echoed for status
+	// listings without a payload fetch.
+	Protocol string `json:"protocol,omitempty"`
+	// IdempotencyKey echoes the client's dedup key when one was given.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Attempts is how many run attempts the job has consumed so far.
+	Attempts int `json:"attempts,omitempty"`
+	// EnqueuedUnixMS/SettledUnixMS stamp admission and completion.
+	EnqueuedUnixMS int64 `json:"enqueued_unix_ms,omitempty"`
+	SettledUnixMS  int64 `json:"settled_unix_ms,omitempty"`
+	// Report is the embedded dip-report/v1 result, present exactly when
+	// State is done.
+	Report *WireReport `json:"report,omitempty"`
+	// Error describes the failure for failed and parked jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// validJobStates is the closed state set of the schema.
+var validJobStates = map[string]bool{
+	JobStateQueued:  true,
+	JobStateRunning: true,
+	JobStateDone:    true,
+	JobStateFailed:  true,
+	JobStateParked:  true,
+}
+
+// Validate checks the structural invariants of a dip-job/v1 document.
+func (w *WireJob) Validate() error {
+	if w.Schema != JobSchema {
+		return fmt.Errorf("job: schema %q, want %q", w.Schema, JobSchema)
+	}
+	if w.ID == "" {
+		return fmt.Errorf("job: missing id")
+	}
+	if !validJobStates[w.State] {
+		return fmt.Errorf("job: unknown state %q", w.State)
+	}
+	if w.Attempts < 0 {
+		return fmt.Errorf("job: %d attempts", w.Attempts)
+	}
+	switch w.State {
+	case JobStateDone:
+		if w.Report == nil {
+			return fmt.Errorf("job: done without a report")
+		}
+		if w.Error != "" {
+			return fmt.Errorf("job: done with error %q", w.Error)
+		}
+		if err := w.Report.Validate(); err != nil {
+			return fmt.Errorf("job: embedded report: %w", err)
+		}
+		if w.Protocol != "" && w.Report.Protocol != w.Protocol {
+			return fmt.Errorf("job: protocol %q, embedded report says %q", w.Protocol, w.Report.Protocol)
+		}
+	case JobStateFailed, JobStateParked:
+		if w.Error == "" {
+			return fmt.Errorf("job: %s without an error", w.State)
+		}
+		if w.Report != nil {
+			return fmt.Errorf("job: %s with a report", w.State)
+		}
+	default: // queued, running
+		if w.Report != nil || w.Error != "" {
+			return fmt.Errorf("job: %s job carries a result", w.State)
+		}
+		if w.SettledUnixMS != 0 {
+			return fmt.Errorf("job: %s job has a settle stamp", w.State)
+		}
+	}
+	if w.SettledUnixMS != 0 && w.EnqueuedUnixMS != 0 && w.SettledUnixMS < w.EnqueuedUnixMS {
+		return fmt.Errorf("job: settled (%d) before enqueued (%d)", w.SettledUnixMS, w.EnqueuedUnixMS)
+	}
+	return nil
+}
+
+// Encode writes the document as stable, indented JSON with a trailing
+// newline (the repo-wide results-file convention).
+func (w *WireJob) Encode(out io.Writer) error {
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = out.Write(data)
+	return err
+}
+
+// DecodeWireJob parses and validates a dip-job/v1 document.
+func DecodeWireJob(r io.Reader) (*WireJob, error) {
+	var w WireJob
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// ReadWireJobFile decodes and validates the job document at path.
+func ReadWireJobFile(path string) (*WireJob, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return DecodeWireJob(in)
+}

@@ -1,0 +1,107 @@
+package dip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validWireJob() *WireJob {
+	return &WireJob{
+		Schema:         JobSchema,
+		ID:             "j-1",
+		State:          JobStateDone,
+		Protocol:       "sym-dmam",
+		Attempts:       1,
+		EnqueuedUnixMS: 1000,
+		SettledUnixMS:  2000,
+		Report: &WireReport{
+			Schema:   ReportSchema,
+			Protocol: "sym-dmam",
+			Nodes:    4,
+			Seed:     1,
+			Accepted: true,
+		},
+	}
+}
+
+// TestWireJobRoundTrip: Encode then Decode yields an identical, valid
+// document.
+func TestWireJobRoundTrip(t *testing.T) {
+	w := validWireJob()
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWireJob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != w.ID || got.State != w.State || got.Report == nil || got.Report.Protocol != "sym-dmam" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+}
+
+// TestWireJobValidate walks the invariant table: every mutation below
+// must be refused with a diagnostic mentioning the broken field.
+func TestWireJobValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*WireJob)
+		want string
+	}{
+		{"wrong schema", func(w *WireJob) { w.Schema = "nope/v1" }, "schema"},
+		{"missing id", func(w *WireJob) { w.ID = "" }, "missing id"},
+		{"unknown state", func(w *WireJob) { w.State = "zombie" }, "unknown state"},
+		{"negative attempts", func(w *WireJob) { w.Attempts = -1 }, "attempts"},
+		{"done without report", func(w *WireJob) { w.Report = nil }, "without a report"},
+		{"done with error", func(w *WireJob) { w.Error = "boom" }, "with error"},
+		{"invalid embedded report", func(w *WireJob) { w.Report.Nodes = 0 }, "embedded report"},
+		{"protocol mismatch", func(w *WireJob) { w.Protocol = "sym-dam" }, "embedded report says"},
+		{"failed without error", func(w *WireJob) {
+			w.State = JobStateFailed
+			w.Report = nil
+		}, "without an error"},
+		{"parked with report", func(w *WireJob) {
+			w.State = JobStateParked
+			w.Error = "poison"
+		}, "with a report"},
+		{"queued with result", func(w *WireJob) {
+			w.State = JobStateQueued
+			w.SettledUnixMS = 0
+		}, "carries a result"},
+		{"running with settle stamp", func(w *WireJob) {
+			w.State = JobStateRunning
+			w.Report = nil
+		}, "settle stamp"},
+		{"settled before enqueued", func(w *WireJob) {
+			w.EnqueuedUnixMS = 5000
+		}, "before enqueued"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := validWireJob()
+			tc.mut(w)
+			err := w.Validate()
+			if err == nil {
+				t.Fatalf("mutation accepted: %+v", w)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Sanity: the unmutated document is valid, as are the non-done
+	// terminal and live shapes.
+	if err := validWireJob().Validate(); err != nil {
+		t.Fatalf("valid document refused: %v", err)
+	}
+	failed := &WireJob{Schema: JobSchema, ID: "j", State: JobStateFailed, Error: "bad", Attempts: 1, EnqueuedUnixMS: 1, SettledUnixMS: 2}
+	if err := failed.Validate(); err != nil {
+		t.Fatalf("valid failed document refused: %v", err)
+	}
+	queued := &WireJob{Schema: JobSchema, ID: "j", State: JobStateQueued, EnqueuedUnixMS: 1}
+	if err := queued.Validate(); err != nil {
+		t.Fatalf("valid queued document refused: %v", err)
+	}
+}
