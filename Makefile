@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
@@ -10,8 +10,10 @@ GO ?= go
 # leak check on the drained service, an adversarial chaos session
 # against the live service (dipload -chaos), and the job-tier
 # crash-replay drill (jobs-smoke: SIGKILL mid-backlog, restart, every
-# job completes exactly once).
-verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke
+# job completes exactly once), and the multi-process peer drill
+# (peer-smoke: a real dippeer fleet must produce the byte-identical
+# dip-report/v1, fail structurally when a peer dies, and drain cleanly).
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -36,21 +38,24 @@ race:
 	$(GO) test -race -short ./...
 
 # smoke emits a quick machine-readable benchmark file and round-trips it
-# through the schema validator.
+# through the schema validator, then re-validates every committed results
+# sidecar so a hand-edited or stale artifact cannot sit in the tree.
 smoke:
 	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json /tmp/dip-bench-smoke.json >/dev/null
 	$(GO) run ./cmd/dipbench -validate /tmp/dip-bench-smoke.json
+	$(GO) run ./cmd/dipbench -validate BENCH_seed1.json FAULT_seed1.json LOAD_seed1.json LOAD_seed2.json LOAD_seed3.json
 
 # fuzz-short gives each decoder fuzz target a brief mutation burst on top
 # of the checked-in seed corpus (go only allows one -fuzz pattern per
 # invocation, hence the loop).
 FUZZ_TIME ?= 2s
 fuzz-short:
-	@for target in FuzzReader FuzzRoundTrip FuzzSymDecoders FuzzDSymDecoder FuzzGNIDecoders FuzzLCPDecoders FuzzWireReport FuzzRequestDecode; do \
+	@for target in FuzzReader FuzzRoundTrip FuzzSymDecoders FuzzDSymDecoder FuzzGNIDecoders FuzzLCPDecoders FuzzWireReport FuzzRequestDecode FuzzPeerFrame; do \
 		pkg=./internal/core; \
 		case $$target in \
 			FuzzReader|FuzzRoundTrip) pkg=./internal/wire;; \
 			FuzzWireReport|FuzzRequestDecode) pkg=.;; \
+			FuzzPeerFrame) pkg=./internal/peer;; \
 		esac; \
 		$(GO) test -run xxx -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) $$pkg || exit 1; \
 	done
@@ -173,6 +178,50 @@ jobs-smoke:
 	wait $$pid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve2.log; exit 1; }; \
 	grep -q drained $$dir/serve2.log || { echo "no drain marker in log"; cat $$dir/serve2.log; exit 1; }; \
 	echo "jobs-smoke: ok"
+
+# peer-smoke proves the multi-process executor end to end. Boot four
+# dippeer processes on ephemeral ports, run the same sym-dmam instance
+# in-process and against the fleet, and require the two dip-report/v1
+# files to be byte-identical (cmp, not a field diff — the pin is exact).
+# Then boot a peer armed with -fail-session 1 (os.Exit mid-exchange on
+# its first session), run against a fleet containing it, and require a
+# non-zero exit with a structured transport-phase error on stderr — a
+# dying peer must fail the run loudly, never hang or mis-answer. The
+# healthy fleet must still serve a fresh session after the wreck, and a
+# SIGTERM drain of every surviving peer must log its drain marker.
+peer-smoke:
+	@dir=$$(mktemp -d /tmp/dip-peer-smoke.XXXXXX); \
+	$(GO) build -o $$dir/dippeer ./cmd/dippeer || exit 1; \
+	$(GO) build -o $$dir/dipsim ./cmd/dipsim || exit 1; \
+	pids=""; \
+	trap 'kill -9 $$pids 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in 1 2 3 4; do \
+		$$dir/dippeer -addr 127.0.0.1:0 -addr-file $$dir/addr$$i >$$dir/peer$$i.log 2>&1 & \
+		pids="$$pids $$!"; \
+	done; \
+	for i in 1 2 3 4; do \
+		for t in $$(seq 1 100); do [ -s $$dir/addr$$i ] && break; sleep 0.1; done; \
+		[ -s $$dir/addr$$i ] || { echo "peer $$i never bound"; cat $$dir/peer$$i.log; exit 1; }; \
+	done; \
+	addrs=$$(head -n1 $$dir/addr1),$$(head -n1 $$dir/addr2),$$(head -n1 $$dir/addr3),$$(head -n1 $$dir/addr4); \
+	$$dir/dipsim -protocol sym-dmam -graph doubled -n 16 -seed 7 -json $$dir/inproc.json >/dev/null || exit 1; \
+	$$dir/dipsim -protocol sym-dmam -graph doubled -n 16 -seed 7 -peers $$addrs -json $$dir/fleet.json >/dev/null || { echo "fleet run failed"; for i in 1 2 3 4; do cat $$dir/peer$$i.log; done; exit 1; }; \
+	cmp $$dir/inproc.json $$dir/fleet.json || { echo "fleet report is not byte-identical to in-process"; exit 1; }; \
+	$$dir/dippeer -addr 127.0.0.1:0 -addr-file $$dir/addrF -fail-session 1 >$$dir/peerF.log 2>&1 & \
+	failpid=$$!; \
+	for t in $$(seq 1 100); do [ -s $$dir/addrF ] && break; sleep 0.1; done; \
+	[ -s $$dir/addrF ] || { echo "failing peer never bound"; cat $$dir/peerF.log; exit 1; }; \
+	if $$dir/dipsim -protocol sym-dmam -graph doubled -n 16 -seed 7 -peers $$addrs,$$(head -n1 $$dir/addrF) >/dev/null 2>$$dir/fail.err; then \
+		echo "run with a dying peer unexpectedly succeeded"; exit 1; \
+	fi; \
+	grep -q 'transport phase' $$dir/fail.err || { echo "no structured transport error:"; cat $$dir/fail.err; exit 1; }; \
+	wait $$failpid; [ $$? -eq 2 ] || { echo "failing peer did not exit 2"; cat $$dir/peerF.log; exit 1; }; \
+	$$dir/dipsim -protocol sym-dmam -graph doubled -n 16 -seed 7 -peers $$addrs -json $$dir/fleet2.json >/dev/null || { echo "healthy fleet broken after wreck"; exit 1; }; \
+	cmp $$dir/inproc.json $$dir/fleet2.json || { echo "post-wreck fleet report diverged"; exit 1; }; \
+	kill -TERM $$pids; \
+	for p in $$pids; do wait $$p || { echo "peer $$p exited non-zero after drain"; exit 1; }; done; \
+	for i in 1 2 3 4; do grep -q drained $$dir/peer$$i.log || { echo "no drain marker in peer $$i log"; cat $$dir/peer$$i.log; exit 1; }; done; \
+	echo "peer-smoke: ok"
 
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:

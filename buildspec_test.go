@@ -1,0 +1,79 @@
+package dip
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildSpecAllProtocols exercises the peer-provisioning path for every
+// registry protocol: a request with the edge lists stripped (the form a
+// dippeer fleet receives in its handshake) must still rebuild a Spec, and
+// repeated builds must agree on the protocol structure — the constructors
+// behind them are memoized per (protocol, params, seed), so callbacks in
+// both specs close over the same cached instance.
+func TestBuildSpecAllProtocols(t *testing.T) {
+	marks := []int{0, 0, 0, 1, -1, -1}
+	stripped := map[string]Request{
+		"sym-dmam":    {Protocol: "sym-dmam", N: 8, Options: Options{Seed: 3}},
+		"sym-dam":     {Protocol: "sym-dam", N: 8, Options: Options{Seed: 3}},
+		"dsym-dam":    {Protocol: "dsym-dam", Side: 6, Half: 1, Options: Options{Seed: 3}},
+		"sym-lcp":     {Protocol: "sym-lcp", N: 8},
+		"sym-rpls":    {Protocol: "sym-rpls", N: 8, Options: Options{Seed: 3}},
+		"gni-damam":   {Protocol: "gni-damam", N: 6, Options: Options{Seed: 3, Repetitions: 2}},
+		"gni-general": {Protocol: "gni-general", N: 6, Options: Options{Seed: 3, Repetitions: 2}},
+		"gni-marked":  {Protocol: "gni-marked", N: 6, Marks: marks, Options: Options{Seed: 3, Repetitions: 2}},
+		"gni-lcp":     {Protocol: "gni-lcp", N: 6},
+	}
+	for name, e := range registry {
+		req, ok := stripped[name]
+		if !ok {
+			t.Errorf("no BuildSpec fixture for protocol %q — add one", name)
+			continue
+		}
+		spec, err := BuildSpec(req)
+		if err != nil {
+			t.Errorf("%s: BuildSpec: %v", name, err)
+			continue
+		}
+		if spec.Name != name {
+			t.Errorf("%s: spec named %q", name, spec.Name)
+		}
+		again, err := e.spec(&req)
+		if err != nil {
+			t.Errorf("%s: second build: %v", name, err)
+			continue
+		}
+		if again.Name != spec.Name || len(again.Rounds) != len(spec.Rounds) ||
+			again.ShareChallenges != spec.ShareChallenges {
+			t.Errorf("%s: rebuilt spec diverges: %d rounds share=%v vs %d rounds share=%v",
+				name, len(spec.Rounds), spec.ShareChallenges, len(again.Rounds), again.ShareChallenges)
+		}
+		for i := range spec.Rounds {
+			if spec.Rounds[i].Kind != again.Rounds[i].Kind {
+				t.Errorf("%s: round %d kind differs across builds", name, i)
+			}
+		}
+	}
+}
+
+func TestBuildSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		frag string
+	}{
+		{"unknown", Request{Protocol: "nope"}, "unknown protocol"},
+		{"stray-edges1", Request{Protocol: "sym-dmam", N: 4, Edges1: [][2]int{{0, 1}}}, "takes no Edges1"},
+		{"stray-marks", Request{Protocol: "sym-dam", N: 4, Marks: []int{0, 0, 1, 1}}, "takes no Marks"},
+		{"stray-side", Request{Protocol: "sym-lcp", N: 4, Side: 3}, "takes no Side"},
+		{"marks-length", Request{Protocol: "gni-marked", N: 4, Marks: []int{0}}, "marks for"},
+		{"bad-mark", Request{Protocol: "gni-marked", N: 2, Marks: []int{0, 7}}, "mark 7"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildSpec(tc.req); err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -80,7 +81,16 @@ func main() {
 	flag.StringVar(&o.jobsMode, "jobs", "", "async job mode: submit (enqueue and record ids), poll (verify a recorded id set), full (both)")
 	flag.StringVar(&o.jobsFile, "jobs-file", "", "job id manifest: -jobs submit writes it, -jobs poll reads it")
 	flag.DurationVar(&o.pollWait, "poll-wait", time.Minute, "bound on waiting for the whole job set to settle in -jobs poll/full")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "pin the generator's GOMAXPROCS for the run (0 keeps the runtime default); recorded in -json output for sweep provenance")
 	flag.Parse()
+
+	if *gomaxprocs < 0 {
+		fmt.Fprintln(os.Stderr, "dipload: -gomaxprocs must be >= 0")
+		os.Exit(2)
+	}
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
 
 	for _, p := range strings.Split(protoList, ",") {
 		p = strings.TrimSpace(p)
@@ -310,6 +320,7 @@ func run(o options) error {
 		Target:        o.url,
 		Seed:          o.seed,
 		Concurrency:   o.clients,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Requests:      completed,
 		Errors:        int(errs.Load()),
 		Exhausted:     int(exhausted.Load()),

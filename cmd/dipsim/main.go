@@ -14,6 +14,13 @@
 //	dipsim -protocol gni -n 6 -json -        # machine-readable result
 //	dipsim -protocol sym-dam -fault bitflip  # corrupt prover messages
 //	dipsim -protocol sym-dam -fault equivocate -fault-plane exchange
+//	dipsim -protocol sym-dmam -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// -peers runs the verifier nodes on a fleet of dippeer processes (one TCP
+// connection per peer, nodes assigned round-robin) instead of in-process.
+// The engine's funnel — validation, cost accounting, fault injection —
+// stays in the coordinator, so a -peers run is bit-identical to the
+// in-process run of the same instance and seed, faults included.
 //
 // dipsim builds a dip.Request for the chosen instance and — in the plain
 // case — executes it through dip.Run, the same entry point library users
@@ -42,11 +49,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"dip"
 	"dip/internal/core"
@@ -54,6 +63,7 @@ import (
 	"dip/internal/graph"
 	"dip/internal/network"
 	"dip/internal/obs"
+	"dip/internal/peer"
 	"dip/internal/wire"
 )
 
@@ -77,6 +87,7 @@ type simOptions struct {
 	seed     int64
 	verbose  bool
 	jsonPath string
+	peers    string
 
 	fault      string
 	faultPlane string
@@ -95,6 +106,7 @@ func parseFlags(args []string) simOptions {
 	fs.Int64Var(&o.seed, "seed", 1, "reproducibility seed")
 	fs.BoolVar(&o.verbose, "v", false, "print the full message transcript")
 	fs.StringVar(&o.jsonPath, "json", "", "write a dip-report/v1 document to this path ('-' for stdout)")
+	fs.StringVar(&o.peers, "peers", "", "comma-separated dippeer addresses: run the verifier nodes on that fleet instead of in-process")
 	fs.StringVar(&o.fault, "fault", "", "inject a fault class (bitflip | truncate | drop | replay | nodeswap | equivocate)")
 	fs.StringVar(&o.faultPlane, "fault-plane", "prover", "plane to corrupt: prover | exchange")
 	fs.Float64Var(&o.faultProb, "fault-prob", 1, "per-delivery injection probability in [0, 1]")
@@ -298,10 +310,33 @@ func buildInstance(o simOptions, rng *rand.Rand) (*instance, error) {
 	}
 }
 
+// peerParams serializes the request for a dippeer fleet's SpecBuilder:
+// the edge lists are stripped (each peer receives only its own nodes'
+// neighbor slices in the handshake), while spec-shaping fields — N,
+// Side/Half, Marks, seed and repetitions — travel whole.
+func peerParams(req dip.Request) ([]byte, error) {
+	req.Edges = nil
+	req.Edges1 = nil
+	return json.Marshal(req)
+}
+
 // runEngine drives the engine directly for the paths dip.Run does not
-// expose: fault injection and transcript recording.
+// expose: fault injection, transcript recording, and peer fleets.
 func runEngine(o simOptions, inst *instance, stdout io.Writer) (*network.Result, error) {
 	ro := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
+	if o.peers != "" {
+		params, err := peerParams(inst.req)
+		if err != nil {
+			return nil, err
+		}
+		addrs := strings.Split(o.peers, ",")
+		coord, err := peer.Dial(addrs, params, peer.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ro.Transport = coord
+		fmt.Fprintf(stdout, "peers: %d-process fleet\n", len(addrs))
+	}
 	if o.fault != "" {
 		if o.faultProb < 0 || o.faultProb > 1 {
 			return nil, fmt.Errorf("-fault-prob %v outside [0, 1]", o.faultProb)
@@ -341,7 +376,7 @@ func run(o simOptions, stdout io.Writer) error {
 
 	var rep dip.Report
 	var res *network.Result
-	if o.fault == "" && !o.verbose {
+	if o.fault == "" && !o.verbose && o.peers == "" {
 		// The canonical path: exactly what library users and dipserve run.
 		rep, err = dip.Run(inst.req)
 	} else {

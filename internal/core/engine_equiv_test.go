@@ -2,14 +2,39 @@ package core
 
 import (
 	"math/rand"
+	"net"
 	"reflect"
 	"testing"
 
 	"dip/internal/graph"
 	"dip/internal/network"
+	"dip/internal/peer"
 	"dip/internal/perm"
 	"dip/internal/wire"
 )
+
+// peerFleet boots k peer servers on ephemeral TCP ports, each rebuilding
+// the case's spec through its SpecBuilder exactly as a dippeer process
+// would, and returns their addresses. The networked equivalence column
+// dials this fleet per run.
+func peerFleet(t *testing.T, k int, build func() *network.Spec) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &peer.Server{Build: func([]byte) (*network.Spec, error) { return build(), nil }}
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			l.Close()
+			srv.Close()
+		})
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
 
 // equivCase is one protocol workload run under both engines.
 type equivCase struct {
@@ -24,9 +49,10 @@ type equivCase struct {
 }
 
 // TestEngineEquivalenceAllProtocols is the contract behind defaulting to
-// the sequential engine: for every protocol in the repository, both
-// engines must produce bit-identical Cost, Decisions, and Transcript at a
-// fixed seed, for honest and cheating provers alike.
+// the sequential engine: for every protocol in the repository, all three
+// executors — sequential, concurrent, and networked (verifier nodes hosted
+// by a real TCP peer fleet) — must produce bit-identical Cost, Decisions,
+// and Transcript at a fixed seed, for honest and cheating provers alike.
 func TestEngineEquivalenceAllProtocols(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full protocol sweep is slow")
@@ -131,6 +157,7 @@ func TestEngineEquivalenceAllProtocols(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			addrs := peerFleet(t, 3, tc.spec)
 			for _, seed := range []int64{1, 17} {
 				opts := network.Options{Seed: seed, RecordTranscript: true}
 				seqOpts, conOpts := opts, opts
@@ -149,6 +176,22 @@ func TestEngineEquivalenceAllProtocols(t *testing.T) {
 						seed,
 						seqRes.Accepted, seqRes.Decisions, seqRes.Cost,
 						conRes.Accepted, conRes.Decisions, conRes.Cost)
+				}
+				coord, err := peer.Dial(addrs, nil, peer.Options{})
+				if err != nil {
+					t.Fatalf("networked: %v", err)
+				}
+				netOpts := opts
+				netOpts.Transport = coord
+				netRes, err := network.Run(tc.spec(), tc.g, tc.inputs, tc.prover(), netOpts)
+				if err != nil {
+					t.Fatalf("networked: %v", err)
+				}
+				if !reflect.DeepEqual(seqRes, netRes) {
+					t.Fatalf("seed %d: networked engine diverges:\nsequential: accepted=%v decisions=%v cost=%+v\nnetworked:  accepted=%v decisions=%v cost=%+v",
+						seed,
+						seqRes.Accepted, seqRes.Decisions, seqRes.Cost,
+						netRes.Accepted, netRes.Decisions, netRes.Cost)
 				}
 				// The DeepEqual above proves the engines agree on the
 				// per-round breakdown; check it is also internally

@@ -8,14 +8,19 @@ import (
 	"dip/internal/faults"
 	"dip/internal/graph"
 	"dip/internal/network"
+	"dip/internal/peer"
 )
 
 // TestEngineEquivalenceUnderFaults extends the engine-equivalence contract
-// to corrupted runs: for every fault class, on each plane it supports,
-// both engines must produce bit-identical Results (decisions, cost, and
+// to corrupted runs: for every fault class, on each plane it supports, all
+// three executors — sequential, concurrent, and networked over a real TCP
+// peer fleet — must produce bit-identical Results (decisions, cost, and
 // the full transcript, which records the corrupted deliveries). This is
 // the property that makes the fault matrix engine-agnostic: a fault
-// schedule is a pure function of the seed, not of goroutine interleaving.
+// schedule is a pure function of the seed, not of goroutine interleaving
+// or socket timing — and on the networked executor the corrupted copies
+// genuinely cross sockets, since injectors run in the coordinator's
+// funnel before each delivery is shipped to its peer.
 func TestEngineEquivalenceUnderFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault sweep is slow")
@@ -62,6 +67,7 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			addrs := peerFleet(t, 3, tc.spec)
 			for _, name := range faults.Names() {
 				class, ok := faults.ByName(name)
 				if !ok {
@@ -70,12 +76,19 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 				for _, plane := range class.Planes {
 					t.Run(name+"/"+string(plane), func(t *testing.T) {
 						const seed = 17
-						run := func(concurrent bool) *network.Result {
+						run := func(mode string) *network.Result {
 							opts := network.Options{Seed: seed, RecordTranscript: true}
-							if concurrent {
-								opts.Concurrent = true
-							} else {
+							switch mode {
+							case "sequential":
 								opts.Sequential = true
+							case "concurrent":
+								opts.Concurrent = true
+							case "networked":
+								coord, err := peer.Dial(addrs, nil, peer.Options{})
+								if err != nil {
+									t.Fatal(err)
+								}
+								opts.Transport = coord
 							}
 							// Fresh injector per run: Replay and NodeSwap
 							// carry per-run state.
@@ -88,17 +101,19 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 							}
 							res, err := network.Run(tc.spec(), tc.g, tc.inputs, tc.prover(), opts)
 							if err != nil {
-								t.Fatalf("concurrent=%v: %v", concurrent, err)
+								t.Fatalf("%s: %v", mode, err)
 							}
 							return res
 						}
-						seqRes := run(false)
-						conRes := run(true)
-						if !reflect.DeepEqual(seqRes, conRes) {
-							t.Fatalf("engines diverge under %s on %s plane:\nsequential: accepted=%v decisions=%v\nconcurrent: accepted=%v decisions=%v",
-								name, plane,
-								seqRes.Accepted, seqRes.Decisions,
-								conRes.Accepted, conRes.Decisions)
+						seqRes := run("sequential")
+						for _, mode := range []string{"concurrent", "networked"} {
+							other := run(mode)
+							if !reflect.DeepEqual(seqRes, other) {
+								t.Fatalf("engines diverge under %s on %s plane:\nsequential: accepted=%v decisions=%v\n%s: accepted=%v decisions=%v",
+									name, plane,
+									seqRes.Accepted, seqRes.Decisions,
+									mode, other.Accepted, other.Decisions)
+							}
 						}
 						checkPerRoundSums(t, seed, &seqRes.Cost)
 					})

@@ -28,6 +28,11 @@ type LoadResultsFile struct {
 	Seed int64 `json:"seed"`
 	// Concurrency is the number of in-flight client workers.
 	Concurrency int `json:"concurrency"`
+	// GOMAXPROCS records the generator process's scheduler width during the
+	// run — provenance for comparing throughput numbers across -gomaxprocs
+	// sweeps (a single-threaded generator saturates well before the service
+	// does). Zero in files from older tool builds.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Requests counts completed requests (2xx responses with a decodable
 	// report). Errors counts requests the service (or its answer)
 	// actually failed: a non-retryable error status or an undecodable
@@ -149,6 +154,9 @@ func (f *LoadResultsFile) Validate() error {
 	}
 	if f.Concurrency < 1 {
 		return fmt.Errorf("load: concurrency %d", f.Concurrency)
+	}
+	if f.GOMAXPROCS < 0 {
+		return fmt.Errorf("load: gomaxprocs %d", f.GOMAXPROCS)
 	}
 	if f.Requests < 0 || f.Errors < 0 || f.Exhausted < 0 || f.Retries < 0 || f.Dropped < 0 {
 		return fmt.Errorf("load: negative counters")

@@ -102,7 +102,7 @@ func (c *concRun) drive() *RunError {
 			return rerr
 		}
 		switch st.kind {
-		case stepChallenge:
+		case StepChallenge:
 			row := c.chalRows[st.arthur*n : (st.arthur+1)*n]
 			for i := 0; i < n; i++ {
 				var cm challengeMsg
@@ -117,7 +117,7 @@ func (c *concRun) drive() *RunError {
 			c.pv.Challenges = append(c.pv.Challenges, row)
 			c.recordRound(Arthur, row)
 
-		case stepRespond:
+		case StepRespond:
 			resp, rerr := c.callRespond(st.ri, st.merlin)
 			if rerr != nil {
 				return rerr
@@ -149,7 +149,7 @@ func (c *concRun) nodeMain(v int) {
 
 	for _, st := range c.script.steps {
 		switch st.kind {
-		case stepChallenge:
+		case StepChallenge:
 			m, rerr := c.nodeChallenge(st.ri, v)
 			if rerr != nil {
 				c.fail(rerr)
@@ -161,7 +161,7 @@ func (c *concRun) nodeMain(v int) {
 				return
 			}
 
-		case stepRespond:
+		case StepRespond:
 			var m wire.Message
 			select {
 			case m = <-c.respCh[v]:
@@ -170,7 +170,7 @@ func (c *concRun) nodeMain(v int) {
 			}
 			c.views[v].Responses = append(c.views[v].Responses, m)
 
-		case stepExchange:
+		case StepExchange:
 			var out wire.Message
 			if st.chal {
 				mc := c.views[v].MyChallenges
@@ -195,7 +195,7 @@ func (c *concRun) nodeMain(v int) {
 				c.views[v].NeighborResponses = append(c.views[v].NeighborResponses, got)
 			}
 
-		case stepDecide:
+		case StepDecide:
 			// decisions[v] is element-exclusive to this goroutine; the
 			// executor reads it only after wg.Wait.
 			if rerr := c.nodeDecide(v); rerr != nil {

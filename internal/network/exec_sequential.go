@@ -17,7 +17,7 @@ func (sequentialExecutor) run(s *runState) *RunError {
 			return rerr
 		}
 		switch st.kind {
-		case stepChallenge:
+		case StepChallenge:
 			row := s.chalRows[st.arthur*n : (st.arthur+1)*n]
 			for v := 0; v < n; v++ {
 				c, rerr := s.nodeChallenge(st.ri, v)
@@ -33,7 +33,7 @@ func (sequentialExecutor) run(s *runState) *RunError {
 			s.pv.Challenges = append(s.pv.Challenges, row)
 			s.recordRound(Arthur, row)
 
-		case stepRespond:
+		case StepRespond:
 			resp, rerr := s.callRespond(st.ri, st.merlin)
 			if rerr != nil {
 				return rerr
@@ -48,7 +48,7 @@ func (sequentialExecutor) run(s *runState) *RunError {
 			}
 			s.recordRound(Merlin, s.delivered)
 
-		case stepExchange:
+		case StepExchange:
 			// Pick what each node forwards: the round's challenges, the
 			// delivered responses, or their digests. Digests draw from the
 			// node RNGs, so they run for all nodes (ascending) before any
@@ -90,7 +90,7 @@ func (sequentialExecutor) run(s *runState) *RunError {
 				}
 			}
 
-		case stepDecide:
+		case StepDecide:
 			for v := 0; v < n; v++ {
 				if rerr := s.nodeDecide(v); rerr != nil {
 					return rerr

@@ -2,18 +2,23 @@ package network
 
 // Executor is the engine's execution strategy: an implementation steps the
 // compiled round script of a prepared runState, filling in its decisions,
-// cost, and transcript, and returns the first failure (or nil). The two
-// implementations — sequentialExecutor and concurrentExecutor — differ
-// only in *scheduling*: which goroutine runs which step, and how messages
-// travel between them. Everything semantic (the schedule itself, Spec
-// callbacks, validation, charging, corruption) lives in the script and
-// funnel layers both executors share, which is why they are bit-identical
-// at a fixed seed (asserted protocol-by-protocol by the equivalence
-// tests).
+// cost, and transcript, and returns the first failure (or nil). The three
+// implementations — sequentialExecutor, concurrentExecutor, and
+// networkedExecutor — differ only in *scheduling and placement*: which
+// goroutine (or which process) runs which step, and how messages travel
+// between them. Everything semantic (the schedule itself, Spec callbacks,
+// validation, charging, corruption) lives in the script and funnel layers
+// all executors share, which is why they are bit-identical at a fixed seed
+// (asserted protocol-by-protocol by the equivalence tests).
 //
-// The interface is sealed (its method takes the unexported runState):
-// executors are engine internals, selected via Options.Sequential /
-// Options.Concurrent.
+// The interface is deliberately sealed (its method takes the unexported
+// runState): an executor's job is to interpret pooled engine internals,
+// and exposing those internals would freeze them as API. Out-of-process
+// execution therefore does not implement Executor from outside — it plugs
+// in *below* the seam instead: networkedExecutor (in-package) drives any
+// Options.Transport implementation, and internal/peer supplies the
+// transport plus the NodeState node hosts. DESIGN.md §9 and §13 document
+// this split.
 type Executor interface {
 	run(s *runState) *RunError
 }
@@ -22,6 +27,9 @@ type Executor interface {
 // a single run has no intrinsic parallelism, so the goroutine-per-node
 // realization buys nothing — see the package comment).
 func executorFor(opts Options) Executor {
+	if opts.Transport != nil {
+		return networkedExecutor{}
+	}
 	if opts.Concurrent {
 		return concurrentExecutor{}
 	}

@@ -105,13 +105,17 @@ func (s *runState) runError(phase Phase, round, node int, err error) *RunError {
 	return &RunError{Protocol: s.spec.Name, Phase: phase, Round: round, Node: node, Err: err}
 }
 
-// guard runs a Spec callback with panic containment: a panic in f becomes a
-// *RunError attributed to (phase, round, node) instead of crashing the
-// process (or, in the concurrent engine, deadlocking the other nodes).
-func (s *runState) guard(phase Phase, round, node int, f func()) (rerr *RunError) {
+// guardNode runs a Spec callback with panic containment: a panic in f
+// becomes a *RunError attributed to (phase, round, node) instead of
+// crashing the process (or, in the concurrent engine, deadlocking the
+// other nodes; or, in a peer process, killing the node host). It is a free
+// function because it also guards callbacks on NodeState, where no
+// runState exists.
+func guardNode(protocol string, phase Phase, round, node int, f func()) (rerr *RunError) {
 	defer func() {
 		if r := recover(); r != nil {
-			rerr = s.runError(phase, round, node, fmt.Errorf("panic: %v", r))
+			rerr = &RunError{Protocol: protocol, Phase: phase, Round: round, Node: node,
+				Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
 	f()

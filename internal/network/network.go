@@ -272,18 +272,59 @@ type Options struct {
 	// engines are bit-identical by construction (and by test).
 	Sequential bool
 	Concurrent bool
+	// Transport, when non-nil, selects the networked executor: node-side
+	// steps (challenges, digests, decisions) run wherever the transport's
+	// far side hosts them — typically separate OS processes dialed by
+	// internal/peer — while this process keeps the coordinator half: the
+	// prover, the delivery funnel (validation, cost, corruption), and the
+	// transcript. Combining Transport with Sequential or Concurrent is an
+	// error. See the Transport interface for the contract that makes the
+	// networked engine bit-identical to the in-process ones.
+	Transport Transport
 }
 
 // validation errors returned by Run.
 var (
-	errNilGraph  = errors.New("network: nil graph")
-	errNilDecide = errors.New("network: spec has no Decide function")
-	errBothModes = errors.New("network: Options.Sequential and Options.Concurrent both set")
+	errNilGraph      = errors.New("network: nil graph")
+	errNilSpec       = errors.New("network: nil spec")
+	errNilDecide     = errors.New("network: spec has no Decide function")
+	errBothModes     = errors.New("network: Options.Sequential and Options.Concurrent both set")
+	errTransportMode = errors.New("network: Options.Transport cannot be combined with Sequential or Concurrent")
 	// errNilProver is the cause inside the *RunError returned when a spec
 	// with Merlin rounds is run without a prover (formerly a nil-interface
 	// panic at the first Respond call).
 	errNilProver = errors.New("nil Prover for a spec with Merlin rounds")
 )
+
+// validateSpec checks the structural validity of spec — a Decide function,
+// a Challenge on every Arthur round, no invalid round kinds — and returns
+// the index of the first Merlin round (-1 if the spec has none). It is the
+// shared validation gate of Run and Schedule, so a spec a peer process
+// accepts for hosting is exactly a spec the coordinator would run.
+func validateSpec(spec *Spec) (firstMerlin int, err error) {
+	if spec == nil {
+		return -1, errNilSpec
+	}
+	if spec.Decide == nil {
+		return -1, errNilDecide
+	}
+	firstMerlin = -1
+	for i, r := range spec.Rounds {
+		switch r.Kind {
+		case Arthur:
+			if r.Challenge == nil {
+				return -1, fmt.Errorf("network: round %d is Arthur but has no Challenge", i)
+			}
+		case Merlin:
+			if firstMerlin < 0 {
+				firstMerlin = i
+			}
+		default:
+			return -1, fmt.Errorf("network: round %d has invalid kind %d", i, r.Kind)
+		}
+	}
+	return firstMerlin, nil
+}
 
 // Run executes the protocol described by spec on graph g with the given
 // prover and per-node inputs (inputs may be nil for pure graph properties).
@@ -296,30 +337,19 @@ func Run(spec *Spec, g *graph.Graph, inputs []wire.Message, p Prover, opts Optio
 	if g == nil {
 		return nil, errNilGraph
 	}
-	if spec.Decide == nil {
-		return nil, errNilDecide
-	}
 	if opts.Sequential && opts.Concurrent {
 		return nil, errBothModes
+	}
+	if opts.Transport != nil && (opts.Sequential || opts.Concurrent) {
+		return nil, errTransportMode
 	}
 	n := g.N()
 	if inputs != nil && len(inputs) != n {
 		return nil, fmt.Errorf("network: %d inputs for %d nodes", len(inputs), n)
 	}
-	firstMerlin := -1
-	for i, r := range spec.Rounds {
-		switch r.Kind {
-		case Arthur:
-			if r.Challenge == nil {
-				return nil, fmt.Errorf("network: round %d is Arthur but has no Challenge", i)
-			}
-		case Merlin:
-			if firstMerlin < 0 {
-				firstMerlin = i
-			}
-		default:
-			return nil, fmt.Errorf("network: round %d has invalid kind %d", i, r.Kind)
-		}
+	firstMerlin, err := validateSpec(spec)
+	if err != nil {
+		return nil, err
 	}
 	if p == nil && firstMerlin >= 0 {
 		return nil, &RunError{Protocol: spec.Name, Phase: PhaseSetup,

@@ -26,6 +26,11 @@ const (
 	// Options.Cancel fired (for RunContext: the context was canceled or its
 	// deadline passed before the run completed).
 	PhaseCanceled Phase = "canceled"
+	// PhaseTransport means a networked run (Options.Transport) lost a
+	// verifier node: a peer connection failed, answered out of protocol,
+	// or went silent past the transport's I/O deadline. The in-process
+	// executors never produce it.
+	PhaseTransport Phase = "transport"
 )
 
 // RunError is the structured error returned by Run when a protocol or

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math/rand"
 	"sync"
 
 	"dip/internal/obs"
@@ -17,38 +18,41 @@ import (
 // the step list below, plus the shared per-node step helpers that both
 // executors call for every Spec callback.
 
-// stepKind enumerates the script's step types.
-type stepKind uint8
+// StepKind enumerates the script's step types. It is exported because the
+// schedule itself is part of the engine's distributed contract: an
+// out-of-process node host (internal/peer) walks the same schedule as the
+// in-process executors, playing the node-facing half of each step.
+type StepKind uint8
 
 const (
-	// stepChallenge is an Arthur round: every node produces a random
+	// StepChallenge is an Arthur round: every node produces a random
 	// challenge and sends it to the prover.
-	stepChallenge stepKind = iota
-	// stepRespond is a Merlin round: the prover produces one response per
+	StepChallenge StepKind = iota
+	// StepRespond is a Merlin round: the prover produces one response per
 	// node, each of which is delivered (validated, charged, corrupted)
 	// through the funnel.
-	stepRespond
-	// stepExchange is a neighbor exchange: every node sends its current
+	StepRespond
+	// StepExchange is a neighbor exchange: every node sends its current
 	// outbound message (challenge, response, or digest) to each neighbor
 	// and collects one message from each.
-	stepExchange
-	// stepDecide runs every node's decision function.
-	stepDecide
+	StepExchange
+	// StepDecide runs every node's decision function.
+	StepDecide
 )
 
 // step is one entry of the compiled schedule.
 type step struct {
-	kind stepKind
-	// ri is the spec round index the step belongs to (-1 for stepDecide);
+	kind StepKind
+	// ri is the spec round index the step belongs to (-1 for StepDecide);
 	// it is the round coordinate of cost attribution and of the exchange
 	// plane's corruption hook.
 	ri int
-	// merlin is the Merlin-round counter for stepRespond.
+	// merlin is the Merlin-round counter for StepRespond.
 	merlin int
-	// arthur is the Arthur-round counter for stepChallenge and for
+	// arthur is the Arthur-round counter for StepChallenge and for
 	// challenge exchanges (it selects the pooled challenge row / map slot).
 	arthur int
-	// chal marks a stepExchange that exchanges Arthur challenges
+	// chal marks a StepExchange that exchanges Arthur challenges
 	// (Spec.ShareChallenges) rather than Merlin responses.
 	chal bool
 }
@@ -74,22 +78,53 @@ func (sc *script) compile(spec *Spec) {
 	for ri, r := range spec.Rounds {
 		switch r.Kind {
 		case Arthur:
-			sc.steps = append(sc.steps, step{kind: stepChallenge, ri: ri, arthur: sc.nA})
+			sc.steps = append(sc.steps, step{kind: StepChallenge, ri: ri, arthur: sc.nA})
 			sc.merlinOf = append(sc.merlinOf, -1)
 			if spec.ShareChallenges {
-				sc.steps = append(sc.steps, step{kind: stepExchange, ri: ri, arthur: sc.nA, chal: true})
+				sc.steps = append(sc.steps, step{kind: StepExchange, ri: ri, arthur: sc.nA, chal: true})
 				sc.nEx++
 			}
 			sc.nA++
 		case Merlin:
-			sc.steps = append(sc.steps, step{kind: stepRespond, ri: ri, merlin: sc.nM})
+			sc.steps = append(sc.steps, step{kind: StepRespond, ri: ri, merlin: sc.nM})
 			sc.merlinOf = append(sc.merlinOf, sc.nM)
-			sc.steps = append(sc.steps, step{kind: stepExchange, ri: ri})
+			sc.steps = append(sc.steps, step{kind: StepExchange, ri: ri})
 			sc.nEx++
 			sc.nM++
 		}
 	}
-	sc.steps = append(sc.steps, step{kind: stepDecide, ri: -1})
+	sc.steps = append(sc.steps, step{kind: StepDecide, ri: -1})
+}
+
+// ScheduleStep is the exported projection of one compiled step: everything
+// a node host outside this process needs to play its half of the step.
+// Round is the spec round index (-1 for the decide step); Merlin and
+// Arthur are the respective round counters (selecting challenge rows and
+// response slots); Chal marks an exchange that shares Arthur challenges
+// (Spec.ShareChallenges) rather than Merlin responses.
+type ScheduleStep struct {
+	Kind   StepKind
+	Round  int
+	Merlin int
+	Arthur int
+	Chal   bool
+}
+
+// Schedule compiles spec's synchronous schedule into its exported form.
+// Remote node hosts (internal/peer) walk this exact step list in lockstep
+// with the coordinator's networked executor; because both sides derive it
+// from the same Spec, no schedule negotiation happens on the wire.
+func Schedule(spec *Spec) ([]ScheduleStep, error) {
+	if _, err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	var own script
+	sc := compiledScript(spec, &own)
+	out := make([]ScheduleStep, len(sc.steps))
+	for i, st := range sc.steps {
+		out[i] = ScheduleStep{Kind: st.kind, Round: st.ri, Merlin: st.merlin, Arthur: st.arthur, Chal: st.chal}
+	}
+	return out, nil
 }
 
 // The script of a run depends on nothing but the round-kind sequence and
@@ -176,44 +211,70 @@ func ResetScriptCache() {
 	scriptCache.mu.Unlock()
 }
 
-// The helpers below are the per-node halves of the script's steps. Both
-// executors run every Spec callback exclusively through them, so panic
+// The helpers below are the per-node halves of the script's steps. They
+// are free functions over (spec, rng, view) — the complete state of one
+// verifier node — so the same code runs whether the node lives inside a
+// pooled runState (the in-process executors) or alone in a peer process
+// (NodeState, driven by internal/peer). Both executors and every node
+// host run every Spec callback exclusively through them, so panic
 // containment, RunError attribution, and view bookkeeping exist once.
 
-// nodeChallenge runs node v's Challenge callback for Arthur round ri and
+// challengeNode runs node v's Challenge callback for Arthur round ri and
 // appends the result to v's view.
-func (s *runState) nodeChallenge(ri, v int) (wire.Message, *RunError) {
+func challengeNode(spec *Spec, ri, v int, rng *rand.Rand, view *NodeView) (wire.Message, *RunError) {
 	var c wire.Message
-	round := &s.spec.Rounds[ri]
-	if rerr := s.guard(PhaseChallenge, ri, v, func() {
-		c = round.Challenge(v, s.rngs[v], &s.views[v])
+	round := &spec.Rounds[ri]
+	if rerr := guardNode(spec.Name, PhaseChallenge, ri, v, func() {
+		c = round.Challenge(v, rng, view)
 	}); rerr != nil {
 		return c, rerr
 	}
-	s.views[v].MyChallenges = append(s.views[v].MyChallenges, c)
+	view.MyChallenges = append(view.MyChallenges, c)
 	return c, nil
 }
 
-// nodeForward maps node v's delivered Merlin-round message to what v
+// forwardNode maps node v's delivered Merlin-round message to what v
 // forwards to its neighbors: the message itself, or its Digest when the
 // round defines one.
-func (s *runState) nodeForward(ri, v int, m wire.Message) (wire.Message, *RunError) {
-	digest := s.spec.Rounds[ri].Digest
+func forwardNode(spec *Spec, ri, v int, rng *rand.Rand, m wire.Message) (wire.Message, *RunError) {
+	digest := spec.Rounds[ri].Digest
 	if digest == nil {
 		return m, nil
 	}
 	out := m
-	rerr := s.guard(PhaseDigest, ri, v, func() {
-		out = digest(v, s.rngs[v], m)
+	rerr := guardNode(spec.Name, PhaseDigest, ri, v, func() {
+		out = digest(v, rng, m)
 	})
 	return out, rerr
 }
 
+// decideNode runs node v's decision function.
+func decideNode(spec *Spec, v int, view *NodeView) (bool, *RunError) {
+	var d bool
+	rerr := guardNode(spec.Name, PhaseDecide, -1, v, func() {
+		d = spec.Decide(v, view)
+	})
+	return d, rerr
+}
+
+// nodeChallenge is challengeNode over the coordinator-held view of node v.
+func (s *runState) nodeChallenge(ri, v int) (wire.Message, *RunError) {
+	return challengeNode(s.spec, ri, v, s.rngs[v], &s.views[v])
+}
+
+// nodeForward is forwardNode over the coordinator-held state of node v.
+func (s *runState) nodeForward(ri, v int, m wire.Message) (wire.Message, *RunError) {
+	return forwardNode(s.spec, ri, v, s.rngs[v], m)
+}
+
 // nodeDecide runs node v's decision function and stores the outcome.
 func (s *runState) nodeDecide(v int) *RunError {
-	return s.guard(PhaseDecide, -1, v, func() {
-		s.decisions[v] = s.spec.Decide(v, &s.views[v])
-	})
+	d, rerr := decideNode(s.spec, v, &s.views[v])
+	if rerr != nil {
+		return rerr
+	}
+	s.decisions[v] = d
+	return nil
 }
 
 // recordRound appends one round to the transcript (post-corruption

@@ -1,0 +1,405 @@
+package peer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// DialTimeout bounds each peer dial; zero selects 5s.
+	DialTimeout time.Duration
+	// IOTimeout bounds every blocking receive (and each send) during the
+	// run: a peer that goes silent longer than this fails the run with a
+	// PhaseTransport RunError instead of hanging it. Zero selects
+	// DefaultIOTimeout. Options.Cancel on the engine side (RunContext
+	// deadlines) still aborts sooner.
+	IOTimeout time.Duration
+	// SendDelay, when positive, sleeps before every outbound frame: a
+	// transport-level slow-link emulation for fault experiments. It delays
+	// only; message bytes are never altered (corruption belongs to the
+	// engine funnel's injectors, which run before the transport sees the
+	// message).
+	SendDelay time.Duration
+}
+
+// Coordinator implements network.Transport over a fleet of peer servers:
+// Dial records the fleet, Begin connects and provisions it (nodes are
+// assigned round-robin: node v lives on peer v mod k), and the frame
+// traffic of the run flows through one reader goroutine per connection
+// into a single inbox the engine's executor drains. A Coordinator serves
+// exactly one run; End tears the fleet connections down.
+type Coordinator struct {
+	addrs  []string
+	params []byte
+	opts   Options
+
+	protocol string
+	n        int
+	cancel   <-chan struct{}
+	conns    []net.Conn
+	readers  []*bufio.Reader
+	assign   []int // node → connection index
+	inbox    chan inFrame
+	// pending buffers frames from peers running ahead of the coordinator's
+	// schedule walk, keyed by pendKey (frame type and round).
+	pending map[uint64][]inFrame
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	ended   bool
+}
+
+// inFrame is one frame (or terminal read error) from a peer connection.
+type inFrame struct {
+	conn    int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// Dial builds a coordinator for the given peer fleet. params is the opaque
+// protocol parameter blob every peer's SpecBuilder will rebuild the Spec
+// from (for dippeer fleets: a JSON dip.Request without edge lists).
+// Connections are not opened until Begin, so a Coordinator can be handed
+// to network.Run before the fleet is reachable.
+func Dial(addrs []string, params []byte, opts Options) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("peer: no peer addresses")
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.IOTimeout <= 0 {
+		opts.IOTimeout = DefaultIOTimeout
+	}
+	return &Coordinator{
+		addrs:   append([]string(nil), addrs...),
+		params:  append([]byte(nil), params...),
+		opts:    opts,
+		quit:    make(chan struct{}),
+		pending: make(map[uint64][]inFrame),
+	}, nil
+}
+
+// failf builds a PhaseTransport RunError.
+func (c *Coordinator) failf(round, node int, format string, args ...any) *network.RunError {
+	return &network.RunError{Protocol: c.protocol, Phase: network.PhaseTransport,
+		Round: round, Node: node, Err: fmt.Errorf(format, args...)}
+}
+
+// Begin dials the fleet, provisions every peer with its node slice, and
+// waits for all handshake acknowledgements.
+func (c *Coordinator) Begin(run *network.TransportRun) *network.RunError {
+	c.protocol = run.Spec.Name
+	c.n = run.N
+	c.cancel = run.Cancel
+	k := len(c.addrs)
+	c.assign = make([]int, run.N)
+	perConn := make([][]helloNode, k)
+	for v := 0; v < run.N; v++ {
+		ci := v % k
+		c.assign[v] = ci
+		var input wire.Message
+		if run.Inputs != nil {
+			input = run.Inputs[v]
+		}
+		perConn[ci] = append(perConn[ci], helloNode{
+			V: v,
+			// Copy: TransportRun.Neighbors aliases pooled engine state.
+			Neighbors: append([]int(nil), run.Neighbors[v]...),
+			InputBits: input.Bits,
+			InputData: input.Data,
+		})
+	}
+	c.conns = make([]net.Conn, 0, k)
+	c.readers = make([]*bufio.Reader, 0, k)
+	for i, addr := range c.addrs {
+		if len(perConn[i]) == 0 {
+			return c.failf(-1, -1, "fleet of %d peers for %d nodes leaves peer %s idle", k, run.N, addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+		if err != nil {
+			return c.failf(-1, -1, "dialing peer %s: %v", addr, err)
+		}
+		c.conns = append(c.conns, conn)
+		c.readers = append(c.readers, bufio.NewReader(conn))
+		hello := helloFrame{Version: Version, Params: c.params, Seed: run.Seed, N: run.N, Nodes: perConn[i]}
+		payload, jerr := json.Marshal(hello)
+		if jerr != nil {
+			return c.failf(-1, -1, "marshaling hello: %v", jerr)
+		}
+		if rerr := c.send(i, frameHello, payload); rerr != nil {
+			return rerr
+		}
+	}
+	for i := range c.conns {
+		c.conns[i].SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
+		typ, payload, err := readFrame(c.readers[i])
+		if err != nil {
+			return c.failf(-1, -1, "peer %s handshake: %v", c.addrs[i], err)
+		}
+		switch typ {
+		case frameHelloOK:
+			var ok helloOKFrame
+			if jerr := json.Unmarshal(payload, &ok); jerr != nil {
+				return c.failf(-1, -1, "peer %s handshake: %v", c.addrs[i], jerr)
+			}
+			if ok.Version != Version || ok.Nodes != len(perConn[i]) {
+				return c.failf(-1, -1, "peer %s acknowledged version %d, %d nodes (want %d, %d)",
+					c.addrs[i], ok.Version, ok.Nodes, Version, len(perConn[i]))
+			}
+		case frameError:
+			var ef errorFrame
+			if jerr := json.Unmarshal(payload, &ef); jerr != nil {
+				return c.failf(-1, -1, "peer %s handshake error frame: %v", c.addrs[i], jerr)
+			}
+			return ef.runError()
+		default:
+			return c.failf(-1, -1, "peer %s handshake frame type 0x%02x", c.addrs[i], typ)
+		}
+	}
+	// Handshakes done: clear the read deadlines (liveness is now enforced
+	// per-receive by recv's timer) and hand each connection to a reader
+	// goroutine feeding the shared inbox.
+	c.inbox = make(chan inFrame, c.n+k)
+	for i := range c.conns {
+		c.conns[i].SetReadDeadline(time.Time{})
+		c.wg.Add(1)
+		go c.reader(i)
+	}
+	return nil
+}
+
+// reader pumps frames from one connection into the inbox until the
+// connection dies or the run ends.
+func (c *Coordinator) reader(i int) {
+	defer c.wg.Done()
+	for {
+		typ, payload, err := readFrame(c.readers[i])
+		select {
+		case c.inbox <- inFrame{conn: i, typ: typ, payload: payload, err: err}:
+		case <-c.quit:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// pendKey buckets buffered ahead-of-phase frames: challenge and forward
+// frames carry their round in the payload's first four bytes, decision
+// frames have no round.
+func pendKey(typ byte, round int) uint64 {
+	if typ == frameDecision {
+		round = 0
+	}
+	return uint64(typ)<<32 | uint64(uint32(round))
+}
+
+// frameRound extracts a delivery frame's own round claim (ok=false when the
+// payload is too short to carry one).
+func frameRound(f inFrame) (int, bool) {
+	if len(f.payload) < 4 {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(f.payload)), true
+}
+
+// recv returns the next frame of the expected type and round, translating
+// terminal conditions: connection loss and silence past IOTimeout become
+// PhaseTransport errors, engine cancellation becomes PhaseCanceled, and a
+// peer's error frame surfaces as the RunError it carries.
+//
+// Peers walk the schedule without waiting for the coordinator, so on
+// consecutive peer→coordinator steps (an Arthur round straight into
+// decide, or two Arthur rounds back to back) a fast peer's frames for a
+// later collect phase arrive while the current one is still draining.
+// Those frames are buffered under their own (type, round) key and served
+// when their phase comes; only types a peer can never legitimately send
+// are protocol violations.
+func (c *Coordinator) recv(expect byte, round int, what string) (inFrame, *network.RunError) {
+	want := pendKey(expect, round)
+	if q := c.pending[want]; len(q) > 0 {
+		f := q[0]
+		c.pending[want] = q[1:]
+		return f, nil
+	}
+	timer := time.NewTimer(c.opts.IOTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case f := <-c.inbox:
+			if f.err != nil {
+				return f, c.failf(round, -1, "peer %s: %v", c.addrs[f.conn], f.err)
+			}
+			switch f.typ {
+			case frameError:
+				var ef errorFrame
+				if jerr := json.Unmarshal(f.payload, &ef); jerr != nil {
+					return f, c.failf(round, -1, "peer %s error frame: %v", c.addrs[f.conn], jerr)
+				}
+				return f, ef.runError()
+			case frameChallenge, frameForward:
+				fr, ok := frameRound(f)
+				if !ok {
+					// Too short to even carry a round: hand it to the caller's
+					// decoder, which reports the malformed payload.
+					return f, nil
+				}
+				if f.typ == expect && fr == round {
+					return f, nil
+				}
+				key := pendKey(f.typ, fr)
+				c.pending[key] = append(c.pending[key], f)
+			case frameDecision:
+				if f.typ == expect {
+					return f, nil
+				}
+				key := pendKey(f.typ, 0)
+				c.pending[key] = append(c.pending[key], f)
+			default:
+				return f, c.failf(round, -1, "peer %s sent frame type 0x%02x awaiting %s", c.addrs[f.conn], f.typ, what)
+			}
+		case <-c.cancel:
+			return inFrame{}, &network.RunError{Protocol: c.protocol, Phase: network.PhaseCanceled,
+				Round: round, Node: -1, Err: fmt.Errorf("run canceled awaiting %s", what)}
+		case <-timer.C:
+			return inFrame{}, c.failf(round, -1, "no %s within %v", what, c.opts.IOTimeout)
+		}
+	}
+}
+
+// send writes one frame to connection ci under the I/O deadline, after the
+// configured slow-link delay.
+func (c *Coordinator) send(ci int, typ byte, payload []byte) *network.RunError {
+	if c.opts.SendDelay > 0 {
+		time.Sleep(c.opts.SendDelay)
+	}
+	conn := c.conns[ci]
+	conn.SetWriteDeadline(time.Now().Add(c.opts.IOTimeout))
+	if err := writeFrame(conn, typ, payload); err != nil {
+		return c.failf(-1, -1, "peer %s write: %v", c.addrs[ci], err)
+	}
+	return nil
+}
+
+// checkSource validates that the peer reporting for node v is the
+// connection the node was assigned to — one peer cannot speak for
+// another's nodes.
+func (c *Coordinator) checkSource(f inFrame, round, v int, what string) *network.RunError {
+	if v < 0 || v >= c.n {
+		return c.failf(round, -1, "peer %s sent %s for node %d of %d", c.addrs[f.conn], what, v, c.n)
+	}
+	if c.assign[v] != f.conn {
+		return c.failf(round, v, "peer %s sent %s for node %d, hosted by %s",
+			c.addrs[f.conn], what, v, c.addrs[c.assign[v]])
+	}
+	return nil
+}
+
+// RecvChallenge implements network.Transport.
+func (c *Coordinator) RecvChallenge(ri int) (int, wire.Message, *network.RunError) {
+	f, rerr := c.recv(frameChallenge, ri, "challenge")
+	if rerr != nil {
+		return -1, wire.Message{}, rerr
+	}
+	round, v, m, err := decodeDelivery(f.payload)
+	if err != nil {
+		return -1, wire.Message{}, c.failf(ri, -1, "peer %s challenge: %v", c.addrs[f.conn], err)
+	}
+	if rerr := c.checkSource(f, ri, v, "challenge"); rerr != nil {
+		return -1, wire.Message{}, rerr
+	}
+	if round != ri {
+		return -1, wire.Message{}, c.failf(ri, v, "challenge for round %d during round %d", round, ri)
+	}
+	return v, m, nil
+}
+
+// SendResponse implements network.Transport.
+func (c *Coordinator) SendResponse(ri, node int, m wire.Message) *network.RunError {
+	payload, err := encodeDelivery(ri, node, m)
+	if err != nil {
+		return c.failf(ri, node, "encoding response: %v", err)
+	}
+	return c.send(c.assign[node], frameResponse, payload)
+}
+
+// RecvForward implements network.Transport.
+func (c *Coordinator) RecvForward(ri int) (int, wire.Message, *network.RunError) {
+	f, rerr := c.recv(frameForward, ri, "forward")
+	if rerr != nil {
+		return -1, wire.Message{}, rerr
+	}
+	round, v, m, err := decodeDelivery(f.payload)
+	if err != nil {
+		return -1, wire.Message{}, c.failf(ri, -1, "peer %s forward: %v", c.addrs[f.conn], err)
+	}
+	if rerr := c.checkSource(f, ri, v, "forward"); rerr != nil {
+		return -1, wire.Message{}, rerr
+	}
+	if round != ri {
+		return -1, wire.Message{}, c.failf(ri, v, "forward for round %d during round %d", round, ri)
+	}
+	return v, m, nil
+}
+
+// SendExchange implements network.Transport.
+func (c *Coordinator) SendExchange(ri, from, to int, chal bool, m wire.Message) *network.RunError {
+	payload, err := encodeExchange(ri, from, to, chal, m)
+	if err != nil {
+		return c.failf(ri, from, "encoding exchange: %v", err)
+	}
+	return c.send(c.assign[to], frameExchange, payload)
+}
+
+// RecvDecision implements network.Transport.
+func (c *Coordinator) RecvDecision() (int, bool, *network.RunError) {
+	f, rerr := c.recv(frameDecision, -1, "decision")
+	if rerr != nil {
+		return -1, false, rerr
+	}
+	v, d, err := decodeDecision(f.payload)
+	if err != nil {
+		return -1, false, c.failf(-1, -1, "peer %s decision: %v", c.addrs[f.conn], err)
+	}
+	if rerr := c.checkSource(f, -1, v, "decision"); rerr != nil {
+		return -1, false, rerr
+	}
+	return v, d, nil
+}
+
+// End implements network.Transport: tell every peer how the run finished
+// (end on success, the failure otherwise), then tear down connections and
+// join the readers. Safe when Begin failed partway.
+func (c *Coordinator) End(failure *network.RunError) {
+	if c.ended {
+		return
+	}
+	c.ended = true
+	var payload []byte
+	typ := frameEnd
+	if failure != nil {
+		typ = frameError
+		payload, _ = json.Marshal(errorFrameOf(failure))
+	}
+	for i := range c.conns {
+		// Best effort: a peer whose connection already died is skipped by
+		// the write error path inside send.
+		c.send(i, typ, payload)
+	}
+	close(c.quit)
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+}

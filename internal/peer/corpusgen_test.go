@@ -1,0 +1,58 @@
+package peer
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dip/internal/wire"
+)
+
+// TestWriteFuzzCorpus regenerates the checked-in FuzzPeerFrame seed
+// corpus under testdata/fuzz/FuzzPeerFrame — the same seeds FuzzPeerFrame
+// adds in code, persisted so `go test` replays them even when the fuzz
+// engine is not invoked. Run with PEER_WRITE_CORPUS=1 after changing the
+// frame codec.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PEER_WRITE_CORPUS") == "" {
+		t.Skip("set PEER_WRITE_CORPUS=1 to regenerate testdata/fuzz/FuzzPeerFrame")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzPeerFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	framed := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	chal, _ := encodeDelivery(0, 3, wire.Message{Data: []byte{0xAB, 0x01}, Bits: 9})
+	resp, _ := encodeDelivery(2, 0, wire.Message{})
+	fwd, _ := encodeDelivery(1, 7, wire.Message{Data: []byte{0xFF}, Bits: 8})
+	ex, _ := encodeExchange(1, 4, 5, true, wire.Message{Data: []byte{0x42}, Bits: 7})
+	corpus := map[string][]byte{
+		"valid-challenge":  framed(frameChallenge, chal),
+		"valid-response":   framed(frameResponse, resp),
+		"valid-forward":    framed(frameForward, fwd),
+		"valid-exchange":   framed(frameExchange, ex),
+		"valid-decision":   framed(frameDecision, encodeDecision(6, true)),
+		"valid-hello":      framed(frameHello, []byte(`{"version":1,"seed":7,"n":4,"nodes":[{"v":0,"neighbors":[1]}]}`)),
+		"valid-error":      framed(frameError, []byte(`{"phase":"transport","round":1,"node":2,"message":"x"}`)),
+		"valid-end":        framed(frameEnd, nil),
+		"zero-length":      {0, 0, 0, 0},
+		"oversized-claim":  {0xFF, 0xFF, 0xFF, 0xFF, 0x10},
+		"truncated-body":   {0, 0, 1, 0, 0x10, 1, 2, 3},
+		"hostile-bits":     {0, 0, 0, 13, 0x10, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
+		"trailing-garbage": append(append([]byte{0, 0, 0, byte(1 + len(ex) + 1)}, frameExchange), append(ex, 0xEE)...),
+	}
+	for name, data := range corpus {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package peer runs verifier nodes as real network peers: a Server hosts
+// one or more nodes per TCP connection in its own OS process, and a
+// Coordinator implements network.Transport by dialing a fleet of servers,
+// so the engine's networked executor drives actual sockets.
+//
+// The wire protocol is deliberately minimal: length-prefixed binary frames
+// over one TCP connection per peer, one session per connection. A session
+// opens with a JSON handshake (hello → helloOK) that provisions the peer —
+// protocol parameters, run seed, and the graph *slice* of every node the
+// peer hosts (its neighbor lists and inputs, never the whole graph) — and
+// then both sides walk the spec-derived schedule (network.Schedule) in
+// lockstep, so no round negotiation ever crosses the wire. The schedule
+// itself is the round barrier: each side knows exactly how many frames of
+// which type the current step owes, and reads until it has them.
+//
+// Everything semantic stays on the coordinator: validation, cost
+// accounting, fault corruption, and the transcript live in the engine's
+// delivery funnel, and peers only ever see post-funnel copies. That is
+// what keeps a multi-process run bit-identical to the in-process
+// executors (asserted by the equivalence suite) and what lets
+// internal/faults injectors corrupt traffic that genuinely crosses
+// sockets without the peers cooperating.
+package peer
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// Version is the handshake protocol version. A peer refuses a hello with
+// any other version, so mixed-build fleets fail loudly at dial time.
+const Version = 1
+
+const (
+	// maxFrame caps one frame body (type byte + payload): a hostile or
+	// corrupted length prefix cannot make a reader allocate more than this.
+	maxFrame = 1 << 24
+	// maxMsgBits caps one encoded wire.Message's Bits claim; it matches the
+	// largest message the engine's protocols can produce with room to
+	// spare, while keeping ceil(bits/8) well under maxFrame.
+	maxMsgBits = 1 << 26
+)
+
+// Frame types. The coordinator→peer direction carries hello, response,
+// exchange, error, and end frames; the peer→coordinator direction carries
+// helloOK, challenge, forward, decision, and error frames.
+const (
+	frameHello     byte = 0x01 // JSON helloFrame
+	frameHelloOK   byte = 0x02 // JSON helloOKFrame
+	frameChallenge byte = 0x10 // u32 round | u32 node | message
+	frameResponse  byte = 0x11 // u32 round | u32 node | message
+	frameForward   byte = 0x12 // u32 round | u32 node | message
+	frameExchange  byte = 0x13 // u32 round | u32 from | u32 to | u8 flags | message
+	frameDecision  byte = 0x14 // u32 node | u8 decision
+	frameError     byte = 0x1E // JSON errorFrame; aborts the session
+	frameEnd       byte = 0x1F // empty; normal session completion
+)
+
+// flagChal marks an exchange frame as a challenge exchange
+// (Spec.ShareChallenges) rather than a response/digest forward.
+const flagChal byte = 0x01
+
+// writeFrame emits one frame: a 4-byte big-endian length covering the type
+// byte plus payload, then both. The frame is assembled into one buffer so
+// a single Write call reaches the socket — frames from one goroutine can
+// never interleave.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	body := 1 + len(payload)
+	if body > maxFrame {
+		return fmt.Errorf("peer: frame type 0x%02x body of %d bytes exceeds the %d cap", typ, body, maxFrame)
+	}
+	buf := make([]byte, 4+body)
+	binary.BigEndian.PutUint32(buf, uint32(body))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, returning its type and payload. The length
+// prefix is validated before any allocation, so a malformed or hostile
+// peer cannot trigger an oversized read.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body == 0 {
+		return 0, nil, errors.New("peer: zero-length frame")
+	}
+	if body > maxFrame {
+		return 0, nil, fmt.Errorf("peer: frame length %d exceeds the %d cap", body, maxFrame)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("peer: truncated frame (want %d body bytes): %w", body, err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// appendMessage encodes m as u32 bit-length plus its data bytes, enforcing
+// the engine's message invariant (len(Data) == ceil(Bits/8)) at the
+// boundary so a malformed message never leaves the process.
+func appendMessage(b []byte, m wire.Message) ([]byte, error) {
+	if m.Bits < 0 || m.Bits > maxMsgBits || len(m.Data) != (m.Bits+7)/8 {
+		return nil, fmt.Errorf("peer: malformed message: Bits=%d len(Data)=%d", m.Bits, len(m.Data))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Bits))
+	return append(b, m.Data...), nil
+}
+
+// decodeMessage decodes one message from b, returning it and the rest of
+// the buffer. The bit-length claim is capped before the data length is
+// derived from it, so a hostile length cannot cause an oversized slice.
+func decodeMessage(b []byte) (wire.Message, []byte, error) {
+	if len(b) < 4 {
+		return wire.Message{}, nil, fmt.Errorf("peer: message header truncated (%d bytes)", len(b))
+	}
+	bits := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if bits > maxMsgBits {
+		return wire.Message{}, nil, fmt.Errorf("peer: message claims %d bits (cap %d)", bits, maxMsgBits)
+	}
+	nbytes := (bits + 7) / 8
+	if len(b) < nbytes {
+		return wire.Message{}, nil, fmt.Errorf("peer: message truncated: %d bits need %d bytes, have %d", bits, nbytes, len(b))
+	}
+	var data []byte
+	if nbytes > 0 {
+		data = b[:nbytes:nbytes]
+	}
+	return wire.Message{Data: data, Bits: bits}, b[nbytes:], nil
+}
+
+// encodeDelivery builds the shared payload of challenge, response, and
+// forward frames: one message attributed to (round, node).
+func encodeDelivery(round, node int, m wire.Message) ([]byte, error) {
+	b := make([]byte, 0, 12+len(m.Data))
+	b = binary.BigEndian.AppendUint32(b, uint32(round))
+	b = binary.BigEndian.AppendUint32(b, uint32(node))
+	return appendMessage(b, m)
+}
+
+// decodeDelivery parses a challenge/response/forward payload.
+func decodeDelivery(p []byte) (round, node int, m wire.Message, err error) {
+	if len(p) < 8 {
+		return 0, 0, wire.Message{}, fmt.Errorf("peer: delivery payload truncated (%d bytes)", len(p))
+	}
+	round = int(binary.BigEndian.Uint32(p))
+	node = int(binary.BigEndian.Uint32(p[4:]))
+	m, rest, err := decodeMessage(p[8:])
+	if err != nil {
+		return 0, 0, wire.Message{}, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, wire.Message{}, fmt.Errorf("peer: delivery payload has %d trailing bytes", len(rest))
+	}
+	return round, node, m, nil
+}
+
+// encodeExchange builds an exchange-frame payload: the post-funnel copy of
+// from's message as delivered to to.
+func encodeExchange(round, from, to int, chal bool, m wire.Message) ([]byte, error) {
+	b := make([]byte, 0, 17+len(m.Data))
+	b = binary.BigEndian.AppendUint32(b, uint32(round))
+	b = binary.BigEndian.AppendUint32(b, uint32(from))
+	b = binary.BigEndian.AppendUint32(b, uint32(to))
+	var flags byte
+	if chal {
+		flags |= flagChal
+	}
+	b = append(b, flags)
+	return appendMessage(b, m)
+}
+
+// decodeExchange parses an exchange-frame payload.
+func decodeExchange(p []byte) (round, from, to int, chal bool, m wire.Message, err error) {
+	if len(p) < 13 {
+		return 0, 0, 0, false, wire.Message{}, fmt.Errorf("peer: exchange payload truncated (%d bytes)", len(p))
+	}
+	round = int(binary.BigEndian.Uint32(p))
+	from = int(binary.BigEndian.Uint32(p[4:]))
+	to = int(binary.BigEndian.Uint32(p[8:]))
+	flags := p[12]
+	if flags&^flagChal != 0 {
+		return 0, 0, 0, false, wire.Message{}, fmt.Errorf("peer: exchange flags 0x%02x unknown", flags)
+	}
+	m, rest, err := decodeMessage(p[13:])
+	if err != nil {
+		return 0, 0, 0, false, wire.Message{}, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, 0, false, wire.Message{}, fmt.Errorf("peer: exchange payload has %d trailing bytes", len(rest))
+	}
+	return round, from, to, flags&flagChal != 0, m, nil
+}
+
+// encodeDecision builds a decision-frame payload.
+func encodeDecision(node int, d bool) []byte {
+	b := make([]byte, 5)
+	binary.BigEndian.PutUint32(b, uint32(node))
+	if d {
+		b[4] = 1
+	}
+	return b
+}
+
+// decodeDecision parses a decision-frame payload.
+func decodeDecision(p []byte) (node int, d bool, err error) {
+	if len(p) != 5 {
+		return 0, false, fmt.Errorf("peer: decision payload of %d bytes (want 5)", len(p))
+	}
+	if p[4] > 1 {
+		return 0, false, fmt.Errorf("peer: decision byte 0x%02x (want 0 or 1)", p[4])
+	}
+	return int(binary.BigEndian.Uint32(p)), p[4] == 1, nil
+}
+
+// helloFrame is the coordinator's session-opening handshake: everything a
+// peer needs to host its slice of the run. Params is an opaque protocol
+// parameter blob the peer's SpecBuilder understands (for dippeer: a
+// dip.Request without edge lists); Nodes lists the hosted nodes with their
+// neighbor slices and private inputs — the peer never sees the rest of the
+// graph.
+type helloFrame struct {
+	Version int             `json:"version"`
+	Params  json.RawMessage `json:"params"`
+	Seed    int64           `json:"seed"`
+	N       int             `json:"n"`
+	Nodes   []helloNode     `json:"nodes"`
+}
+
+// helloNode is one hosted node's slice of the run.
+type helloNode struct {
+	V         int    `json:"v"`
+	Neighbors []int  `json:"neighbors"`
+	InputBits int    `json:"input_bits"`
+	InputData []byte `json:"input_data,omitempty"`
+}
+
+// helloOKFrame is the peer's handshake acknowledgement.
+type helloOKFrame struct {
+	Version int `json:"version"`
+	Nodes   int `json:"nodes"`
+}
+
+// errorFrame carries a structured *network.RunError across the wire, in
+// either direction: a peer whose node callback failed reports the original
+// phase (challenge, digest, decide), and a coordinator aborting a run
+// tells every peer why.
+type errorFrame struct {
+	Protocol string `json:"protocol"`
+	Phase    string `json:"phase"`
+	Round    int    `json:"round"`
+	Node     int    `json:"node"`
+	Message  string `json:"message"`
+}
+
+// errorFrameOf projects a RunError onto its wire form.
+func errorFrameOf(rerr *network.RunError) errorFrame {
+	return errorFrame{
+		Protocol: rerr.Protocol,
+		Phase:    string(rerr.Phase),
+		Round:    rerr.Round,
+		Node:     rerr.Node,
+		Message:  rerr.Err.Error(),
+	}
+}
+
+// runError rebuilds the RunError an errorFrame describes.
+func (ef errorFrame) runError() *network.RunError {
+	return &network.RunError{
+		Protocol: ef.Protocol,
+		Phase:    network.Phase(ef.Phase),
+		Round:    ef.Round,
+		Node:     ef.Node,
+		Err:      errors.New(ef.Message),
+	}
+}

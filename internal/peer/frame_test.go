@@ -1,0 +1,153 @@
+package peer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"dip/internal/wire"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[byte][]byte{
+		frameHello:   []byte(`{"version":1}`),
+		frameEnd:     nil,
+		frameHelloOK: {0xDE, 0xAD},
+	}
+	for typ, p := range payloads {
+		buf.Reset()
+		if err := writeFrame(&buf, typ, p); err != nil {
+			t.Fatal(err)
+		}
+		gotTyp, gotP, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != typ || !bytes.Equal(gotP, p) {
+			t.Fatalf("type 0x%02x: round trip got (0x%02x, %x)", typ, gotTyp, gotP)
+		}
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		frag string
+	}{
+		{"zero-length", []byte{0, 0, 0, 0}, "zero-length"},
+		{"oversized-claim", []byte{0xFF, 0xFF, 0xFF, 0xFF}, "exceeds"},
+		{"truncated-header", []byte{0, 0}, "EOF"},
+		{"truncated-body", []byte{0, 0, 0, 5, frameEnd}, "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := readFrame(bytes.NewReader(tc.raw))
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, frameHello, make([]byte, maxFrame)); err == nil {
+		t.Fatal("writeFrame accepted a body over the cap")
+	}
+}
+
+func TestDeliveryRoundTrip(t *testing.T) {
+	for _, m := range []wire.Message{
+		{},
+		{Data: []byte{0xAB}, Bits: 8},
+		{Data: []byte{0xAB, 0x03}, Bits: 11},
+	} {
+		p, err := encodeDelivery(3, 7, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round, node, got, err := decodeDelivery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != 3 || node != 7 || got.Bits != m.Bits || !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("round trip of %+v got (%d, %d, %+v)", m, round, node, got)
+		}
+	}
+}
+
+func TestDeliveryRejectsMalformed(t *testing.T) {
+	good, err := encodeDelivery(1, 2, wire.Message{Data: []byte{0xFF}, Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := decodeDelivery(good[:len(good)-1]); err == nil {
+		t.Fatal("accepted truncated message data")
+	}
+	if _, _, _, err := decodeDelivery(append(good, 0x00)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+	if _, _, _, err := decodeDelivery(good[:6]); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	// An oversized bit claim must be rejected before its byte length is even
+	// derived, let alone allocated.
+	hostile := make([]byte, 12)
+	binary.BigEndian.PutUint32(hostile[8:], uint32(maxMsgBits+1))
+	if _, _, _, err := decodeDelivery(hostile); err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Fatalf("oversized bits claim: err = %v", err)
+	}
+	// Malformed messages must not leave the process either.
+	if _, err := encodeDelivery(0, 0, wire.Message{Data: []byte{1, 2}, Bits: 3}); err == nil {
+		t.Fatal("encoded a message whose Data length contradicts Bits")
+	}
+}
+
+func TestExchangeRoundTrip(t *testing.T) {
+	for _, chal := range []bool{false, true} {
+		m := wire.Message{Data: []byte{0x5A, 0x01}, Bits: 9}
+		p, err := encodeExchange(2, 4, 6, chal, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round, from, to, gotChal, got, err := decodeExchange(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != 2 || from != 4 || to != 6 || gotChal != chal ||
+			got.Bits != m.Bits || !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("chal=%v round trip got (%d, %d→%d, %v, %+v)", chal, round, from, to, gotChal, got)
+		}
+	}
+}
+
+func TestExchangeRejectsUnknownFlags(t *testing.T) {
+	p, err := encodeExchange(0, 0, 1, false, wire.Message{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[12] = 0x04
+	if _, _, _, _, _, err := decodeExchange(p); err == nil || !strings.Contains(err.Error(), "flags") {
+		t.Fatalf("unknown flags: err = %v", err)
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	for _, d := range []bool{false, true} {
+		node, got, err := decodeDecision(encodeDecision(9, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != 9 || got != d {
+			t.Fatalf("round trip of (9, %v) got (%d, %v)", d, node, got)
+		}
+	}
+	if _, _, err := decodeDecision([]byte{0, 0, 0, 1, 2}); err == nil {
+		t.Fatal("accepted decision byte 2")
+	}
+	if _, _, err := decodeDecision([]byte{0, 0, 0, 1}); err == nil {
+		t.Fatal("accepted 4-byte decision payload")
+	}
+}

@@ -1,0 +1,455 @@
+package peer
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dip/internal/graph"
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// testParams is the fixture SpecBuilder's parameter blob: deterministic
+// spec construction from (Spec, Bits), the same property dip.BuildSpec
+// gives dippeer fleets.
+type testParams struct {
+	Spec string `json:"spec"`
+	Bits int    `json:"bits"`
+}
+
+func marshalParams(t *testing.T, spec string, bits int) []byte {
+	t.Helper()
+	b, err := json.Marshal(testParams{Spec: spec, Bits: bits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func challengeRound(bits int) network.Round {
+	return network.Round{Kind: network.Arthur,
+		Challenge: func(v int, rng *rand.Rand, _ *network.NodeView) wire.Message {
+			var w wire.Writer
+			for i := 0; i < bits; i++ {
+				w.WriteBool(rng.Intn(2) == 1)
+			}
+			return w.Message()
+		}}
+}
+
+func echoSpec(bits int) *network.Spec {
+	return &network.Spec{
+		Name:   "peer-echo",
+		Rounds: []network.Round{challengeRound(bits), {Kind: network.Merlin}},
+		Decide: func(v int, view *network.NodeView) bool {
+			got, want := view.Responses[0], view.MyChallenges[0]
+			if got.Bits != want.Bits {
+				return false
+			}
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					return false
+				}
+			}
+			return len(view.NeighborResponses[0]) == len(view.Neighbors)
+		},
+	}
+}
+
+func digestSpec(bits int) *network.Spec {
+	return &network.Spec{
+		Name: "peer-digest",
+		Rounds: []network.Round{
+			challengeRound(bits),
+			{Kind: network.Merlin, Digest: func(v int, rng *rand.Rand, m wire.Message) wire.Message {
+				var w wire.Writer
+				w.WriteUint(rng.Uint64()&0xFF, 8)
+				return w.Message()
+			}},
+			challengeRound(8),
+			{Kind: network.Merlin},
+		},
+		Decide: func(v int, view *network.NodeView) bool {
+			return len(view.Responses) == 2 &&
+				len(view.NeighborResponses[0]) == len(view.Neighbors)
+		},
+	}
+}
+
+func shareSpec(bits int) *network.Spec {
+	return &network.Spec{
+		Name:            "peer-share",
+		ShareChallenges: true,
+		Rounds:          []network.Round{challengeRound(bits), {Kind: network.Merlin}},
+		Decide: func(v int, view *network.NodeView) bool {
+			return len(view.NeighborChallenges[0]) == len(view.Neighbors)
+		},
+	}
+}
+
+func inputSpec() *network.Spec {
+	return &network.Spec{
+		Name:   "peer-input",
+		Rounds: nil, // zero rounds: the schedule is a bare decide step
+		Decide: func(v int, view *network.NodeView) bool {
+			return view.Input.Bits == 8 && len(view.Input.Data) == 1 &&
+				int(view.Input.Data[0]) == v
+		},
+	}
+}
+
+func panicSpec() *network.Spec {
+	return &network.Spec{
+		Name: "peer-panic",
+		Rounds: []network.Round{{Kind: network.Arthur,
+			Challenge: func(v int, _ *rand.Rand, _ *network.NodeView) wire.Message {
+				if v == 2 {
+					panic("node 2 is broken")
+				}
+				return wire.Message{}
+			}}},
+		Decide: func(int, *network.NodeView) bool { return true },
+	}
+}
+
+func buildTestSpec(params []byte) (*network.Spec, error) {
+	var p testParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	switch p.Spec {
+	case "echo":
+		return echoSpec(p.Bits), nil
+	case "digest":
+		return digestSpec(p.Bits), nil
+	case "share":
+		return shareSpec(p.Bits), nil
+	case "input":
+		return inputSpec(), nil
+	case "panic":
+		return panicSpec(), nil
+	default:
+		return nil, fmt.Errorf("unknown fixture spec %q", p.Spec)
+	}
+}
+
+// echoProver answers every node with its own last challenge.
+type echoProver struct{}
+
+func (echoProver) Respond(_ int, view *network.ProverView) (*network.Response, error) {
+	last := view.Challenges[len(view.Challenges)-1]
+	resp := &network.Response{PerNode: make([]wire.Message, len(last))}
+	copy(resp.PerNode, last)
+	return resp, nil
+}
+
+// startFleet boots k peer servers on ephemeral ports and returns their
+// addresses. Cleanup closes listeners and drains every session handler.
+func startFleet(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &Server{Build: buildTestSpec, IOTimeout: 10 * time.Second}
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			l.Close()
+			srv.Close()
+		})
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+// settleGoroutines polls until the goroutine count returns to within slack
+// of the baseline — the leak gate of the drain tests, applied to peer
+// fleets.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d live, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPeerMatchesSequential is the socket half of the equivalence
+// contract: runs through real TCP peer fleets — including fleets hosting
+// several nodes per process — must be byte-identical to the sequential
+// engine, across challenge, digest, share-challenge, and zero-round
+// input-only specs.
+func TestPeerMatchesSequential(t *testing.T) {
+	byteInputs := func(n int) []wire.Message {
+		inputs := make([]wire.Message, n)
+		for v := range inputs {
+			inputs[v] = wire.Message{Data: []byte{byte(v)}, Bits: 8}
+		}
+		return inputs
+	}
+	corrupt := func(round, node int, m wire.Message) wire.Message {
+		if node%3 != 1 || m.Bits == 0 {
+			return m
+		}
+		out := wire.Message{Data: append([]byte(nil), m.Data...), Bits: m.Bits}
+		out.Data[0] ^= 0x80
+		return out
+	}
+	cases := []struct {
+		name   string
+		spec   string
+		bits   int
+		g      *graph.Graph
+		inputs func(n int) []wire.Message
+		peers  int
+		opts   network.Options
+	}{
+		{"echo-1peer", "echo", 16, graph.Cycle(6), nil, 1, network.Options{Seed: 1}},
+		{"echo-4peers", "echo", 16, graph.Cycle(9), nil, 4, network.Options{Seed: 2, RecordTranscript: true}},
+		{"echo-n-peers", "echo", 24, graph.Complete(5), nil, 5, network.Options{Seed: 3}},
+		{"digest", "digest", 16, graph.Cycle(8), nil, 3, network.Options{Seed: 4, RecordTranscript: true}},
+		{"share", "share", 8, graph.Path(7), nil, 2, network.Options{Seed: 5}},
+		{"inputs", "input", 0, graph.Star(6), byteInputs, 2, network.Options{Seed: 6}},
+		{"corrupted", "echo", 16, graph.Cycle(6), nil, 2,
+			network.Options{Seed: 7, Corrupt: corrupt, RecordTranscript: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := buildTestSpec(marshalParams(t, tc.spec, tc.bits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var inputs []wire.Message
+			if tc.inputs != nil {
+				inputs = tc.inputs(tc.g.N())
+			}
+			var prover network.Prover
+			if tc.spec != "input" {
+				prover = echoProver{}
+			}
+			seqOpts := tc.opts
+			seqOpts.Sequential = true
+			seqRes, err := network.Run(spec, tc.g, inputs, prover, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			addrs := startFleet(t, tc.peers)
+			coord, err := Dial(addrs, marshalParams(t, tc.spec, tc.bits), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			netOpts := tc.opts
+			netOpts.Transport = coord
+			netRes, err := network.Run(spec, tc.g, inputs, prover, netOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqRes, netRes) {
+				t.Fatalf("results differ:\nsequential: %+v\nnetworked:  %+v", seqRes, netRes)
+			}
+		})
+	}
+}
+
+// TestPeerFleetReuse runs several proofs against the same fleet: peer
+// servers host sessions, not runs, so one booted fleet serves a stream of
+// coordinators.
+func TestPeerFleetReuse(t *testing.T) {
+	addrs := startFleet(t, 2)
+	g := graph.Cycle(6)
+	spec := echoSpec(16)
+	for seed := int64(1); seed <= 3; seed++ {
+		seqRes, err := network.Run(spec, g, nil, echoProver{},
+			network.Options{Seed: seed, Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := Dial(addrs, marshalParams(t, "echo", 16), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		netRes, err := network.Run(spec, g, nil, echoProver{},
+			network.Options{Seed: seed, Transport: coord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqRes, netRes) {
+			t.Fatalf("seed %d: results differ", seed)
+		}
+	}
+}
+
+// TestRemoteCallbackError pins cross-process failure attribution: a node
+// callback panicking inside a peer process surfaces on the coordinator as
+// the same phase/round/node RunError the in-process engines would raise.
+func TestRemoteCallbackError(t *testing.T) {
+	addrs := startFleet(t, 2)
+	coord, err := Dial(addrs, marshalParams(t, "panic", 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = network.Run(panicSpec(), graph.Cycle(5), nil, echoProver{},
+		network.Options{Seed: 1, Transport: coord})
+	var rerr *network.RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if rerr.Phase != network.PhaseChallenge || rerr.Node != 2 || rerr.Round != 0 {
+		t.Fatalf("attribution = %s/%d/%d (%v), want challenge/0/2", rerr.Phase, rerr.Round, rerr.Node, rerr.Err)
+	}
+}
+
+// stallPeer is a hand-rolled fake peer: it completes the handshake, sends
+// `challenges` valid challenge frames, and then goes silent until its
+// connection is closed — a peer process that hangs mid-round.
+func stallPeer(t *testing.T, challenges int) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		_, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		var hello helloFrame
+		if json.Unmarshal(payload, &hello) != nil {
+			return
+		}
+		ok, _ := json.Marshal(helloOKFrame{Version: Version, Nodes: len(hello.Nodes)})
+		if writeFrame(conn, frameHelloOK, ok) != nil {
+			return
+		}
+		for i := 0; i < challenges && i < len(hello.Nodes); i++ {
+			p, err := encodeDelivery(0, hello.Nodes[i].V, wire.Message{})
+			if err != nil || writeFrame(conn, frameChallenge, p) != nil {
+				return
+			}
+		}
+		// Stall: swallow coordinator traffic without ever answering.
+		io.Copy(io.Discard, conn)
+	}()
+	return l.Addr().String()
+}
+
+// TestStalledPeerTimesOut is the cancellation satellite: a peer that
+// stalls mid-round (handshake done, one challenge delivered, then
+// silence) must surface as a structured timeout RunError on the
+// coordinator — PhaseTransport via the transport's own I/O deadline, or
+// PhaseCanceled via a caller deadline — and must not leak goroutines.
+func TestStalledPeerTimesOut(t *testing.T) {
+	g := graph.Cycle(4)
+	spec := echoSpec(8)
+
+	t.Run("io-timeout", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		addr := stallPeer(t, 1)
+		coord, err := Dial([]string{addr}, marshalParams(t, "echo", 8),
+			Options{IOTimeout: 150 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		_, err = network.Run(spec, g, nil, echoProver{},
+			network.Options{Seed: 1, Transport: coord})
+		var rerr *network.RunError
+		if !errors.As(err, &rerr) || rerr.Phase != network.PhaseTransport {
+			t.Fatalf("err = %v, want PhaseTransport RunError", err)
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("stall detection took %v", elapsed)
+		}
+		settleGoroutines(t, baseline)
+	})
+
+	t.Run("context-deadline", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		addr := stallPeer(t, 1)
+		coord, err := Dial([]string{addr}, marshalParams(t, "echo", 8),
+			Options{IOTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		_, err = network.RunContext(ctx, spec, g, nil, echoProver{},
+			network.Options{Seed: 1, Transport: coord})
+		var rerr *network.RunError
+		if !errors.As(err, &rerr) || rerr.Phase != network.PhaseCanceled {
+			t.Fatalf("err = %v, want PhaseCanceled RunError", err)
+		}
+		settleGoroutines(t, baseline)
+	})
+}
+
+// TestDeadPeerFailsRun covers the harsher failure: the fleet address
+// refuses connections entirely, and Begin reports it as PhaseTransport.
+func TestDeadPeerFailsRun(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing listens here anymore
+	coord, err := Dial([]string{addr}, marshalParams(t, "echo", 8),
+		Options{DialTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = network.Run(echoSpec(8), graph.Cycle(4), nil, echoProver{},
+		network.Options{Seed: 1, Transport: coord})
+	var rerr *network.RunError
+	if !errors.As(err, &rerr) || rerr.Phase != network.PhaseTransport {
+		t.Fatalf("err = %v, want PhaseTransport RunError", err)
+	}
+}
+
+// TestSendDelaySlowLink exercises the transport-level slow-link hook: the
+// run completes bit-identically, just later.
+func TestSendDelaySlowLink(t *testing.T) {
+	g := graph.Path(4)
+	spec := echoSpec(8)
+	seqRes, err := network.Run(spec, g, nil, echoProver{},
+		network.Options{Seed: 1, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startFleet(t, 2)
+	coord, err := Dial(addrs, marshalParams(t, "echo", 8),
+		Options{SendDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netRes, err := network.Run(spec, g, nil, echoProver{},
+		network.Options{Seed: 1, Transport: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, netRes) {
+		t.Fatal("slow-link run diverged from sequential")
+	}
+}

@@ -1,0 +1,391 @@
+package peer
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dip/internal/network"
+	"dip/internal/wire"
+)
+
+// SpecBuilder rebuilds a protocol Spec from the handshake's opaque
+// parameter blob. It is injected rather than imported so this package
+// stays below the protocol registry in the dependency order: cmd/dippeer
+// wires it to dip.BuildSpec, and tests wire it to fixtures. The builder
+// must be deterministic in its parameters — both sides of a run construct
+// the Spec independently, and bit-identity with the in-process executors
+// relies on the constructions agreeing.
+type SpecBuilder func(params []byte) (*network.Spec, error)
+
+// Server hosts verifier nodes for remote coordinators: one session per
+// accepted connection, each session running the node-facing half of one
+// proof through network.NodeState. A single Server handles any number of
+// sequential or concurrent sessions.
+type Server struct {
+	// Build rebuilds the Spec a hello frame's parameters describe.
+	// Required.
+	Build SpecBuilder
+	// IOTimeout bounds each blocking read and write inside a session: a
+	// coordinator that goes silent longer than this aborts the session
+	// instead of pinning the handler goroutine forever. Zero selects
+	// DefaultIOTimeout.
+	IOTimeout time.Duration
+	// FailSession, when positive, is a crash-test hook: the FailSession-th
+	// accepted session kills the whole process (os.Exit(2)) at its first
+	// exchange step — mid-round, after traffic has flowed. The peer-smoke
+	// gate uses it to prove a coordinator survives losing a peer with a
+	// structured error instead of a hang.
+	FailSession int
+	// Logf, when set, receives one line per session event.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	sessions int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// DefaultIOTimeout bounds session reads/writes when Server.IOTimeout or
+// Options.IOTimeout is zero.
+const DefaultIOTimeout = 30 * time.Second
+
+// Serve accepts sessions on l until the listener closes (Close, or the
+// caller closing l directly), which returns nil. Each connection is
+// handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.sessions++
+		session := s.sessions
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn, session)
+		}()
+	}
+}
+
+// Close aborts every live session and waits for their handlers to return.
+// The caller closes its own listener (Serve then returns nil).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) ioTimeout() time.Duration {
+	if s.IOTimeout > 0 {
+		return s.IOTimeout
+	}
+	return DefaultIOTimeout
+}
+
+// sendError reports a structured failure to the coordinator (best effort:
+// the session is ending either way).
+func (s *Server) sendError(conn net.Conn, rerr *network.RunError) {
+	payload, err := json.Marshal(errorFrameOf(rerr))
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.ioTimeout()))
+	_ = writeFrame(conn, frameError, payload)
+}
+
+// session is one connection's run: the hosted nodes and the read state.
+type session struct {
+	srv   *Server
+	conn  net.Conn
+	br    *bufio.Reader
+	id    int
+	spec  *network.Spec
+	n     int
+	nodes []*network.NodeState
+	// owned maps a global node index to its hosted NodeState (nil when the
+	// node lives elsewhere); degrees holds each hosted node's neighbor
+	// count for exchange-completion tracking.
+	owned   map[int]*network.NodeState
+	degrees map[int]int
+}
+
+// handle runs one session: handshake, schedule walk, end.
+func (s *Server) handle(conn net.Conn, id int) {
+	sess := &session{srv: s, conn: conn, br: bufio.NewReader(conn), id: id}
+	rerr := sess.run()
+	if rerr != nil {
+		s.logf("peer: session %d: %v", id, rerr)
+		s.sendError(conn, rerr)
+		return
+	}
+	s.logf("peer: session %d: complete", id)
+}
+
+// readNext reads the next frame under the session deadline, translating
+// coordinator-initiated aborts: an error frame surfaces the coordinator's
+// RunError, an end frame mid-run means the run finished without us.
+func (sess *session) readNext() (byte, []byte, *network.RunError) {
+	sess.conn.SetReadDeadline(time.Now().Add(sess.srv.ioTimeout()))
+	typ, payload, err := readFrame(sess.br)
+	if err != nil {
+		return 0, nil, sess.failf(-1, "coordinator read: %v", err)
+	}
+	if typ == frameError {
+		var ef errorFrame
+		if jerr := json.Unmarshal(payload, &ef); jerr != nil {
+			return 0, nil, sess.failf(-1, "malformed error frame: %v", jerr)
+		}
+		return 0, nil, ef.runError()
+	}
+	return typ, payload, nil
+}
+
+// send writes one frame under the session deadline.
+func (sess *session) send(typ byte, payload []byte) *network.RunError {
+	sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.ioTimeout()))
+	if err := writeFrame(sess.conn, typ, payload); err != nil {
+		return sess.failf(-1, "coordinator write: %v", err)
+	}
+	return nil
+}
+
+// failf builds a PhaseTransport RunError for this session.
+func (sess *session) failf(round int, format string, args ...any) *network.RunError {
+	name := ""
+	if sess.spec != nil {
+		name = sess.spec.Name
+	}
+	return &network.RunError{Protocol: name, Phase: network.PhaseTransport,
+		Round: round, Node: -1, Err: fmt.Errorf(format, args...)}
+}
+
+func (sess *session) run() *network.RunError {
+	srv := sess.srv
+	typ, payload, rerr := sess.readNext()
+	if rerr != nil {
+		return rerr
+	}
+	if typ != frameHello {
+		return sess.failf(-1, "first frame type 0x%02x, want hello", typ)
+	}
+	var hello helloFrame
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		return sess.failf(-1, "malformed hello: %v", err)
+	}
+	if hello.Version != Version {
+		return sess.failf(-1, "hello version %d, this peer speaks %d", hello.Version, Version)
+	}
+	if hello.N < 1 || len(hello.Nodes) < 1 || len(hello.Nodes) > hello.N {
+		return sess.failf(-1, "hello provisions %d nodes of %d", len(hello.Nodes), hello.N)
+	}
+	spec, err := srv.Build(hello.Params)
+	if err != nil {
+		return &network.RunError{Protocol: "", Phase: network.PhaseSetup, Round: -1, Node: -1,
+			Err: fmt.Errorf("peer: building spec: %w", err)}
+	}
+	sess.spec, sess.n = spec, hello.N
+	steps, err := network.Schedule(spec)
+	if err != nil {
+		return &network.RunError{Protocol: spec.Name, Phase: network.PhaseSetup, Round: -1, Node: -1,
+			Err: fmt.Errorf("peer: compiling schedule: %w", err)}
+	}
+
+	sess.owned = make(map[int]*network.NodeState, len(hello.Nodes))
+	sess.degrees = make(map[int]int, len(hello.Nodes))
+	for _, hn := range hello.Nodes {
+		input := wire.Message{Data: hn.InputData, Bits: hn.InputBits}
+		if input.Bits < 0 || input.Bits > maxMsgBits || len(input.Data) != (input.Bits+7)/8 {
+			return sess.failf(-1, "node %d input: Bits=%d len(Data)=%d", hn.V, input.Bits, len(input.Data))
+		}
+		ns, nerr := network.NewNodeState(spec, hn.V, hello.N, hn.Neighbors, input, hello.Seed)
+		if nerr != nil {
+			return sess.failf(-1, "node %d: %v", hn.V, nerr)
+		}
+		if sess.owned[hn.V] != nil {
+			return sess.failf(-1, "node %d provisioned twice", hn.V)
+		}
+		sess.owned[hn.V] = ns
+		sess.degrees[hn.V] = len(hn.Neighbors)
+		sess.nodes = append(sess.nodes, ns)
+	}
+
+	okPayload, err := json.Marshal(helloOKFrame{Version: Version, Nodes: len(sess.nodes)})
+	if err != nil {
+		return sess.failf(-1, "marshaling helloOK: %v", err)
+	}
+	if rerr := sess.send(frameHelloOK, okPayload); rerr != nil {
+		return rerr
+	}
+	srv.logf("peer: session %d: hosting %d of %d nodes (%s)", sess.id, len(sess.nodes), hello.N, spec.Name)
+
+	for _, st := range steps {
+		if rerr := sess.step(st); rerr != nil {
+			return rerr
+		}
+	}
+
+	// The schedule is done; wait for the coordinator's end frame so the
+	// final decision frames are known-delivered before the session closes.
+	typ, _, rerr = sess.readNext()
+	if rerr != nil {
+		return rerr
+	}
+	if typ != frameEnd {
+		return sess.failf(-1, "post-run frame type 0x%02x, want end", typ)
+	}
+	return nil
+}
+
+// step plays the node-facing half of one schedule step.
+func (sess *session) step(st network.ScheduleStep) *network.RunError {
+	switch st.Kind {
+	case network.StepChallenge:
+		for _, ns := range sess.nodes {
+			m, rerr := ns.Challenge(st.Round)
+			if rerr != nil {
+				return rerr
+			}
+			payload, err := encodeDelivery(st.Round, ns.V(), m)
+			if err != nil {
+				return sess.failf(st.Round, "encoding challenge: %v", err)
+			}
+			if rerr := sess.send(frameChallenge, payload); rerr != nil {
+				return rerr
+			}
+		}
+
+	case network.StepRespond:
+		for range sess.nodes {
+			typ, payload, rerr := sess.readNext()
+			if rerr != nil {
+				return rerr
+			}
+			if typ != frameResponse {
+				return sess.failf(st.Round, "frame type 0x%02x during respond step", typ)
+			}
+			ri, v, m, err := decodeDelivery(payload)
+			if err != nil {
+				return sess.failf(st.Round, "response frame: %v", err)
+			}
+			ns := sess.owned[v]
+			if ri != st.Round || ns == nil {
+				return sess.failf(st.Round, "response for round %d node %d (hosting round %d)", ri, v, st.Round)
+			}
+			ns.PushResponse(m)
+		}
+
+	case network.StepExchange:
+		srv := sess.srv
+		if srv.FailSession > 0 && sess.id == srv.FailSession {
+			// Crash-test hook: die mid-round, after the handshake and at
+			// least one full message phase, without any cleanup — exactly
+			// like a peer host losing power.
+			srv.logf("peer: session %d: FailSession crash hook firing", sess.id)
+			os.Exit(2)
+		}
+		if sess.spec.Rounds[st.Round].Digest != nil {
+			for _, ns := range sess.nodes {
+				out, rerr := ns.ExchangeOut(st)
+				if rerr != nil {
+					return rerr
+				}
+				payload, err := encodeDelivery(st.Round, ns.V(), out)
+				if err != nil {
+					return sess.failf(st.Round, "encoding forward: %v", err)
+				}
+				if rerr := sess.send(frameForward, payload); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		want := 0
+		for _, deg := range sess.degrees {
+			want += deg
+		}
+		got := make(map[int]map[int]wire.Message, len(sess.nodes))
+		for i := 0; i < want; i++ {
+			typ, payload, rerr := sess.readNext()
+			if rerr != nil {
+				return rerr
+			}
+			if typ != frameExchange {
+				return sess.failf(st.Round, "frame type 0x%02x during exchange step", typ)
+			}
+			ri, from, to, chal, m, err := decodeExchange(payload)
+			if err != nil {
+				return sess.failf(st.Round, "exchange frame: %v", err)
+			}
+			ns := sess.owned[to]
+			if ri != st.Round || chal != st.Chal || ns == nil {
+				return sess.failf(st.Round, "exchange for round %d chal=%v node %d (hosting round %d chal=%v)",
+					ri, chal, to, st.Round, st.Chal)
+			}
+			bucket := got[to]
+			if bucket == nil {
+				bucket = make(map[int]wire.Message, sess.degrees[to])
+				got[to] = bucket
+			}
+			if _, dup := bucket[from]; dup || len(bucket) >= sess.degrees[to] {
+				return sess.failf(st.Round, "surplus exchange %d→%d", from, to)
+			}
+			bucket[from] = m
+		}
+		for _, ns := range sess.nodes {
+			bucket := got[ns.V()]
+			if bucket == nil {
+				bucket = make(map[int]wire.Message)
+			}
+			ns.PushExchange(st, bucket)
+		}
+
+	case network.StepDecide:
+		for _, ns := range sess.nodes {
+			d, rerr := ns.Decide()
+			if rerr != nil {
+				return rerr
+			}
+			if rerr := sess.send(frameDecision, encodeDecision(ns.V(), d)); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return nil
+}

@@ -142,6 +142,16 @@ func DecodeWireReport(r io.Reader) (*WireReport, error) {
 	if err := json.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("report: %w", err)
 	}
+	// Canonicalize: an explicitly-empty list and an absent one are the
+	// same document, but Encode (omitempty) only ever writes the absent
+	// form — without this a `"per_round": []` input would not survive a
+	// decode/encode round trip bit-identically.
+	if len(w.RejectingNodes) == 0 {
+		w.RejectingNodes = nil
+	}
+	if len(w.PerRound) == 0 {
+		w.PerRound = nil
+	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}

@@ -52,11 +52,28 @@ type ProtocolInfo struct {
 type entry struct {
 	info entryInfo
 	run  func(ctx context.Context, req *Request) (Report, error)
+	// spec rebuilds the protocol's Spec without running it; see BuildSpec.
+	spec func(req *Request) (*network.Spec, error)
 	// uses flags which optional Request fields this protocol reads;
 	// dispatch rejects requests that set any other.
 	usesEdges1 bool
 	usesMarks  bool
 	usesSide   bool
+}
+
+// checkFields rejects a request that populates a field this protocol does
+// not read, shared by the run and BuildSpec dispatch paths.
+func (e *entry) checkFields(req *Request) error {
+	if !e.usesEdges1 && req.Edges1 != nil {
+		return badRequestf("dip: protocol %q takes no Edges1", e.info.Name)
+	}
+	if !e.usesMarks && req.Marks != nil {
+		return badRequestf("dip: protocol %q takes no Marks", e.info.Name)
+	}
+	if !e.usesSide && (req.Side != 0 || req.Half != 0) {
+		return badRequestf("dip: protocol %q takes no Side/Half", e.info.Name)
+	}
+	return nil
 }
 
 type entryInfo = ProtocolInfo
@@ -68,51 +85,60 @@ var registry = map[string]*entry{
 	"sym-dmam": {
 		info: entryInfo{Name: "sym-dmam", Family: "sym", Rounds: 3,
 			Summary: "O(log n) dMAM proof of graph symmetry (Theorem 1.1)"},
-		run: runSymDMAM,
+		run:  runSymDMAM,
+		spec: specOf(protoSymDMAM),
 	},
 	"sym-dam": {
 		info: entryInfo{Name: "sym-dam", Family: "sym", Rounds: 2,
 			Summary: "O(n log n) dAM proof of symmetry, nodes speak first (Theorem 1.3)"},
-		run: runSymDAM,
+		run:  runSymDAM,
+		spec: specOf(protoSymDAM),
 	},
 	"dsym-dam": {
 		info: entryInfo{Name: "dsym-dam", Family: "sym", Rounds: 2,
 			Summary: "O(log n) dAM proof of dumbbell symmetry (Theorem 1.2)"},
 		run:      runDSymDAM,
+		spec:     specOf(protoDSymDAM),
 		usesSide: true,
 	},
 	"sym-lcp": {
 		info: entryInfo{Name: "sym-lcp", Family: "sym", Rounds: 1,
 			Summary: "Θ(n²) non-interactive labeling-scheme baseline for symmetry"},
-		run: runSymLCP,
+		run:  runSymLCP,
+		spec: specOf(protoSymLCP),
 	},
 	"sym-rpls": {
 		info: entryInfo{Name: "sym-rpls", Family: "sym", Rounds: 1,
 			Summary: "randomized proof-labeling scheme: Θ(n²) advice, O(log n) fingerprint exchange"},
-		run: runSymRPLS,
+		run:  runSymRPLS,
+		spec: specOf(protoSymRPLS),
 	},
 	"gni-damam": {
 		info: entryInfo{Name: "gni-damam", Family: "gni", Rounds: 4,
 			Summary: "distributed Goldwasser–Sipser dAMAM proof of non-isomorphism (Theorem 1.5)"},
 		run:        runGNIDAMAM,
+		spec:       specOf(protoGNIDAMAM),
 		usesEdges1: true,
 	},
 	"gni-general": {
 		info: entryInfo{Name: "gni-general", Family: "gni", Rounds: 2,
 			Summary: "promise-free GNI, correct on symmetric graphs too"},
 		run:        runGNIGeneral,
+		spec:       specOf(protoGNIGeneral),
 		usesEdges1: true,
 	},
 	"gni-marked": {
 		info: entryInfo{Name: "gni-marked", Family: "gni", Rounds: 4,
 			Summary: "marked single-graph formulation of GNI (Section 2.3)"},
 		run:       runGNIMarked,
+		spec:      specOf(protoGNIMarked),
 		usesMarks: true,
 	},
 	"gni-lcp": {
 		info: entryInfo{Name: "gni-lcp", Family: "gni", Rounds: 1,
 			Summary: "Θ(n²) non-interactive baseline for non-isomorphism"},
 		run:        runGNILCP,
+		spec:       specOf(protoGNILCP),
 		usesEdges1: true,
 	},
 }
@@ -143,14 +169,8 @@ func RunContext(ctx context.Context, req Request) (Report, error) {
 	if !ok {
 		return Report{}, badRequestf("dip: unknown protocol %q (see dip.Protocols)", req.Protocol)
 	}
-	if !e.usesEdges1 && req.Edges1 != nil {
-		return Report{}, badRequestf("dip: protocol %q takes no Edges1", req.Protocol)
-	}
-	if !e.usesMarks && req.Marks != nil {
-		return Report{}, badRequestf("dip: protocol %q takes no Marks", req.Protocol)
-	}
-	if !e.usesSide && (req.Side != 0 || req.Half != 0) {
-		return Report{}, badRequestf("dip: protocol %q takes no Side/Half", req.Protocol)
+	if err := e.checkFields(&req); err != nil {
+		return Report{}, err
 	}
 	return e.run(ctx, &req)
 }
@@ -185,12 +205,10 @@ func runSymDMAM(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/sym-dmam", int64(req.N), 0, 0, req.Options.Seed,
-		func() (any, error) { return core.NewSymDMAM(req.N, req.Options.Seed) })
+	proto, err := protoSymDMAM(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.SymDMAM)
 	return finish(ctx, "sym-dmam", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
@@ -199,22 +217,18 @@ func runSymDAM(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/sym-dam", int64(req.N), 0, 0, req.Options.Seed,
-		func() (any, error) { return core.NewSymDAM(req.N, req.Options.Seed) })
+	proto, err := protoSymDAM(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.SymDAM)
 	return finish(ctx, "sym-dam", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
 func runDSymDAM(ctx context.Context, req *Request) (Report, error) {
-	v, err := cachedProtocol("proto/dsym-dam", int64(req.Side), int64(req.Half), 0, req.Options.Seed,
-		func() (any, error) { return core.NewDSymDAM(req.Side, req.Half, req.Options.Seed) })
+	proto, err := protoDSymDAM(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.DSymDAM)
 	if req.N != 0 && req.N != proto.N() {
 		return Report{}, badRequestf("dip: dsym-dam with side=%d half=%d has %d vertices, request says n=%d",
 			req.Side, req.Half, proto.N(), req.N)
@@ -231,12 +245,10 @@ func runSymLCP(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/sym-lcp", int64(req.N), 0, 0, 0,
-		func() (any, error) { return core.NewSymLCP(req.N) })
+	proto, err := protoSymLCP(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.SymLCP)
 	return finish(ctx, "sym-lcp", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
@@ -245,12 +257,10 @@ func runSymRPLS(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/sym-rpls", int64(req.N), 0, 0, req.Options.Seed,
-		func() (any, error) { return core.NewSymRPLS(req.N, req.Options.Seed) })
+	proto, err := protoSymRPLS(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.SymRPLS)
 	return finish(ctx, "sym-rpls", proto.Spec(), g, proto.HonestProver(), req.Options)
 }
 
@@ -270,16 +280,10 @@ func runGNIDAMAM(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	k, err := resolveRepetitions(req.Options.Repetitions)
+	proto, err := protoGNIDAMAM(req)
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/gni-damam", int64(req.N), int64(k), 0, req.Options.Seed,
-		func() (any, error) { return core.NewGNIDAMAM(req.N, k, req.Options.Seed) })
-	if err != nil {
-		return Report{}, err
-	}
-	proto := v.(*core.GNIDAMAM)
 	return finishGNI(ctx, "gni-damam", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
@@ -288,16 +292,10 @@ func runGNIGeneral(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	k, err := resolveRepetitions(req.Options.Repetitions)
+	proto, err := protoGNIGeneral(req)
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/gni-general", int64(req.N), int64(k), 0, req.Options.Seed,
-		func() (any, error) { return core.NewGNIGeneral(req.N, k, req.Options.Seed) })
-	if err != nil {
-		return Report{}, err
-	}
-	proto := v.(*core.GNIGeneral)
 	return finishGNI(ctx, "gni-general", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
@@ -306,12 +304,10 @@ func runGNILCP(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/gni-lcp", int64(req.N), 0, 0, 0,
-		func() (any, error) { return core.NewGNILCP(req.N) })
+	proto, err := protoGNILCP(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.GNILCP)
 	return finishGNI(ctx, "gni-lcp", proto.Spec(), g0, g1, proto.HonestProver(), req.Options)
 }
 
@@ -320,34 +316,14 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	if len(req.Marks) != req.N {
-		return Report{}, badRequestf("dip: %d marks for %d nodes", len(req.Marks), req.N)
-	}
-	coreMarks := make([]core.Mark, req.N)
-	k := 0
-	for v, m := range req.Marks {
-		switch m {
-		case 0:
-			coreMarks[v] = core.MarkZero
-			k++
-		case 1:
-			coreMarks[v] = core.MarkOne
-		case -1:
-			coreMarks[v] = core.MarkNone
-		default:
-			return Report{}, badRequestf("dip: mark %d at node %d (want 0, 1 or -1)", m, v)
-		}
-	}
-	reps, err := resolveRepetitions(req.Options.Repetitions)
+	coreMarks, _, err := decodeMarks(req)
 	if err != nil {
 		return Report{}, err
 	}
-	v, err := cachedProtocol("proto/gni-marked", int64(req.N), int64(k), int64(reps), req.Options.Seed,
-		func() (any, error) { return core.NewMarkedGNI(req.N, k, reps, req.Options.Seed) })
+	proto, err := protoGNIMarked(req)
 	if err != nil {
 		return Report{}, err
 	}
-	proto := v.(*core.MarkedGNI)
 	inputs, err := core.EncodeMarks(coreMarks)
 	if err != nil {
 		return Report{}, asBadRequest(err)
