@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke bench bench-check tables tables-quick clean
+.PHONY: verify lint vet build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke fleet-smoke bench bench-check tables tables-quick clean
 
 # verify is the tier-1 gate: lint, build, tests, the race check across the
 # whole module (short mode keeps it minutes, not hours), a results-file
@@ -10,10 +10,13 @@ GO ?= go
 # leak check on the drained service, an adversarial chaos session
 # against the live service (dipload -chaos), and the job-tier
 # crash-replay drill (jobs-smoke: SIGKILL mid-backlog, restart, every
-# job completes exactly once), and the multi-process peer drill
+# job completes exactly once), the multi-process peer drill
 # (peer-smoke: a real dippeer fleet must produce the byte-identical
-# dip-report/v1, fail structurally when a peer dies, and drain cleanly).
-verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke
+# dip-report/v1, fail structurally when a peer dies, and drain cleanly),
+# and the fleet-backed serving drill (fleet-smoke: dipserve -peers on a
+# standing dippeer fleet, one peer killed mid-load, structured 502s and
+# recovery on the survivors, clean drain end to end).
+verify: lint build test race smoke fuzz-short fault-smoke serve-smoke load-check chaos-smoke jobs-smoke peer-smoke fleet-smoke
 
 # lint fails on unformatted files or vet findings.
 lint:
@@ -43,7 +46,7 @@ race:
 smoke:
 	$(GO) run ./cmd/dipbench -quick -seed 1 -progress=false -json /tmp/dip-bench-smoke.json >/dev/null
 	$(GO) run ./cmd/dipbench -validate /tmp/dip-bench-smoke.json
-	$(GO) run ./cmd/dipbench -validate BENCH_seed1.json FAULT_seed1.json LOAD_seed1.json LOAD_seed2.json LOAD_seed3.json
+	$(GO) run ./cmd/dipbench -validate BENCH_seed1.json FAULT_seed1.json LOAD_seed1.json LOAD_seed2.json LOAD_seed3.json LOAD_seed4.json
 
 # fuzz-short gives each decoder fuzz target a brief mutation burst on top
 # of the checked-in seed corpus (go only allows one -fuzz pattern per
@@ -222,6 +225,67 @@ peer-smoke:
 	for p in $$pids; do wait $$p || { echo "peer $$p exited non-zero after drain"; exit 1; }; done; \
 	for i in 1 2 3 4; do grep -q drained $$dir/peer$$i.log || { echo "no drain marker in peer $$i log"; cat $$dir/peer$$i.log; exit 1; }; done; \
 	echo "peer-smoke: ok"
+
+# fleet-smoke proves the fleet-backed serving tier end to end. Boot three
+# dippeer processes and a dipserve pointed at them with -peers, then push
+# the full request surface through the standing fleet: a plain load, a
+# batch load, and an async jobs submit/poll round (all must finish with
+# zero errors; the two dip-load/v1 files must validate). Then SIGKILL one
+# peer while a second plain load is in flight: dipload must still exit
+# cleanly (no dropped connections — the failures are structured 502
+# answers, which it counts as errors), the load file must record a
+# non-zero error count for the kill window, /readyz must stay 200 while
+# naming the dead peer unreachable, and a fresh load against the
+# two-peer remainder must complete with zero errors. Finally a SIGTERM
+# drain of dipserve and both surviving peers must log every drain marker.
+fleet-smoke:
+	@dir=$$(mktemp -d /tmp/dip-fleet-smoke.XXXXXX); \
+	$(GO) build -o $$dir/dippeer ./cmd/dippeer || exit 1; \
+	$(GO) build -o $$dir/dipserve ./cmd/dipserve || exit 1; \
+	$(GO) build -o $$dir/dipload ./cmd/dipload || exit 1; \
+	pids=""; \
+	trap 'kill -9 $$pids $$srvpid 2>/dev/null; rm -rf '"$$dir" EXIT; \
+	for i in 1 2 3; do \
+		$$dir/dippeer -addr 127.0.0.1:0 -addr-file $$dir/peer$$i.addr >$$dir/peer$$i.log 2>&1 & \
+		eval p$$i=$$!; \
+		pids="$$pids $$!"; \
+	done; \
+	for i in 1 2 3; do \
+		for t in $$(seq 1 100); do [ -s $$dir/peer$$i.addr ] && break; sleep 0.1; done; \
+		[ -s $$dir/peer$$i.addr ] || { echo "peer $$i never bound"; cat $$dir/peer$$i.log; exit 1; }; \
+	done; \
+	peers=$$(head -n1 $$dir/peer1.addr),$$(head -n1 $$dir/peer2.addr),$$(head -n1 $$dir/peer3.addr); \
+	$$dir/dipserve -addr 127.0.0.1:0 -addr-file $$dir/addr -workers 4 -queue 16 -peers $$peers -journal $$dir/jobs.journal -job-workers 2 >$$dir/serve.log 2>&1 & \
+	srvpid=$$!; \
+	for t in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "dipserve never bound"; cat $$dir/serve.log; exit 1; }; \
+	addr=$$(head -n1 $$dir/addr); \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam,sym-dam -n 24 -c 4 -requests 120 -seed 1 -json $$dir/plain.json || { cat $$dir/serve.log; exit 1; }; \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 24 -c 4 -requests 100 -batch 20 -seed 2 -json $$dir/batch.json || { cat $$dir/serve.log; exit 1; }; \
+	$$dir/dipload -url http://$$addr -jobs submit -jobs-file $$dir/ids -protocol sym-dmam -n 24 -c 4 -requests 30 -seed 3 || { cat $$dir/serve.log; exit 1; }; \
+	$$dir/dipload -url http://$$addr -jobs poll -jobs-file $$dir/ids -seed 3 || { cat $$dir/serve.log; exit 1; }; \
+	$(GO) run ./cmd/dipbench -validate $$dir/plain.json $$dir/batch.json || exit 1; \
+	grep -q '"errors": 0' $$dir/plain.json || { echo "healthy-fleet plain load reported errors"; cat $$dir/plain.json; exit 1; }; \
+	grep -q '"errors": 0' $$dir/batch.json || { echo "healthy-fleet batch load reported errors"; cat $$dir/batch.json; exit 1; }; \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 24 -c 4 -requests 1500 -seed 4 -json $$dir/kill.json >$$dir/kill.out 2>&1 & \
+	loadpid=$$!; \
+	sleep 1; \
+	kill -9 $$p1; \
+	wait $$loadpid || { echo "load across the peer kill dropped connections"; cat $$dir/kill.out $$dir/serve.log; exit 1; }; \
+	if grep -q '"errors": 0' $$dir/kill.json; then \
+		echo "no structured 502s observed across the peer kill"; cat $$dir/kill.json; exit 1; \
+	fi; \
+	curl -sf http://$$addr/readyz >$$dir/ready.json || { echo "readyz not 200 with one peer down"; exit 1; }; \
+	grep -q '"unreachable"' $$dir/ready.json || { echo "readyz does not name the dead peer"; cat $$dir/ready.json; exit 1; }; \
+	$$dir/dipload -url http://$$addr -protocol sym-dmam -n 24 -c 4 -requests 60 -seed 5 -json $$dir/recover.json || { cat $$dir/serve.log; exit 1; }; \
+	grep -q '"errors": 0' $$dir/recover.json || { echo "fleet did not recover on the surviving peers"; cat $$dir/recover.json; exit 1; }; \
+	kill -TERM $$srvpid; \
+	wait $$srvpid || { echo "dipserve exited non-zero after drain"; cat $$dir/serve.log; exit 1; }; \
+	grep -q drained $$dir/serve.log || { echo "no drain marker in dipserve log"; cat $$dir/serve.log; exit 1; }; \
+	kill -TERM $$p2 $$p3; \
+	for p in $$p2 $$p3; do wait $$p || { echo "peer $$p exited non-zero after drain"; exit 1; }; done; \
+	for i in 2 3; do grep -q drained $$dir/peer$$i.log || { echo "no drain marker in peer $$i log"; cat $$dir/peer$$i.log; exit 1; }; done; \
+	echo "fleet-smoke: ok"
 
 # bench runs the engine-mode comparison (sequential vs goroutine-per-node).
 bench:

@@ -30,7 +30,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+
+	"dip"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body", cfg.maxBody, "request body cap in bytes")
 	flag.DurationVar(&cfg.drain, "drain-timeout", cfg.drain, "graceful shutdown bound")
 	flag.StringVar(&cfg.addrFile, "addr-file", cfg.addrFile, "write the bound address to this file once listening")
+	flag.StringVar(&cfg.peers, "peers", cfg.peers, "comma-separated dippeer addresses: place verifier nodes on that standing fleet instead of in-process")
 	flag.Float64Var(&cfg.rateLimit, "rate-limit", cfg.rateLimit, "per-client requests/second budget; batch items count individually (0 disables)")
 	flag.IntVar(&cfg.rateBurst, "rate-burst", cfg.rateBurst, "per-client token-bucket capacity (0 derives one second of budget)")
 	flag.StringVar(&cfg.jobs.journal, "journal", cfg.jobs.journal, "job journal file: makes the async backlog survive SIGKILL (empty keeps jobs in memory)")
@@ -64,6 +68,17 @@ func serve(cfg config) error {
 	s, err := newServer(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.peers != "" {
+		// Dial eagerly: a misconfigured fleet fails the boot, not the
+		// first request. Lost peers redial transparently afterwards.
+		fleet, err := dip.DialFleet(strings.Split(cfg.peers, ","), dip.FleetOptions{})
+		if err != nil {
+			return fmt.Errorf("dialing peer fleet: %w", err)
+		}
+		defer fleet.Close()
+		s.useFleet(fleet)
+		log.Printf("dipserve: serving from a %d-peer fleet", len(fleet.Addrs()))
 	}
 	s.start()
 	if stats, _ := s.async.replayStats(); stats.Pending+stats.Settled > 0 {

@@ -45,6 +45,10 @@ type config struct {
 	// rateBurst is the token-bucket capacity per client; 0 derives a
 	// default from rateLimit.
 	rateBurst int
+	// peers, when non-empty, lists dippeer addresses (host:port, comma
+	// separated): every run — synchronous, batch, and async jobs — places
+	// its verifier nodes on that standing fleet instead of in-process.
+	peers string
 	// jobs are the async tier knobs (POST /v1/jobs); see jobsConfig.
 	jobs jobsConfig
 }
@@ -99,12 +103,32 @@ type server struct {
 	// store, and worker pool are independent of the synchronous
 	// admission queue above.
 	async *jobsTier
-	// runFunc is dip.RunContext in production; tests inject stubs to pin
-	// queue/timeout behavior without real protocol runs.
-	runFunc  func(context.Context, dip.Request) (dip.Report, error)
+	// runFunc is dip.RunContext in production (or a fleet-backed closure
+	// under -peers); tests inject stubs to pin queue/timeout behavior
+	// without real protocol runs.
+	runFunc func(context.Context, dip.Request) (dip.Report, error)
+	// fleet is the standing dippeer fleet behind -peers; nil when runs
+	// execute in-process. All three serving tiers route through runFunc,
+	// so pointing runFunc at the fleet redirects run, batch, and jobs.
+	fleet    *dip.Fleet
 	draining atomic.Bool
 	started  time.Time
 	wg       sync.WaitGroup
+}
+
+// useFleet points every serving tier at a standing peer fleet: runFunc
+// becomes Fleet.Run (the jobs tier reads runFunc at call time, so it
+// follows), /metrics gains the per-peer gauges, and /readyz reports
+// fleet reachability.
+func (s *server) useFleet(f *dip.Fleet) {
+	s.fleet = f
+	s.runFunc = func(ctx context.Context, req dip.Request) (dip.Report, error) {
+		rep, err := f.Run(ctx, req)
+		if err != nil {
+			return dip.Report{}, err
+		}
+		return *rep, nil
+	}
 }
 
 func newServer(cfg config) (*server, error) {
@@ -309,6 +333,18 @@ type readyBody struct {
 	JobBacklog   int    `json:"job_backlog"`
 	JobsInFlight int    `json:"jobs_in_flight"`
 	Draining     bool   `json:"draining"`
+	// Fleet reports peer reachability under -peers: the probe redials
+	// lost connections, so a restarted peer turns reachable again here.
+	Fleet *fleetReady `json:"fleet,omitempty"`
+}
+
+// fleetReady is the /readyz fleet block. The service stays ready while
+// at least one peer is reachable (runs placed on dead peers fail with
+// structured 502s, the rest keep serving); with every peer unreachable
+// no run can succeed, so readiness goes 503.
+type fleetReady struct {
+	Peers       int      `json:"peers"`
+	Unreachable []string `json:"unreachable,omitempty"`
 }
 
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -323,6 +359,22 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		body.Status = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
+	}
+	if s.fleet != nil {
+		_ = s.fleet.Ready() // redial lost peers; reachability read off Stats below
+		st := s.fleet.Stats()
+		fr := &fleetReady{Peers: len(st.Peers)}
+		for _, ps := range st.Peers {
+			if !ps.Connected {
+				fr.Unreachable = append(fr.Unreachable, ps.Addr)
+			}
+		}
+		body.Fleet = fr
+		if len(fr.Unreachable) == fr.Peers {
+			body.Status = "fleet-unreachable"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -596,6 +648,9 @@ type metricsPayload struct {
 	Workers   int                      `json:"workers"`
 	QueueCap  int                      `json:"queue_capacity"`
 	UptimeMS  int64                    `json:"uptime_ms"`
+	// Fleet holds the standing peer fleet's per-peer gauges (sessions
+	// open/completed/failed, frames, bytes) under -peers; absent otherwise.
+	Fleet *dip.FleetStats `json:"fleet,omitempty"`
 	// Runtime exposes the process vitals chaos tooling gates on: a
 	// goroutine count that keeps rising across a load session is a leak,
 	// and so is monotone heap growth at steady request rates.
@@ -610,7 +665,13 @@ type runtimeMetrics struct {
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	var fleet *dip.FleetStats
+	if s.fleet != nil {
+		st := s.fleet.Stats()
+		fleet = &st
+	}
 	writeJSON(w, http.StatusOK, metricsPayload{
+		Fleet:     fleet,
 		Service:   s.meters.SnapshotService(),
 		Engine:    obs.Snapshot(),
 		StatePool: network.StatePoolStats(),

@@ -20,6 +20,7 @@ import (
 	"dip"
 	"dip/internal/faults"
 	"dip/internal/network"
+	"dip/internal/peer"
 )
 
 // startTestServer wires a server with cfg (zero fields defaulted) into an
@@ -893,5 +894,157 @@ func TestRequestStormChaos(t *testing.T) {
 			t.Fatalf("goroutines did not settle: %d live, baseline %d", runtime.NumGoroutine(), baseline)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// startPeerFleet boots k in-process peer servers with the dippeer
+// SpecBuilder and returns a dialed dip.Fleet plus a kill switch that
+// severs every peer (listener and live sessions).
+func startPeerFleet(t *testing.T, k int) (*dip.Fleet, func()) {
+	t.Helper()
+	var (
+		listeners []net.Listener
+		servers   []*peer.Server
+		addrs     []string
+	)
+	for i := 0; i < k; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &peer.Server{Build: func(params []byte) (*network.Spec, error) {
+			var req dip.Request
+			if err := json.Unmarshal(params, &req); err != nil {
+				return nil, err
+			}
+			return dip.BuildSpec(req)
+		}}
+		go srv.Serve(l)
+		listeners = append(listeners, l)
+		servers = append(servers, srv)
+		addrs = append(addrs, l.Addr().String())
+	}
+	kill := func() {
+		for i := range listeners {
+			listeners[i].Close()
+			servers[i].Close()
+		}
+	}
+	t.Cleanup(kill)
+	fleet, err := dip.DialFleet(addrs, dip.FleetOptions{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	return fleet, kill
+}
+
+// TestFleetBackedServer pins the -peers serving path end to end with
+// in-process peers: /v1/run and /v1/batch answer through the fleet with
+// the same bytes the in-process path produces, /metrics carries the
+// fleet gauges, /readyz reports reachability — and once every peer dies,
+// runs answer structured 502s and readiness goes 503.
+func TestFleetBackedServer(t *testing.T) {
+	fleet, kill := startPeerFleet(t, 2)
+	s, ts := startTestServer(t, config{}, nil)
+	s.useFleet(fleet)
+
+	// A fleet-backed run must be byte-identical to the in-process answer.
+	resp := postRun(t, ts.URL, cycleRequest(8, 5))
+	fleetBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet run status %d: %s", resp.StatusCode, fleetBody)
+	}
+	var req dip.Request
+	if err := json.Unmarshal([]byte(cycleRequest(8, 5)), &req); err != nil {
+		t.Fatal(err)
+	}
+	local, err := dip.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := dip.WireReportFrom(local, req.Options.Seed).Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetBody, want.Bytes()) {
+		t.Fatalf("fleet answer diverges from in-process:\nfleet %s\nlocal %s", fleetBody, want.Bytes())
+	}
+
+	// Batch rides the same fleet.
+	batch := fmt.Sprintf(`{"requests": [%s, %s]}`, cycleRequest(6, 1), cycleRequest(6, 2))
+	bresp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet batch status %d: %s", bresp.StatusCode, bbody)
+	}
+
+	// The fleet gauges surface on /metrics with real traffic in them.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Fleet *dip.FleetStats `json:"fleet"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if metrics.Fleet == nil || len(metrics.Fleet.Peers) != 2 {
+		t.Fatalf("metrics fleet block: %+v", metrics.Fleet)
+	}
+	var completed int64
+	for _, ps := range metrics.Fleet.Peers {
+		completed += ps.SessionsCompleted
+	}
+	if completed == 0 {
+		t.Fatal("no completed sessions in fleet gauges after successful runs")
+	}
+
+	// /readyz carries the fleet block and stays ready while peers live.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyBody
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK || ready.Fleet == nil || ready.Fleet.Peers != 2 || len(ready.Fleet.Unreachable) != 0 {
+		t.Fatalf("readyz with live fleet: status %d, %+v", rresp.StatusCode, ready.Fleet)
+	}
+
+	// Kill every peer: runs must answer structured 502s, not hang.
+	kill()
+	resp = postRun(t, ts.URL, cycleRequest(8, 6))
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway || eb.Phase != "transport" {
+		t.Fatalf("run against dead fleet: status %d, phase %q (%s)", resp.StatusCode, eb.Phase, eb.Error)
+	}
+
+	// Readiness follows: every peer unreachable is a 503.
+	rresp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready = readyBody{}
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable || ready.Status != "fleet-unreachable" ||
+		ready.Fleet == nil || len(ready.Fleet.Unreachable) != 2 {
+		t.Fatalf("readyz with dead fleet: status %d, %+v", rresp.StatusCode, ready)
 	}
 }

@@ -17,10 +17,11 @@
 //	dipsim -protocol sym-dmam -peers 127.0.0.1:7001,127.0.0.1:7002
 //
 // -peers runs the verifier nodes on a fleet of dippeer processes (one TCP
-// connection per peer, nodes assigned round-robin) instead of in-process.
-// The engine's funnel — validation, cost accounting, fault injection —
-// stays in the coordinator, so a -peers run is bit-identical to the
-// in-process run of the same instance and seed, faults included.
+// connection per peer, nodes assigned round-robin, one session per run)
+// through the public dip.DialFleet API — dipsim does no placement wiring
+// of its own. The engine's funnel — validation, cost accounting, fault
+// injection — stays in the coordinator, so a -peers run is bit-identical
+// to the in-process run of the same instance and seed, faults included.
 //
 // dipsim builds a dip.Request for the chosen instance and — in the plain
 // case — executes it through dip.Run, the same entry point library users
@@ -49,7 +50,7 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -63,7 +64,6 @@ import (
 	"dip/internal/graph"
 	"dip/internal/network"
 	"dip/internal/obs"
-	"dip/internal/peer"
 	"dip/internal/wire"
 )
 
@@ -310,32 +310,29 @@ func buildInstance(o simOptions, rng *rand.Rand) (*instance, error) {
 	}
 }
 
-// peerParams serializes the request for a dippeer fleet's SpecBuilder:
-// the edge lists are stripped (each peer receives only its own nodes'
-// neighbor slices in the handshake), while spec-shaping fields — N,
-// Side/Half, Marks, seed and repetitions — travel whole.
-func peerParams(req dip.Request) ([]byte, error) {
-	req.Edges = nil
-	req.Edges1 = nil
-	return json.Marshal(req)
+// dialFleet connects to the -peers fleet through the public API — dipsim
+// carries no private placement wiring of its own.
+func dialFleet(o simOptions, stdout io.Writer) (*dip.Fleet, error) {
+	addrs := strings.Split(o.peers, ",")
+	fleet, err := dip.DialFleet(addrs, dip.FleetOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "peers: %d-process fleet\n", len(addrs))
+	return fleet, nil
 }
 
 // runEngine drives the engine directly for the paths dip.Run does not
-// expose: fault injection, transcript recording, and peer fleets.
-func runEngine(o simOptions, inst *instance, stdout io.Writer) (*network.Result, error) {
+// expose: fault injection, transcript recording, and peer fleets
+// combined with either.
+func runEngine(o simOptions, inst *instance, fleet *dip.Fleet, stdout io.Writer) (*network.Result, error) {
 	ro := network.Options{Seed: o.seed, RecordTranscript: o.verbose}
-	if o.peers != "" {
-		params, err := peerParams(inst.req)
-		if err != nil {
-			return nil, err
-		}
-		addrs := strings.Split(o.peers, ",")
-		coord, err := peer.Dial(addrs, params, peer.Options{})
+	if fleet != nil {
+		coord, err := fleet.EngineTransport(inst.req)
 		if err != nil {
 			return nil, err
 		}
 		ro.Transport = coord
-		fmt.Fprintf(stdout, "peers: %d-process fleet\n", len(addrs))
 	}
 	if o.fault != "" {
 		if o.faultProb < 0 || o.faultProb > 1 {
@@ -374,13 +371,28 @@ func run(o simOptions, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "%s: %s\n", inst.label, inst.desc)
 
+	var fleet *dip.Fleet
+	if o.peers != "" {
+		if fleet, err = dialFleet(o, stdout); err != nil {
+			return err
+		}
+		defer fleet.Close()
+	}
+
 	var rep dip.Report
 	var res *network.Result
-	if o.fault == "" && !o.verbose && o.peers == "" {
+	switch {
+	case o.fault == "" && !o.verbose && fleet == nil:
 		// The canonical path: exactly what library users and dipserve run.
 		rep, err = dip.Run(inst.req)
-	} else {
-		res, err = runEngine(o, inst, stdout)
+	case o.fault == "" && !o.verbose:
+		// The canonical fleet path: what dipserve -peers runs.
+		var prep *dip.Report
+		if prep, err = fleet.Run(context.Background(), inst.req); err == nil {
+			rep = *prep
+		}
+	default:
+		res, err = runEngine(o, inst, fleet, stdout)
 		if err == nil {
 			rep = dip.ReportFromResult(inst.req.Protocol, res)
 		}

@@ -1,63 +1,45 @@
 package peer
 
 import (
-	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"dip/internal/network"
 	"dip/internal/wire"
 )
 
-// Options configure a Coordinator.
-type Options struct {
-	// DialTimeout bounds each peer dial; zero selects 5s.
-	DialTimeout time.Duration
-	// IOTimeout bounds every blocking receive (and each send) during the
-	// run: a peer that goes silent longer than this fails the run with a
-	// PhaseTransport RunError instead of hanging it. Zero selects
-	// DefaultIOTimeout. Options.Cancel on the engine side (RunContext
-	// deadlines) still aborts sooner.
-	IOTimeout time.Duration
-	// SendDelay, when positive, sleeps before every outbound frame: a
-	// transport-level slow-link emulation for fault experiments. It delays
-	// only; message bytes are never altered (corruption belongs to the
-	// engine funnel's injectors, which run before the transport sees the
-	// message).
-	SendDelay time.Duration
-}
-
-// Coordinator implements network.Transport over a fleet of peer servers:
-// Dial records the fleet, Begin connects and provisions it (nodes are
-// assigned round-robin: node v lives on peer v mod k), and the frame
-// traffic of the run flows through one reader goroutine per connection
-// into a single inbox the engine's executor drains. A Coordinator serves
-// exactly one run; End tears the fleet connections down.
-type Coordinator struct {
-	addrs  []string
-	params []byte
-	opts   Options
+// Transport implements network.Transport for one run over a Fleet: Begin
+// places the run's nodes on the live peers, mints one session id, and
+// provisions every involved peer; the frame traffic of the run then
+// flows through the fleet's per-connection readers into this run's
+// inbox, routed by session id. End releases the session but leaves the
+// fleet's connections standing for the next run (unless the transport
+// owns a one-shot fleet, built by Dial, which it closes).
+type Transport struct {
+	fleet     *Fleet
+	params    []byte
+	ownsFleet bool
 
 	protocol string
 	n        int
 	cancel   <-chan struct{}
-	conns    []net.Conn
-	readers  []*bufio.Reader
-	assign   []int // node → connection index
+	sess     uint32
+	conns    []*fleetConn // run-local connection index → peer
+	assign   []int        // node → run-local connection index
+	seqs     []int        // per-connection outbound frame sequence (LinkFaults keying)
 	inbox    chan inFrame
+	sinkDone chan struct{}
 	// pending buffers frames from peers running ahead of the coordinator's
 	// schedule walk, keyed by pendKey (frame type and round).
 	pending map[uint64][]inFrame
-	quit    chan struct{}
-	wg      sync.WaitGroup
 	ended   bool
+	failed  bool
 }
 
-// inFrame is one frame (or terminal read error) from a peer connection.
+// inFrame is one frame (or terminal read error) from a peer connection,
+// attributed to its run-local connection index.
 type inFrame struct {
 	conn    int
 	typ     byte
@@ -65,48 +47,50 @@ type inFrame struct {
 	err     error
 }
 
-// Dial builds a coordinator for the given peer fleet. params is the opaque
-// protocol parameter blob every peer's SpecBuilder will rebuild the Spec
-// from (for dippeer fleets: a JSON dip.Request without edge lists).
-// Connections are not opened until Begin, so a Coordinator can be handed
-// to network.Run before the fleet is reachable.
-func Dial(addrs []string, params []byte, opts Options) (*Coordinator, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("peer: no peer addresses")
-	}
-	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = 5 * time.Second
-	}
-	if opts.IOTimeout <= 0 {
-		opts.IOTimeout = DefaultIOTimeout
-	}
-	return &Coordinator{
-		addrs:   append([]string(nil), addrs...),
-		params:  append([]byte(nil), params...),
-		opts:    opts,
-		quit:    make(chan struct{}),
-		pending: make(map[uint64][]inFrame),
-	}, nil
-}
-
 // failf builds a PhaseTransport RunError.
-func (c *Coordinator) failf(round, node int, format string, args ...any) *network.RunError {
-	return &network.RunError{Protocol: c.protocol, Phase: network.PhaseTransport,
+func (t *Transport) failf(round, node int, format string, args ...any) *network.RunError {
+	return &network.RunError{Protocol: t.protocol, Phase: network.PhaseTransport,
 		Round: round, Node: node, Err: fmt.Errorf(format, args...)}
 }
 
-// Begin dials the fleet, provisions every peer with its node slice, and
-// waits for all handshake acknowledgements.
-func (c *Coordinator) Begin(run *network.TransportRun) *network.RunError {
-	c.protocol = run.Spec.Name
-	c.n = run.N
-	c.cancel = run.Cancel
-	k := len(c.addrs)
-	c.assign = make([]int, run.N)
+// Begin places the run on the fleet's live peers, provisions each with
+// its node slice, and waits for all handshake acknowledgements. Nodes go
+// round-robin over the live peers (node v on live peer v mod k); peers
+// whose connections are down are redialed once and skipped if still
+// unreachable, so a fleet missing a peer keeps serving on the rest.
+func (t *Transport) Begin(run *network.TransportRun) *network.RunError {
+	t.protocol = run.Spec.Name
+	t.n = run.N
+	t.cancel = run.Cancel
+
+	t.fleet.mu.Lock()
+	closed := t.fleet.closed
+	t.fleet.mu.Unlock()
+	if closed {
+		return t.failf(-1, -1, "fleet closed")
+	}
+	var lastErr error
+	for _, fc := range t.fleet.peers {
+		if err := fc.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		t.conns = append(t.conns, fc)
+		if len(t.conns) == run.N {
+			break
+		}
+	}
+	if len(t.conns) == 0 {
+		return t.failf(-1, -1, "no reachable peers in fleet of %d: %v", len(t.fleet.addrs), lastErr)
+	}
+
+	k := len(t.conns)
+	t.assign = make([]int, run.N)
+	t.seqs = make([]int, k)
 	perConn := make([][]helloNode, k)
 	for v := 0; v < run.N; v++ {
 		ci := v % k
-		c.assign[v] = ci
+		t.assign[v] = ci
 		var input wire.Message
 		if run.Inputs != nil {
 			input = run.Inputs[v]
@@ -119,80 +103,95 @@ func (c *Coordinator) Begin(run *network.TransportRun) *network.RunError {
 			InputData: input.Data,
 		})
 	}
-	c.conns = make([]net.Conn, 0, k)
-	c.readers = make([]*bufio.Reader, 0, k)
-	for i, addr := range c.addrs {
-		if len(perConn[i]) == 0 {
-			return c.failf(-1, -1, "fleet of %d peers for %d nodes leaves peer %s idle", k, run.N, addr)
+
+	t.sess = t.fleet.sess.Add(1)
+	t.inbox = make(chan inFrame, 2*run.N+16)
+	t.sinkDone = make(chan struct{})
+	for _, fc := range t.conns {
+		// Count before registering so every release path decrements
+		// symmetrically, however far Begin got.
+		fc.sessionsOpen.Add(1)
+	}
+	for i, fc := range t.conns {
+		if err := fc.register(t.sess, &sink{ch: t.inbox, conn: i, done: t.sinkDone}); err != nil {
+			t.release(true)
+			return t.failf(-1, -1, "%v", err)
 		}
-		conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
-		if err != nil {
-			return c.failf(-1, -1, "dialing peer %s: %v", addr, err)
-		}
-		c.conns = append(c.conns, conn)
-		c.readers = append(c.readers, bufio.NewReader(conn))
-		hello := helloFrame{Version: Version, Params: c.params, Seed: run.Seed, N: run.N, Nodes: perConn[i]}
+	}
+	for i, fc := range t.conns {
+		hello := helloFrame{Proto: Version, Params: t.params, Seed: run.Seed, N: run.N, Nodes: perConn[i]}
 		payload, jerr := json.Marshal(hello)
 		if jerr != nil {
-			return c.failf(-1, -1, "marshaling hello: %v", jerr)
+			t.release(true)
+			return t.failf(-1, -1, "marshaling hello: %v", jerr)
 		}
-		if rerr := c.send(i, frameHello, payload); rerr != nil {
-			return rerr
-		}
-	}
-	for i := range c.conns {
-		c.conns[i].SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
-		typ, payload, err := readFrame(c.readers[i])
-		if err != nil {
-			return c.failf(-1, -1, "peer %s handshake: %v", c.addrs[i], err)
-		}
-		switch typ {
-		case frameHelloOK:
-			var ok helloOKFrame
-			if jerr := json.Unmarshal(payload, &ok); jerr != nil {
-				return c.failf(-1, -1, "peer %s handshake: %v", c.addrs[i], jerr)
-			}
-			if ok.Version != Version || ok.Nodes != len(perConn[i]) {
-				return c.failf(-1, -1, "peer %s acknowledged version %d, %d nodes (want %d, %d)",
-					c.addrs[i], ok.Version, ok.Nodes, Version, len(perConn[i]))
-			}
-		case frameError:
-			var ef errorFrame
-			if jerr := json.Unmarshal(payload, &ef); jerr != nil {
-				return c.failf(-1, -1, "peer %s handshake error frame: %v", c.addrs[i], jerr)
-			}
-			return ef.runError()
-		default:
-			return c.failf(-1, -1, "peer %s handshake frame type 0x%02x", c.addrs[i], typ)
+		if err := fc.sendFrame(t.sess, frameHello, payload); err != nil {
+			t.release(true)
+			return t.failf(-1, -1, "%v", err)
 		}
 	}
-	// Handshakes done: clear the read deadlines (liveness is now enforced
-	// per-receive by recv's timer) and hand each connection to a reader
-	// goroutine feeding the shared inbox.
-	c.inbox = make(chan inFrame, c.n+k)
-	for i := range c.conns {
-		c.conns[i].SetReadDeadline(time.Time{})
-		c.wg.Add(1)
-		go c.reader(i)
+
+	// Await one helloOK per involved peer. A fast peer's post-handshake
+	// frames can arrive before a slow peer's acknowledgement; those are
+	// buffered for their phase like any ahead-of-schedule frame.
+	acked := make([]bool, k)
+	timer := time.NewTimer(t.fleet.opts.IOTimeout)
+	defer timer.Stop()
+	for remaining := k; remaining > 0; {
+		select {
+		case f := <-t.inbox:
+			if f.err != nil {
+				t.release(true)
+				return t.failf(-1, -1, "handshake: %v", f.err)
+			}
+			switch f.typ {
+			case frameHelloOK:
+				var ok helloOKFrame
+				if jerr := json.Unmarshal(f.payload, &ok); jerr != nil {
+					t.release(true)
+					return t.failf(-1, -1, "peer %s handshake: %v", t.conns[f.conn].addr, jerr)
+				}
+				if ok.Proto != Version || ok.Nodes != len(perConn[f.conn]) {
+					t.release(true)
+					return t.failf(-1, -1, "peer %s acknowledged proto %d, %d nodes (want %d, %d)",
+						t.conns[f.conn].addr, ok.Proto, ok.Nodes, Version, len(perConn[f.conn]))
+				}
+				if acked[f.conn] {
+					t.release(true)
+					return t.failf(-1, -1, "peer %s acknowledged twice", t.conns[f.conn].addr)
+				}
+				acked[f.conn] = true
+				remaining--
+			case frameError:
+				var ef errorFrame
+				if jerr := json.Unmarshal(f.payload, &ef); jerr != nil {
+					t.release(true)
+					return t.failf(-1, -1, "peer %s handshake error frame: %v", t.conns[f.conn].addr, jerr)
+				}
+				t.release(true)
+				return ef.runError()
+			case frameChallenge, frameForward:
+				if fr, ok := frameRound(f); ok {
+					key := pendKey(f.typ, fr)
+					t.pending[key] = append(t.pending[key], f)
+				}
+			case frameDecision:
+				key := pendKey(f.typ, 0)
+				t.pending[key] = append(t.pending[key], f)
+			default:
+				t.release(true)
+				return t.failf(-1, -1, "peer %s handshake frame type 0x%02x", t.conns[f.conn].addr, f.typ)
+			}
+		case <-t.cancel:
+			t.release(true)
+			return &network.RunError{Protocol: t.protocol, Phase: network.PhaseCanceled,
+				Round: -1, Node: -1, Err: fmt.Errorf("run canceled during handshake")}
+		case <-timer.C:
+			t.release(true)
+			return t.failf(-1, -1, "handshake incomplete within %v", t.fleet.opts.IOTimeout)
+		}
 	}
 	return nil
-}
-
-// reader pumps frames from one connection into the inbox until the
-// connection dies or the run ends.
-func (c *Coordinator) reader(i int) {
-	defer c.wg.Done()
-	for {
-		typ, payload, err := readFrame(c.readers[i])
-		select {
-		case c.inbox <- inFrame{conn: i, typ: typ, payload: payload, err: err}:
-		case <-c.quit:
-			return
-		}
-		if err != nil {
-			return
-		}
-	}
 }
 
 // pendKey buckets buffered ahead-of-phase frames: challenge and forward
@@ -226,26 +225,26 @@ func frameRound(f inFrame) (int, bool) {
 // Those frames are buffered under their own (type, round) key and served
 // when their phase comes; only types a peer can never legitimately send
 // are protocol violations.
-func (c *Coordinator) recv(expect byte, round int, what string) (inFrame, *network.RunError) {
+func (t *Transport) recv(expect byte, round int, what string) (inFrame, *network.RunError) {
 	want := pendKey(expect, round)
-	if q := c.pending[want]; len(q) > 0 {
+	if q := t.pending[want]; len(q) > 0 {
 		f := q[0]
-		c.pending[want] = q[1:]
+		t.pending[want] = q[1:]
 		return f, nil
 	}
-	timer := time.NewTimer(c.opts.IOTimeout)
+	timer := time.NewTimer(t.fleet.opts.IOTimeout)
 	defer timer.Stop()
 	for {
 		select {
-		case f := <-c.inbox:
+		case f := <-t.inbox:
 			if f.err != nil {
-				return f, c.failf(round, -1, "peer %s: %v", c.addrs[f.conn], f.err)
+				return f, t.failf(round, -1, "%v", f.err)
 			}
 			switch f.typ {
 			case frameError:
 				var ef errorFrame
 				if jerr := json.Unmarshal(f.payload, &ef); jerr != nil {
-					return f, c.failf(round, -1, "peer %s error frame: %v", c.addrs[f.conn], jerr)
+					return f, t.failf(round, -1, "peer %s error frame: %v", t.conns[f.conn].addr, jerr)
 				}
 				return f, ef.runError()
 			case frameChallenge, frameForward:
@@ -259,35 +258,57 @@ func (c *Coordinator) recv(expect byte, round int, what string) (inFrame, *netwo
 					return f, nil
 				}
 				key := pendKey(f.typ, fr)
-				c.pending[key] = append(c.pending[key], f)
+				t.pending[key] = append(t.pending[key], f)
 			case frameDecision:
 				if f.typ == expect {
 					return f, nil
 				}
 				key := pendKey(f.typ, 0)
-				c.pending[key] = append(c.pending[key], f)
+				t.pending[key] = append(t.pending[key], f)
 			default:
-				return f, c.failf(round, -1, "peer %s sent frame type 0x%02x awaiting %s", c.addrs[f.conn], f.typ, what)
+				return f, t.failf(round, -1, "peer %s sent frame type 0x%02x awaiting %s", t.conns[f.conn].addr, f.typ, what)
 			}
-		case <-c.cancel:
-			return inFrame{}, &network.RunError{Protocol: c.protocol, Phase: network.PhaseCanceled,
+		case <-t.cancel:
+			return inFrame{}, &network.RunError{Protocol: t.protocol, Phase: network.PhaseCanceled,
 				Round: round, Node: -1, Err: fmt.Errorf("run canceled awaiting %s", what)}
 		case <-timer.C:
-			return inFrame{}, c.failf(round, -1, "no %s within %v", what, c.opts.IOTimeout)
+			return inFrame{}, t.failf(round, -1, "no %s within %v", what, t.fleet.opts.IOTimeout)
 		}
 	}
 }
 
-// send writes one frame to connection ci under the I/O deadline, after the
-// configured slow-link delay.
-func (c *Coordinator) send(ci int, typ byte, payload []byte) *network.RunError {
-	if c.opts.SendDelay > 0 {
-		time.Sleep(c.opts.SendDelay)
+// send writes one run frame to run-local connection ci, applying the
+// fleet's LinkFaults policy first: a delayed frame waits out its
+// injected latency on a timer that still honors run cancellation (a
+// canceled run returns promptly however large the delay), and a dropped
+// frame never reaches the socket — the emulated partition stalls the
+// session until a deadline fires and the run fails with a structured
+// transport error. Faults apply only to the run's message traffic
+// (responses and exchanges), never to session control frames, so a
+// faulted link degrades or kills runs but cannot corrupt a handshake.
+func (t *Transport) send(ci int, typ byte, payload []byte) *network.RunError {
+	fc := t.conns[ci]
+	if lf := t.fleet.opts.LinkFaults; lf != nil && lf.Enabled() && (typ == frameResponse || typ == frameExchange) {
+		seq := t.seqs[ci]
+		t.seqs[ci]++
+		delay, drop := lf.Decide(fc.idx, seq)
+		if drop {
+			fc.framesDropped.Add(1)
+			return nil
+		}
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-t.cancel:
+				timer.Stop()
+				return &network.RunError{Protocol: t.protocol, Phase: network.PhaseCanceled,
+					Round: -1, Node: -1, Err: fmt.Errorf("run canceled during injected %v link delay", delay)}
+			}
+		}
 	}
-	conn := c.conns[ci]
-	conn.SetWriteDeadline(time.Now().Add(c.opts.IOTimeout))
-	if err := writeFrame(conn, typ, payload); err != nil {
-		return c.failf(-1, -1, "peer %s write: %v", c.addrs[ci], err)
+	if err := fc.sendFrame(t.sess, typ, payload); err != nil {
+		return t.failf(-1, -1, "%v", err)
 	}
 	return nil
 }
@@ -295,111 +316,135 @@ func (c *Coordinator) send(ci int, typ byte, payload []byte) *network.RunError {
 // checkSource validates that the peer reporting for node v is the
 // connection the node was assigned to — one peer cannot speak for
 // another's nodes.
-func (c *Coordinator) checkSource(f inFrame, round, v int, what string) *network.RunError {
-	if v < 0 || v >= c.n {
-		return c.failf(round, -1, "peer %s sent %s for node %d of %d", c.addrs[f.conn], what, v, c.n)
+func (t *Transport) checkSource(f inFrame, round, v int, what string) *network.RunError {
+	if v < 0 || v >= t.n {
+		return t.failf(round, -1, "peer %s sent %s for node %d of %d", t.conns[f.conn].addr, what, v, t.n)
 	}
-	if c.assign[v] != f.conn {
-		return c.failf(round, v, "peer %s sent %s for node %d, hosted by %s",
-			c.addrs[f.conn], what, v, c.addrs[c.assign[v]])
+	if t.assign[v] != f.conn {
+		return t.failf(round, v, "peer %s sent %s for node %d, hosted by %s",
+			t.conns[f.conn].addr, what, v, t.conns[t.assign[v]].addr)
 	}
 	return nil
 }
 
 // RecvChallenge implements network.Transport.
-func (c *Coordinator) RecvChallenge(ri int) (int, wire.Message, *network.RunError) {
-	f, rerr := c.recv(frameChallenge, ri, "challenge")
+func (t *Transport) RecvChallenge(ri int) (int, wire.Message, *network.RunError) {
+	f, rerr := t.recv(frameChallenge, ri, "challenge")
 	if rerr != nil {
 		return -1, wire.Message{}, rerr
 	}
 	round, v, m, err := decodeDelivery(f.payload)
 	if err != nil {
-		return -1, wire.Message{}, c.failf(ri, -1, "peer %s challenge: %v", c.addrs[f.conn], err)
+		return -1, wire.Message{}, t.failf(ri, -1, "peer %s challenge: %v", t.conns[f.conn].addr, err)
 	}
-	if rerr := c.checkSource(f, ri, v, "challenge"); rerr != nil {
+	if rerr := t.checkSource(f, ri, v, "challenge"); rerr != nil {
 		return -1, wire.Message{}, rerr
 	}
 	if round != ri {
-		return -1, wire.Message{}, c.failf(ri, v, "challenge for round %d during round %d", round, ri)
+		return -1, wire.Message{}, t.failf(ri, v, "challenge for round %d during round %d", round, ri)
 	}
 	return v, m, nil
 }
 
 // SendResponse implements network.Transport.
-func (c *Coordinator) SendResponse(ri, node int, m wire.Message) *network.RunError {
+func (t *Transport) SendResponse(ri, node int, m wire.Message) *network.RunError {
 	payload, err := encodeDelivery(ri, node, m)
 	if err != nil {
-		return c.failf(ri, node, "encoding response: %v", err)
+		return t.failf(ri, node, "encoding response: %v", err)
 	}
-	return c.send(c.assign[node], frameResponse, payload)
+	return t.send(t.assign[node], frameResponse, payload)
 }
 
 // RecvForward implements network.Transport.
-func (c *Coordinator) RecvForward(ri int) (int, wire.Message, *network.RunError) {
-	f, rerr := c.recv(frameForward, ri, "forward")
+func (t *Transport) RecvForward(ri int) (int, wire.Message, *network.RunError) {
+	f, rerr := t.recv(frameForward, ri, "forward")
 	if rerr != nil {
 		return -1, wire.Message{}, rerr
 	}
 	round, v, m, err := decodeDelivery(f.payload)
 	if err != nil {
-		return -1, wire.Message{}, c.failf(ri, -1, "peer %s forward: %v", c.addrs[f.conn], err)
+		return -1, wire.Message{}, t.failf(ri, -1, "peer %s forward: %v", t.conns[f.conn].addr, err)
 	}
-	if rerr := c.checkSource(f, ri, v, "forward"); rerr != nil {
+	if rerr := t.checkSource(f, ri, v, "forward"); rerr != nil {
 		return -1, wire.Message{}, rerr
 	}
 	if round != ri {
-		return -1, wire.Message{}, c.failf(ri, v, "forward for round %d during round %d", round, ri)
+		return -1, wire.Message{}, t.failf(ri, v, "forward for round %d during round %d", round, ri)
 	}
 	return v, m, nil
 }
 
 // SendExchange implements network.Transport.
-func (c *Coordinator) SendExchange(ri, from, to int, chal bool, m wire.Message) *network.RunError {
+func (t *Transport) SendExchange(ri, from, to int, chal bool, m wire.Message) *network.RunError {
 	payload, err := encodeExchange(ri, from, to, chal, m)
 	if err != nil {
-		return c.failf(ri, from, "encoding exchange: %v", err)
+		return t.failf(ri, from, "encoding exchange: %v", err)
 	}
-	return c.send(c.assign[to], frameExchange, payload)
+	return t.send(t.assign[to], frameExchange, payload)
 }
 
 // RecvDecision implements network.Transport.
-func (c *Coordinator) RecvDecision() (int, bool, *network.RunError) {
-	f, rerr := c.recv(frameDecision, -1, "decision")
+func (t *Transport) RecvDecision() (int, bool, *network.RunError) {
+	f, rerr := t.recv(frameDecision, -1, "decision")
 	if rerr != nil {
 		return -1, false, rerr
 	}
 	v, d, err := decodeDecision(f.payload)
 	if err != nil {
-		return -1, false, c.failf(-1, -1, "peer %s decision: %v", c.addrs[f.conn], err)
+		return -1, false, t.failf(-1, -1, "peer %s decision: %v", t.conns[f.conn].addr, err)
 	}
-	if rerr := c.checkSource(f, -1, v, "decision"); rerr != nil {
+	if rerr := t.checkSource(f, -1, v, "decision"); rerr != nil {
 		return -1, false, rerr
 	}
 	return v, d, nil
 }
 
-// End implements network.Transport: tell every peer how the run finished
-// (end on success, the failure otherwise), then tear down connections and
-// join the readers. Safe when Begin failed partway.
-func (c *Coordinator) End(failure *network.RunError) {
-	if c.ended {
+// End implements network.Transport: tell every involved peer how the run
+// finished (end on success, the failure otherwise), then release the
+// session. The fleet's connections stay up for the next run; a one-shot
+// transport (Dial) closes its private fleet.
+func (t *Transport) End(failure *network.RunError) {
+	if t.ended {
 		return
 	}
-	c.ended = true
+	t.ended = true
 	var payload []byte
 	typ := frameEnd
 	if failure != nil {
 		typ = frameError
 		payload, _ = json.Marshal(errorFrameOf(failure))
 	}
-	for i := range c.conns {
+	for _, fc := range t.conns {
 		// Best effort: a peer whose connection already died is skipped by
-		// the write error path inside send.
-		c.send(i, typ, payload)
+		// the write error path inside sendFrame.
+		_ = fc.sendFrame(t.sess, typ, payload)
 	}
-	close(c.quit)
-	for _, conn := range c.conns {
-		conn.Close()
+	t.failed = failure != nil
+	t.release(t.failed)
+}
+
+// release unregisters the run's session from every involved connection,
+// settles the gauges, and (for one-shot transports) closes the fleet.
+// Safe to call more than once; Begin's error paths use it before End.
+func (t *Transport) release(failed bool) {
+	if t.sinkDone != nil {
+		select {
+		case <-t.sinkDone:
+			// Already released.
+		default:
+			close(t.sinkDone)
+			for _, fc := range t.conns {
+				fc.unregister(t.sess)
+				fc.sessionsOpen.Add(-1)
+				if failed {
+					fc.sessionsFailed.Add(1)
+				} else {
+					fc.sessionsCompleted.Add(1)
+				}
+			}
+		}
 	}
-	c.wg.Wait()
+	if t.ownsFleet {
+		t.fleet.Close()
+	}
 }

@@ -1,17 +1,20 @@
 // Package peer runs verifier nodes as real network peers: a Server hosts
-// one or more nodes per TCP connection in its own OS process, and a
-// Coordinator implements network.Transport by dialing a fleet of servers,
-// so the engine's networked executor drives actual sockets.
+// nodes in its own OS process and a Fleet implements network.Transport by
+// dialing a set of servers, so the engine's networked executor drives
+// actual sockets.
 //
-// The wire protocol is deliberately minimal: length-prefixed binary frames
-// over one TCP connection per peer, one session per connection. A session
-// opens with a JSON handshake (hello → helloOK) that provisions the peer —
-// protocol parameters, run seed, and the graph *slice* of every node the
-// peer hosts (its neighbor lists and inputs, never the whole graph) — and
-// then both sides walk the spec-derived schedule (network.Schedule) in
-// lockstep, so no round negotiation ever crosses the wire. The schedule
-// itself is the round barrier: each side knows exactly how many frames of
-// which type the current step owes, and reads until it has them.
+// The wire protocol (v2) is deliberately minimal: length-prefixed binary
+// frames, each stamped with a session id, over TCP. One peer process
+// hosts many interleaved sessions — over a shared connection, or over
+// per-session connections — and the session id routes every frame to its
+// session's state. A session opens with a JSON handshake (hello →
+// helloOK) that provisions the peer — protocol parameters, run seed, and
+// the graph *slice* of every node the peer hosts (its neighbor lists and
+// inputs, never the whole graph) — and then both sides walk the
+// spec-derived schedule (network.Schedule) in lockstep, so no round
+// negotiation ever crosses the wire. The schedule itself is the round
+// barrier: each side knows exactly how many frames of which type the
+// current step owes, and reads until it has them.
 //
 // Everything semantic stays on the coordinator: validation, cost
 // accounting, fault corruption, and the transcript live in the engine's
@@ -33,13 +36,16 @@ import (
 	"dip/internal/wire"
 )
 
-// Version is the handshake protocol version. A peer refuses a hello with
-// any other version, so mixed-build fleets fail loudly at dial time.
-const Version = 1
+// Version is the wire protocol version. The hello handshake carries it in
+// its proto field; a peer refuses any other version with a structured
+// error naming the version it requires, so mixed-build fleets fail loudly
+// at dial time.
+const Version = 2
 
 const (
-	// maxFrame caps one frame body (type byte + payload): a hostile or
-	// corrupted length prefix cannot make a reader allocate more than this.
+	// maxFrame caps one frame body (session id + type byte + payload): a
+	// hostile or corrupted length prefix cannot make a reader allocate
+	// more than this.
 	maxFrame = 1 << 24
 	// maxMsgBits caps one encoded wire.Message's Bits claim; it matches the
 	// largest message the engine's protocols can produce with room to
@@ -66,43 +72,72 @@ const (
 // (Spec.ShareChallenges) rather than a response/digest forward.
 const flagChal byte = 0x01
 
-// writeFrame emits one frame: a 4-byte big-endian length covering the type
-// byte plus payload, then both. The frame is assembled into one buffer so
-// a single Write call reaches the socket — frames from one goroutine can
-// never interleave.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	body := 1 + len(payload)
+// writeFrame emits one v2 frame: a 4-byte big-endian length covering the
+// session id, type byte, and payload, then all three. The frame is
+// assembled into one buffer so a single Write call reaches the socket —
+// frames from concurrent sessions sharing a connection can never
+// interleave as long as each send holds the connection's write lock for
+// exactly one writeFrame call.
+func writeFrame(w io.Writer, sess uint32, typ byte, payload []byte) error {
+	body := 5 + len(payload)
 	if body > maxFrame {
 		return fmt.Errorf("peer: frame type 0x%02x body of %d bytes exceeds the %d cap", typ, body, maxFrame)
 	}
 	buf := make([]byte, 4+body)
 	binary.BigEndian.PutUint32(buf, uint32(body))
-	buf[4] = typ
-	copy(buf[5:], payload)
+	binary.BigEndian.PutUint32(buf[4:], sess)
+	buf[8] = typ
+	copy(buf[9:], payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-// readFrame reads one frame, returning its type and payload. The length
-// prefix is validated before any allocation, so a malformed or hostile
-// peer cannot trigger an oversized read.
-func readFrame(r io.Reader) (byte, []byte, error) {
+// readFrame reads one v2 frame, returning its session id, type, and
+// payload. The length prefix is validated before any allocation, so a
+// malformed or hostile peer cannot trigger an oversized read.
+func readFrame(r io.Reader) (uint32, byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	body := binary.BigEndian.Uint32(hdr[:])
-	if body == 0 {
-		return 0, nil, errors.New("peer: zero-length frame")
+	if body < 5 {
+		return 0, 0, nil, fmt.Errorf("peer: frame body of %d bytes is shorter than the v2 header (5 bytes)", body)
 	}
 	if body > maxFrame {
-		return 0, nil, fmt.Errorf("peer: frame length %d exceeds the %d cap", body, maxFrame)
+		return 0, 0, nil, fmt.Errorf("peer: frame length %d exceeds the %d cap", body, maxFrame)
 	}
 	buf := make([]byte, body)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, fmt.Errorf("peer: truncated frame (want %d body bytes): %w", body, err)
+		return 0, 0, nil, fmt.Errorf("peer: truncated frame (want %d body bytes): %w", body, err)
 	}
-	return buf[0], buf[1:], nil
+	return binary.BigEndian.Uint32(buf), buf[4], buf[5:], nil
+}
+
+// looksLikeV1 reports whether a frame parsed under the v2 layout is
+// actually a protocol-v1 hello. A v1 frame body was `type | payload`, so
+// a v1 hello body starts 0x01 '{' — under v2 parsing those bytes land in
+// the session id's top half. The check only makes sense on the first
+// frame of a connection, before any v2 traffic has been seen.
+func looksLikeV1(sess uint32, typ byte) bool {
+	_ = typ
+	return byte(sess>>24) == frameHello && byte(sess>>16) == '{'
+}
+
+// writeV1Error emits an error frame in the *v1* framing (no session id),
+// so a protocol-v1 client that just sent its hello decodes the rejection
+// as a structured RunError instead of a framing failure.
+func writeV1Error(w io.Writer, ef errorFrame) error {
+	payload, err := json.Marshal(ef)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[4] = frameError
+	copy(buf[5:], payload)
+	_, err = w.Write(buf)
+	return err
 }
 
 // appendMessage encodes m as u32 bit-length plus its data bytes, enforcing
@@ -224,17 +259,19 @@ func decodeDecision(p []byte) (node int, d bool, err error) {
 }
 
 // helloFrame is the coordinator's session-opening handshake: everything a
-// peer needs to host its slice of the run. Params is an opaque protocol
+// peer needs to host its slice of the run. Proto is the wire protocol
+// version (Version); a peer rejects any other value with a structured
+// error naming the version it requires. Params is an opaque protocol
 // parameter blob the peer's SpecBuilder understands (for dippeer: a
 // dip.Request without edge lists); Nodes lists the hosted nodes with their
 // neighbor slices and private inputs — the peer never sees the rest of the
 // graph.
 type helloFrame struct {
-	Version int             `json:"version"`
-	Params  json.RawMessage `json:"params"`
-	Seed    int64           `json:"seed"`
-	N       int             `json:"n"`
-	Nodes   []helloNode     `json:"nodes"`
+	Proto  int             `json:"proto"`
+	Params json.RawMessage `json:"params"`
+	Seed   int64           `json:"seed"`
+	N      int             `json:"n"`
+	Nodes  []helloNode     `json:"nodes"`
 }
 
 // helloNode is one hosted node's slice of the run.
@@ -247,8 +284,8 @@ type helloNode struct {
 
 // helloOKFrame is the peer's handshake acknowledgement.
 type helloOKFrame struct {
-	Version int `json:"version"`
-	Nodes   int `json:"nodes"`
+	Proto int `json:"proto"`
+	Nodes int `json:"nodes"`
 }
 
 // errorFrame carries a structured *network.RunError across the wire, in

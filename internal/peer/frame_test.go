@@ -3,6 +3,7 @@ package peer
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -11,22 +12,28 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	payloads := map[byte][]byte{
-		frameHello:   []byte(`{"version":1}`),
-		frameEnd:     nil,
-		frameHelloOK: {0xDE, 0xAD},
+	cases := []struct {
+		sess    uint32
+		typ     byte
+		payload []byte
+	}{
+		{0, frameHello, []byte(`{"proto":2}`)},
+		{1, frameEnd, nil},
+		{0xFFFFFFFF, frameHelloOK, []byte{0xDE, 0xAD}},
+		{42, frameChallenge, []byte{1, 2, 3}},
 	}
-	for typ, p := range payloads {
+	for _, tc := range cases {
 		buf.Reset()
-		if err := writeFrame(&buf, typ, p); err != nil {
+		if err := writeFrame(&buf, tc.sess, tc.typ, tc.payload); err != nil {
 			t.Fatal(err)
 		}
-		gotTyp, gotP, err := readFrame(&buf)
+		gotSess, gotTyp, gotP, err := readFrame(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if gotTyp != typ || !bytes.Equal(gotP, p) {
-			t.Fatalf("type 0x%02x: round trip got (0x%02x, %x)", typ, gotTyp, gotP)
+		if gotSess != tc.sess || gotTyp != tc.typ || !bytes.Equal(gotP, tc.payload) {
+			t.Fatalf("session %d type 0x%02x: round trip got (%d, 0x%02x, %x)",
+				tc.sess, tc.typ, gotSess, gotTyp, gotP)
 		}
 	}
 }
@@ -37,14 +44,15 @@ func TestReadFrameRejectsMalformed(t *testing.T) {
 		raw  []byte
 		frag string
 	}{
-		{"zero-length", []byte{0, 0, 0, 0}, "zero-length"},
+		{"zero-length", []byte{0, 0, 0, 0}, "shorter than the v2 header"},
+		{"v1-length", []byte{0, 0, 0, 1, frameEnd}, "shorter than the v2 header"},
 		{"oversized-claim", []byte{0xFF, 0xFF, 0xFF, 0xFF}, "exceeds"},
 		{"truncated-header", []byte{0, 0}, "EOF"},
-		{"truncated-body", []byte{0, 0, 0, 5, frameEnd}, "truncated"},
+		{"truncated-body", []byte{0, 0, 0, 9, 0, 0, 0, 1, frameEnd}, "truncated"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, _, err := readFrame(bytes.NewReader(tc.raw))
+			_, _, _, err := readFrame(bytes.NewReader(tc.raw))
 			if err == nil || !strings.Contains(err.Error(), tc.frag) {
 				t.Fatalf("err = %v, want mention of %q", err, tc.frag)
 			}
@@ -53,8 +61,67 @@ func TestReadFrameRejectsMalformed(t *testing.T) {
 }
 
 func TestWriteFrameRejectsOversized(t *testing.T) {
-	if err := writeFrame(&bytes.Buffer{}, frameHello, make([]byte, maxFrame)); err == nil {
+	if err := writeFrame(&bytes.Buffer{}, 1, frameHello, make([]byte, maxFrame)); err == nil {
 		t.Fatal("writeFrame accepted a body over the cap")
+	}
+}
+
+// TestLooksLikeV1 pins the v1-hello heuristic: a protocol-v1 hello frame
+// parsed under the v2 layout lands its type byte and opening brace in
+// the session id, while genuine v2 frames never match.
+func TestLooksLikeV1(t *testing.T) {
+	// A real v1 hello: u32 len | 0x01 | `{"version":1,...}`.
+	v1 := []byte{0, 0, 0, 14, 0x01}
+	v1 = append(v1, []byte(`{"version":1}`)...)
+	sess, typ, _, err := readFrame(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !looksLikeV1(sess, typ) {
+		t.Fatalf("v1 hello parsed as session %#x type 0x%02x not flagged", sess, typ)
+	}
+	if validFrameType(typ) {
+		t.Fatalf("v1 hello byte stream produced a valid v2 type 0x%02x", typ)
+	}
+	// A genuine v2 hello must not be flagged.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, 7, frameHello, []byte(`{"proto":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	sess, typ, _, err = readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looksLikeV1(sess, typ) {
+		t.Fatal("v2 hello misflagged as v1")
+	}
+}
+
+// TestWriteV1Error pins that the v1-framed rejection is decodable by a
+// v1 reader: u32 len | type | payload, carrying the structured error.
+func TestWriteV1Error(t *testing.T) {
+	var buf bytes.Buffer
+	ef := errorFrame{Phase: "transport", Round: -1, Node: -1, Message: "peer speaks wire protocol 2"}
+	if err := writeV1Error(&buf, ef); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) < 5 {
+		t.Fatalf("frame too short: %x", raw)
+	}
+	body := binary.BigEndian.Uint32(raw)
+	if int(body) != len(raw)-4 {
+		t.Fatalf("length prefix %d for %d body bytes", body, len(raw)-4)
+	}
+	if raw[4] != frameError {
+		t.Fatalf("type byte 0x%02x, want error", raw[4])
+	}
+	var got errorFrame
+	if err := json.Unmarshal(raw[5:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Message != ef.Message || got.Phase != ef.Phase {
+		t.Fatalf("round trip got %+v", got)
 	}
 }
 

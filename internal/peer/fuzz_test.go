@@ -9,45 +9,53 @@ import (
 )
 
 // FuzzPeerFrame throws arbitrary bytes at the full inbound path a peer or
-// coordinator exposes to the network: the length-prefixed frame reader
-// followed by every binary payload decoder. The invariants under test are
-// memory-safety ones — no panic, no allocation driven by an unvalidated
-// length claim, and any decoded message obeys the engine invariant
-// len(Data) == ceil(Bits/8) — not semantic ones, which the session layer
-// enforces after decoding.
+// coordinator exposes to the network: the length-prefixed v2 frame reader
+// (session id | type | payload) followed by every binary payload decoder.
+// The invariants under test are memory-safety ones — no panic, no
+// allocation driven by an unvalidated length claim, and any decoded
+// message obeys the engine invariant len(Data) == ceil(Bits/8) — not
+// semantic ones, which the session layer enforces after decoding.
 func FuzzPeerFrame(f *testing.F) {
-	seed := func(typ byte, payload []byte) {
+	seed := func(sess uint32, typ byte, payload []byte) {
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, typ, payload); err == nil {
+		if err := writeFrame(&buf, sess, typ, payload); err == nil {
 			f.Add(buf.Bytes())
 		}
 	}
-	// Well-formed frames of every type.
+	// Well-formed frames of every type, across session-id shapes: zero,
+	// small counters, and ids whose bytes collide with the v1-hello
+	// heuristic territory.
 	chal, _ := encodeDelivery(0, 3, wire.Message{Data: []byte{0xAB, 0x01}, Bits: 9})
-	seed(frameChallenge, chal)
+	seed(1, frameChallenge, chal)
 	resp, _ := encodeDelivery(2, 0, wire.Message{})
-	seed(frameResponse, resp)
+	seed(0, frameResponse, resp)
 	fwd, _ := encodeDelivery(1, 7, wire.Message{Data: []byte{0xFF}, Bits: 8})
-	seed(frameForward, fwd)
+	seed(0xFFFFFFFF, frameForward, fwd)
 	ex, _ := encodeExchange(1, 4, 5, true, wire.Message{Data: []byte{0x42}, Bits: 7})
-	seed(frameExchange, ex)
-	seed(frameDecision, encodeDecision(6, true))
-	seed(frameHello, []byte(`{"version":1,"seed":7,"n":4,"nodes":[{"v":0,"neighbors":[1]}]}`))
-	seed(frameError, []byte(`{"phase":"transport","round":1,"node":2,"message":"x"}`))
-	seed(frameEnd, nil)
-	// Malformed shapes: truncated frames, oversized length claims, hostile
-	// bit counts, trailing garbage, unknown flags.
+	seed(7, frameExchange, ex)
+	seed(0x017B2276, frameDecision, encodeDecision(6, true))
+	seed(2, frameHello, []byte(`{"proto":2,"seed":7,"n":4,"nodes":[{"v":0,"neighbors":[1]}]}`))
+	seed(3, frameError, []byte(`{"phase":"transport","round":1,"node":2,"message":"x"}`))
+	seed(4, frameEnd, nil)
+	// A protocol-v1 hello byte stream: under the v2 layout its type byte
+	// and opening brace land in the session id (the rejection heuristic's
+	// territory).
+	v1hello := append([]byte{0, 0, 0, 14, 0x01}, []byte(`{"version":1}`)...)
+	f.Add(v1hello)
+	// Malformed shapes: truncated frames, sub-header length claims,
+	// oversized length claims, hostile bit counts, trailing garbage.
 	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, frameEnd})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x10})
-	f.Add([]byte{0, 0, 1, 0, 0x10, 1, 2, 3})
-	hostileBits := []byte{0, 0, 0, 13, 0x10, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 0, 1, 0x10, 1, 2, 3})
+	hostileBits := []byte{0, 0, 0, 17, 0, 0, 0, 1, 0x10, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
 	f.Add(hostileBits)
-	f.Add(append(append([]byte{0, 0, 0, byte(1 + len(ex) + 1)}, frameExchange), append(ex, 0xEE)...))
+	f.Add(append(append([]byte{0, 0, 0, byte(5 + len(ex) + 1), 0, 0, 0, 9}, frameExchange), append(ex, 0xEE)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bytes.NewReader(data)
 		for {
-			typ, payload, err := readFrame(br)
+			_, typ, payload, err := readFrame(br)
 			if err != nil {
 				return
 			}

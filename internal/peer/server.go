@@ -23,43 +23,55 @@ import (
 // relies on the constructions agreeing.
 type SpecBuilder func(params []byte) (*network.Spec, error)
 
-// Server hosts verifier nodes for remote coordinators: one session per
-// accepted connection, each session running the node-facing half of one
-// proof through network.NodeState. A single Server handles any number of
-// sequential or concurrent sessions.
+// Server hosts verifier nodes for remote coordinators. Each accepted
+// connection is a frame-multiplexed trunk: every frame carries a session
+// id, a demux loop routes it to that session's state in an id-keyed
+// table, and each session runs the node-facing half of one proof through
+// network.NodeState on its own goroutine with its own deadline and
+// cancel. Sessions fail in isolation — a poisoned session reports a
+// structured error and leaves the table without disturbing its
+// neighbors on the same connection. A single Server handles any number
+// of sequential or concurrent sessions over shared or per-session
+// connections.
 type Server struct {
 	// Build rebuilds the Spec a hello frame's parameters describe.
 	// Required.
 	Build SpecBuilder
-	// IOTimeout bounds each blocking read and write inside a session: a
-	// coordinator that goes silent longer than this aborts the session
-	// instead of pinning the handler goroutine forever. Zero selects
-	// DefaultIOTimeout.
-	IOTimeout time.Duration
-	// FailSession, when positive, is a crash-test hook: the FailSession-th
-	// accepted session kills the whole process (os.Exit(2)) at its first
-	// exchange step — mid-round, after traffic has flowed. The peer-smoke
-	// gate uses it to prove a coordinator survives losing a peer with a
-	// structured error instead of a hang.
+	// Opts supplies the shared fleet configuration; the Server uses
+	// IOTimeout, which bounds each session's blocking wait — for its next
+	// expected frame, or for a write to drain — so a coordinator that
+	// goes silent aborts that session instead of pinning its goroutine
+	// forever. The connection itself carries no read deadline: an idle
+	// trunk between runs is healthy, not stuck.
+	Opts Options
+	// FailSession, when positive, is a crash-test hook: the
+	// FailSession-th accepted session kills the whole process
+	// (os.Exit(2)) at its first exchange step — mid-round, after traffic
+	// has flowed. The peer-smoke gate uses it to prove a coordinator
+	// survives losing a peer with a structured error instead of a hang.
 	FailSession int
+	// FailSoft, when positive, aborts only the FailSoft-th accepted
+	// session at its first exchange step with a structured error, leaving
+	// every other session (and the process) running — the isolation
+	// counterpart to FailSession's process kill.
+	FailSoft int
 	// Logf, when set, receives one line per session event.
 	Logf func(format string, args ...any)
 
 	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	sessions int
+	conns    map[*srvConn]struct{}
+	sessions int // global accept ordinal across all connections
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// DefaultIOTimeout bounds session reads/writes when Server.IOTimeout or
-// Options.IOTimeout is zero.
-const DefaultIOTimeout = 30 * time.Second
-
-// Serve accepts sessions on l until the listener closes (Close, or the
-// caller closing l directly), which returns nil. Each connection is
-// handled on its own goroutine.
+// Serve accepts connections on l until the listener closes (Close, or the
+// caller closing l directly), which returns nil. Each connection's demux
+// loop and each session run on their own goroutines.
 func (s *Server) Serve(l net.Listener) error {
+	if err := s.Opts.Validate(); err != nil {
+		return err
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -68,6 +80,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		c := &srvConn{srv: s, conn: conn, sessions: make(map[uint32]*session)}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -75,33 +88,29 @@ func (s *Server) Serve(l net.Listener) error {
 			continue
 		}
 		if s.conns == nil {
-			s.conns = make(map[net.Conn]struct{})
+			s.conns = make(map[*srvConn]struct{})
 		}
-		s.conns[conn] = struct{}{}
-		s.sessions++
-		session := s.sessions
+		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
-			s.handle(conn, session)
+			c.demux()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
 		}()
 	}
 }
 
-// Close aborts every live session and waits for their handlers to return.
-// The caller closes its own listener (Serve then returns nil).
+// Close aborts every live connection and session and waits for their
+// goroutines to return. The caller closes its own listener (Serve then
+// returns nil).
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
+	for c := range s.conns {
+		c.conn.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -114,29 +123,187 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 func (s *Server) ioTimeout() time.Duration {
-	if s.IOTimeout > 0 {
-		return s.IOTimeout
-	}
-	return DefaultIOTimeout
+	return s.Opts.withDefaults().IOTimeout
 }
 
-// sendError reports a structured failure to the coordinator (best effort:
+// srvFrame is one routed inbound frame.
+type srvFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// sessionInboxCap bounds one session's inbound frame queue. The schedule
+// keeps both sides in lockstep, so a session's queue depth is bounded by
+// what TCP had in flight, not by run size; if a queue ever fills, the
+// demux loop applies backpressure on the whole connection until the
+// session drains it (or exits, which unblocks the demux immediately).
+const sessionInboxCap = 256
+
+// srvConn is one accepted connection: the shared write lock and the
+// id-keyed session table its demux loop routes into.
+type srvConn struct {
+	srv  *Server
+	conn net.Conn
+	// wmu serializes frame writes from this connection's sessions; each
+	// send holds it for exactly one writeFrame call, so concurrent
+	// sessions' frames never interleave on the wire.
+	wmu sync.Mutex
+
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	torn     bool
+}
+
+// validFrameType reports whether typ is a defined v2 frame type.
+func validFrameType(typ byte) bool {
+	switch typ {
+	case frameHello, frameHelloOK, frameChallenge, frameResponse,
+		frameForward, frameExchange, frameDecision, frameError, frameEnd:
+		return true
+	}
+	return false
+}
+
+// demux reads frames off the connection and routes each to its session by
+// id, spawning a new session on a hello for an unknown id. The read loop
+// carries no deadline — idle trunks are healthy — and exits when the
+// connection closes or a framing violation makes the stream unusable, at
+// which point every session on the connection is aborted.
+func (c *srvConn) demux() {
+	defer c.conn.Close()
+	br := bufio.NewReader(c.conn)
+	first := true
+	for {
+		id, typ, payload, err := readFrame(br)
+		if err != nil {
+			c.teardown(fmt.Errorf("coordinator read: %w", err))
+			return
+		}
+		if !validFrameType(typ) {
+			if first && looksLikeV1(id, typ) {
+				// A protocol-v1 client just sent its hello. Answer in the v1
+				// framing so it decodes the rejection as a structured error
+				// naming the version this peer requires.
+				c.srv.logf("peer: rejecting protocol v1 connection from %v", c.conn.RemoteAddr())
+				c.conn.SetWriteDeadline(time.Now().Add(c.srv.ioTimeout()))
+				_ = writeV1Error(c.conn, errorFrame{
+					Phase: string(network.PhaseTransport), Round: -1, Node: -1,
+					Message: fmt.Sprintf("peer speaks wire protocol %d; protocol 1 connections are not supported — upgrade the client", Version),
+				})
+				c.teardown(errors.New("protocol v1 connection rejected"))
+				return
+			}
+			c.sendError(id, &network.RunError{Phase: network.PhaseTransport, Round: -1, Node: -1,
+				Err: fmt.Errorf("peer: unknown frame type 0x%02x", typ)})
+			c.teardown(fmt.Errorf("unknown frame type 0x%02x", typ))
+			return
+		}
+		first = false
+
+		c.mu.Lock()
+		st := c.sessions[id]
+		if st == nil && typ == frameHello && !c.torn {
+			st = c.open(id)
+		}
+		c.mu.Unlock()
+		if st == nil {
+			// A frame for a session that already ended (late traffic after a
+			// soft failure) or that never opened: drop it. The stream itself
+			// is healthy, so the neighbors keep running.
+			continue
+		}
+		select {
+		case st.inbox <- srvFrame{typ, payload}:
+		case <-st.done:
+			// The session exited while we held its frame; drop it.
+		}
+	}
+}
+
+// open registers a new session for id and starts its goroutine. Caller
+// holds c.mu.
+func (c *srvConn) open(id uint32) *session {
+	s := c.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sessions++
+	seq := s.sessions
+	s.wg.Add(1)
+	s.mu.Unlock()
+	st := &session{
+		srv: s, c: c, id: id, seq: seq,
+		inbox: make(chan srvFrame, sessionInboxCap),
+		abort: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	c.sessions[id] = st
+	go func() {
+		defer s.wg.Done()
+		st.serve()
+	}()
+	return st
+}
+
+// teardown aborts every session on the connection; their goroutines
+// observe the abort on their next wait and exit.
+func (c *srvConn) teardown(cause error) {
+	c.mu.Lock()
+	if c.torn {
+		c.mu.Unlock()
+		return
+	}
+	c.torn = true
+	aborting := make([]*session, 0, len(c.sessions))
+	for _, st := range c.sessions {
+		aborting = append(aborting, st)
+	}
+	c.mu.Unlock()
+	if len(aborting) > 0 {
+		c.srv.logf("peer: connection %v: aborting %d live sessions: %v", c.conn.RemoteAddr(), len(aborting), cause)
+	}
+	for _, st := range aborting {
+		st.cancel(cause)
+	}
+}
+
+// unregister removes a finished session from the table.
+func (c *srvConn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.sessions, id)
+	c.mu.Unlock()
+}
+
+// sendError reports a structured failure for one session (best effort:
 // the session is ending either way).
-func (s *Server) sendError(conn net.Conn, rerr *network.RunError) {
+func (c *srvConn) sendError(id uint32, rerr *network.RunError) {
 	payload, err := json.Marshal(errorFrameOf(rerr))
 	if err != nil {
 		return
 	}
-	conn.SetWriteDeadline(time.Now().Add(s.ioTimeout()))
-	_ = writeFrame(conn, frameError, payload)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(c.srv.ioTimeout()))
+	_ = writeFrame(c.conn, id, frameError, payload)
 }
 
-// session is one connection's run: the hosted nodes and the read state.
+// session is one run's server half: the hosted nodes, the routed inbox,
+// and the per-session deadline and cancel state.
 type session struct {
-	srv   *Server
-	conn  net.Conn
-	br    *bufio.Reader
-	id    int
+	srv *Server
+	c   *srvConn
+	id  uint32 // wire session id (unique per connection)
+	seq int    // global accept ordinal (failure hooks, logs)
+
+	inbox chan srvFrame
+	abort chan struct{} // closed by cancel: connection died or server closing
+	done  chan struct{} // closed when the session goroutine exits
+
+	cancelOnce sync.Once
+	cause      error
+
 	spec  *network.Spec
 	n     int
 	nodes []*network.NodeState
@@ -147,242 +314,266 @@ type session struct {
 	degrees map[int]int
 }
 
-// handle runs one session: handshake, schedule walk, end.
-func (s *Server) handle(conn net.Conn, id int) {
-	sess := &session{srv: s, conn: conn, br: bufio.NewReader(conn), id: id}
-	rerr := sess.run()
+// cancel aborts the session from outside (connection teardown, server
+// close). Idempotent.
+func (st *session) cancel(cause error) {
+	st.cancelOnce.Do(func() {
+		st.cause = cause
+		close(st.abort)
+	})
+}
+
+// serve runs one session to completion: handshake, schedule walk, end.
+func (st *session) serve() {
+	rerr := st.run()
+	close(st.done)
+	st.c.unregister(st.id)
 	if rerr != nil {
-		s.logf("peer: session %d: %v", id, rerr)
-		s.sendError(conn, rerr)
+		st.srv.logf("peer: session %d (#%d): %v", st.id, st.seq, rerr)
+		st.c.sendError(st.id, rerr)
 		return
 	}
-	s.logf("peer: session %d: complete", id)
+	st.srv.logf("peer: session %d (#%d): complete", st.id, st.seq)
 }
 
-// readNext reads the next frame under the session deadline, translating
-// coordinator-initiated aborts: an error frame surfaces the coordinator's
-// RunError, an end frame mid-run means the run finished without us.
-func (sess *session) readNext() (byte, []byte, *network.RunError) {
-	sess.conn.SetReadDeadline(time.Now().Add(sess.srv.ioTimeout()))
-	typ, payload, err := readFrame(sess.br)
-	if err != nil {
-		return 0, nil, sess.failf(-1, "coordinator read: %v", err)
-	}
-	if typ == frameError {
-		var ef errorFrame
-		if jerr := json.Unmarshal(payload, &ef); jerr != nil {
-			return 0, nil, sess.failf(-1, "malformed error frame: %v", jerr)
+// readNext waits for the session's next routed frame under its own
+// deadline, translating coordinator-initiated aborts: an error frame
+// surfaces the coordinator's RunError, an end frame mid-run means the run
+// finished without us.
+func (st *session) readNext() (byte, []byte, *network.RunError) {
+	timer := time.NewTimer(st.srv.ioTimeout())
+	defer timer.Stop()
+	select {
+	case f := <-st.inbox:
+		if f.typ == frameError {
+			var ef errorFrame
+			if jerr := json.Unmarshal(f.payload, &ef); jerr != nil {
+				return 0, nil, st.failf(-1, "malformed error frame: %v", jerr)
+			}
+			return 0, nil, ef.runError()
 		}
-		return 0, nil, ef.runError()
+		return f.typ, f.payload, nil
+	case <-st.abort:
+		return 0, nil, st.failf(-1, "session aborted: %v", st.cause)
+	case <-timer.C:
+		return 0, nil, st.failf(-1, "timed out after %v waiting for the coordinator", st.srv.ioTimeout())
 	}
-	return typ, payload, nil
 }
 
-// send writes one frame under the session deadline.
-func (sess *session) send(typ byte, payload []byte) *network.RunError {
-	sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.ioTimeout()))
-	if err := writeFrame(sess.conn, typ, payload); err != nil {
-		return sess.failf(-1, "coordinator write: %v", err)
+// send writes one frame for this session under the shared write lock.
+func (st *session) send(typ byte, payload []byte) *network.RunError {
+	st.c.wmu.Lock()
+	defer st.c.wmu.Unlock()
+	st.c.conn.SetWriteDeadline(time.Now().Add(st.srv.ioTimeout()))
+	if err := writeFrame(st.c.conn, st.id, typ, payload); err != nil {
+		return st.failf(-1, "coordinator write: %v", err)
 	}
 	return nil
 }
 
 // failf builds a PhaseTransport RunError for this session.
-func (sess *session) failf(round int, format string, args ...any) *network.RunError {
+func (st *session) failf(round int, format string, args ...any) *network.RunError {
 	name := ""
-	if sess.spec != nil {
-		name = sess.spec.Name
+	if st.spec != nil {
+		name = st.spec.Name
 	}
 	return &network.RunError{Protocol: name, Phase: network.PhaseTransport,
 		Round: round, Node: -1, Err: fmt.Errorf(format, args...)}
 }
 
-func (sess *session) run() *network.RunError {
-	srv := sess.srv
-	typ, payload, rerr := sess.readNext()
+func (st *session) run() *network.RunError {
+	srv := st.srv
+	typ, payload, rerr := st.readNext()
 	if rerr != nil {
 		return rerr
 	}
 	if typ != frameHello {
-		return sess.failf(-1, "first frame type 0x%02x, want hello", typ)
+		return st.failf(-1, "first frame type 0x%02x, want hello", typ)
 	}
 	var hello helloFrame
 	if err := json.Unmarshal(payload, &hello); err != nil {
-		return sess.failf(-1, "malformed hello: %v", err)
+		return st.failf(-1, "malformed hello: %v", err)
 	}
-	if hello.Version != Version {
-		return sess.failf(-1, "hello version %d, this peer speaks %d", hello.Version, Version)
+	if hello.Proto != Version {
+		return st.failf(-1, "hello proto %d: this peer requires wire protocol %d", hello.Proto, Version)
 	}
 	if hello.N < 1 || len(hello.Nodes) < 1 || len(hello.Nodes) > hello.N {
-		return sess.failf(-1, "hello provisions %d nodes of %d", len(hello.Nodes), hello.N)
+		return st.failf(-1, "hello provisions %d nodes of %d", len(hello.Nodes), hello.N)
 	}
 	spec, err := srv.Build(hello.Params)
 	if err != nil {
 		return &network.RunError{Protocol: "", Phase: network.PhaseSetup, Round: -1, Node: -1,
 			Err: fmt.Errorf("peer: building spec: %w", err)}
 	}
-	sess.spec, sess.n = spec, hello.N
+	st.spec, st.n = spec, hello.N
 	steps, err := network.Schedule(spec)
 	if err != nil {
 		return &network.RunError{Protocol: spec.Name, Phase: network.PhaseSetup, Round: -1, Node: -1,
 			Err: fmt.Errorf("peer: compiling schedule: %w", err)}
 	}
 
-	sess.owned = make(map[int]*network.NodeState, len(hello.Nodes))
-	sess.degrees = make(map[int]int, len(hello.Nodes))
+	st.owned = make(map[int]*network.NodeState, len(hello.Nodes))
+	st.degrees = make(map[int]int, len(hello.Nodes))
 	for _, hn := range hello.Nodes {
 		input := wire.Message{Data: hn.InputData, Bits: hn.InputBits}
 		if input.Bits < 0 || input.Bits > maxMsgBits || len(input.Data) != (input.Bits+7)/8 {
-			return sess.failf(-1, "node %d input: Bits=%d len(Data)=%d", hn.V, input.Bits, len(input.Data))
+			return st.failf(-1, "node %d input: Bits=%d len(Data)=%d", hn.V, input.Bits, len(input.Data))
 		}
 		ns, nerr := network.NewNodeState(spec, hn.V, hello.N, hn.Neighbors, input, hello.Seed)
 		if nerr != nil {
-			return sess.failf(-1, "node %d: %v", hn.V, nerr)
+			return st.failf(-1, "node %d: %v", hn.V, nerr)
 		}
-		if sess.owned[hn.V] != nil {
-			return sess.failf(-1, "node %d provisioned twice", hn.V)
+		if st.owned[hn.V] != nil {
+			return st.failf(-1, "node %d provisioned twice", hn.V)
 		}
-		sess.owned[hn.V] = ns
-		sess.degrees[hn.V] = len(hn.Neighbors)
-		sess.nodes = append(sess.nodes, ns)
+		st.owned[hn.V] = ns
+		st.degrees[hn.V] = len(hn.Neighbors)
+		st.nodes = append(st.nodes, ns)
 	}
 
-	okPayload, err := json.Marshal(helloOKFrame{Version: Version, Nodes: len(sess.nodes)})
+	okPayload, err := json.Marshal(helloOKFrame{Proto: Version, Nodes: len(st.nodes)})
 	if err != nil {
-		return sess.failf(-1, "marshaling helloOK: %v", err)
+		return st.failf(-1, "marshaling helloOK: %v", err)
 	}
-	if rerr := sess.send(frameHelloOK, okPayload); rerr != nil {
+	if rerr := st.send(frameHelloOK, okPayload); rerr != nil {
 		return rerr
 	}
-	srv.logf("peer: session %d: hosting %d of %d nodes (%s)", sess.id, len(sess.nodes), hello.N, spec.Name)
+	srv.logf("peer: session %d (#%d): hosting %d of %d nodes (%s)", st.id, st.seq, len(st.nodes), hello.N, spec.Name)
 
-	for _, st := range steps {
-		if rerr := sess.step(st); rerr != nil {
+	for _, step := range steps {
+		if rerr := st.step(step); rerr != nil {
 			return rerr
 		}
 	}
 
 	// The schedule is done; wait for the coordinator's end frame so the
 	// final decision frames are known-delivered before the session closes.
-	typ, _, rerr = sess.readNext()
+	typ, _, rerr = st.readNext()
 	if rerr != nil {
 		return rerr
 	}
 	if typ != frameEnd {
-		return sess.failf(-1, "post-run frame type 0x%02x, want end", typ)
+		return st.failf(-1, "post-run frame type 0x%02x, want end", typ)
 	}
 	return nil
 }
 
 // step plays the node-facing half of one schedule step.
-func (sess *session) step(st network.ScheduleStep) *network.RunError {
-	switch st.Kind {
+func (st *session) step(step network.ScheduleStep) *network.RunError {
+	switch step.Kind {
 	case network.StepChallenge:
-		for _, ns := range sess.nodes {
-			m, rerr := ns.Challenge(st.Round)
+		for _, ns := range st.nodes {
+			m, rerr := ns.Challenge(step.Round)
 			if rerr != nil {
 				return rerr
 			}
-			payload, err := encodeDelivery(st.Round, ns.V(), m)
+			payload, err := encodeDelivery(step.Round, ns.V(), m)
 			if err != nil {
-				return sess.failf(st.Round, "encoding challenge: %v", err)
+				return st.failf(step.Round, "encoding challenge: %v", err)
 			}
-			if rerr := sess.send(frameChallenge, payload); rerr != nil {
+			if rerr := st.send(frameChallenge, payload); rerr != nil {
 				return rerr
 			}
 		}
 
 	case network.StepRespond:
-		for range sess.nodes {
-			typ, payload, rerr := sess.readNext()
+		for range st.nodes {
+			typ, payload, rerr := st.readNext()
 			if rerr != nil {
 				return rerr
 			}
 			if typ != frameResponse {
-				return sess.failf(st.Round, "frame type 0x%02x during respond step", typ)
+				return st.failf(step.Round, "frame type 0x%02x during respond step", typ)
 			}
 			ri, v, m, err := decodeDelivery(payload)
 			if err != nil {
-				return sess.failf(st.Round, "response frame: %v", err)
+				return st.failf(step.Round, "response frame: %v", err)
 			}
-			ns := sess.owned[v]
-			if ri != st.Round || ns == nil {
-				return sess.failf(st.Round, "response for round %d node %d (hosting round %d)", ri, v, st.Round)
+			ns := st.owned[v]
+			if ri != step.Round || ns == nil {
+				return st.failf(step.Round, "response for round %d node %d (hosting round %d)", ri, v, step.Round)
 			}
 			ns.PushResponse(m)
 		}
 
 	case network.StepExchange:
-		srv := sess.srv
-		if srv.FailSession > 0 && sess.id == srv.FailSession {
+		srv := st.srv
+		if srv.FailSession > 0 && st.seq == srv.FailSession {
 			// Crash-test hook: die mid-round, after the handshake and at
 			// least one full message phase, without any cleanup — exactly
 			// like a peer host losing power.
-			srv.logf("peer: session %d: FailSession crash hook firing", sess.id)
+			srv.logf("peer: session %d (#%d): FailSession crash hook firing", st.id, st.seq)
 			os.Exit(2)
 		}
-		if sess.spec.Rounds[st.Round].Digest != nil {
-			for _, ns := range sess.nodes {
-				out, rerr := ns.ExchangeOut(st)
+		if srv.FailSoft > 0 && st.seq == srv.FailSoft {
+			// Isolation hook: poison just this session, mid-round. The
+			// structured error reaches only this session's coordinator;
+			// every neighbor session keeps running.
+			srv.logf("peer: session %d (#%d): FailSoft abort hook firing", st.id, st.seq)
+			return st.failf(step.Round, "FailSoft hook: session #%d aborted by configuration", st.seq)
+		}
+		if st.spec.Rounds[step.Round].Digest != nil {
+			for _, ns := range st.nodes {
+				out, rerr := ns.ExchangeOut(step)
 				if rerr != nil {
 					return rerr
 				}
-				payload, err := encodeDelivery(st.Round, ns.V(), out)
+				payload, err := encodeDelivery(step.Round, ns.V(), out)
 				if err != nil {
-					return sess.failf(st.Round, "encoding forward: %v", err)
+					return st.failf(step.Round, "encoding forward: %v", err)
 				}
-				if rerr := sess.send(frameForward, payload); rerr != nil {
+				if rerr := st.send(frameForward, payload); rerr != nil {
 					return rerr
 				}
 			}
 		}
 		want := 0
-		for _, deg := range sess.degrees {
+		for _, deg := range st.degrees {
 			want += deg
 		}
-		got := make(map[int]map[int]wire.Message, len(sess.nodes))
+		got := make(map[int]map[int]wire.Message, len(st.nodes))
 		for i := 0; i < want; i++ {
-			typ, payload, rerr := sess.readNext()
+			typ, payload, rerr := st.readNext()
 			if rerr != nil {
 				return rerr
 			}
 			if typ != frameExchange {
-				return sess.failf(st.Round, "frame type 0x%02x during exchange step", typ)
+				return st.failf(step.Round, "frame type 0x%02x during exchange step", typ)
 			}
 			ri, from, to, chal, m, err := decodeExchange(payload)
 			if err != nil {
-				return sess.failf(st.Round, "exchange frame: %v", err)
+				return st.failf(step.Round, "exchange frame: %v", err)
 			}
-			ns := sess.owned[to]
-			if ri != st.Round || chal != st.Chal || ns == nil {
-				return sess.failf(st.Round, "exchange for round %d chal=%v node %d (hosting round %d chal=%v)",
-					ri, chal, to, st.Round, st.Chal)
+			ns := st.owned[to]
+			if ri != step.Round || chal != step.Chal || ns == nil {
+				return st.failf(step.Round, "exchange for round %d chal=%v node %d (hosting round %d chal=%v)",
+					ri, chal, to, step.Round, step.Chal)
 			}
 			bucket := got[to]
 			if bucket == nil {
-				bucket = make(map[int]wire.Message, sess.degrees[to])
+				bucket = make(map[int]wire.Message, st.degrees[to])
 				got[to] = bucket
 			}
-			if _, dup := bucket[from]; dup || len(bucket) >= sess.degrees[to] {
-				return sess.failf(st.Round, "surplus exchange %d→%d", from, to)
+			if _, dup := bucket[from]; dup || len(bucket) >= st.degrees[to] {
+				return st.failf(step.Round, "surplus exchange %d→%d", from, to)
 			}
 			bucket[from] = m
 		}
-		for _, ns := range sess.nodes {
+		for _, ns := range st.nodes {
 			bucket := got[ns.V()]
 			if bucket == nil {
 				bucket = make(map[int]wire.Message)
 			}
-			ns.PushExchange(st, bucket)
+			ns.PushExchange(step, bucket)
 		}
 
 	case network.StepDecide:
-		for _, ns := range sess.nodes {
+		for _, ns := range st.nodes {
 			d, rerr := ns.Decide()
 			if rerr != nil {
 				return rerr
 			}
-			if rerr := sess.send(frameDecision, encodeDecision(ns.V(), d)); rerr != nil {
+			if rerr := st.send(frameDecision, encodeDecision(ns.V(), d)); rerr != nil {
 				return rerr
 			}
 		}

@@ -176,20 +176,36 @@ func RunContext(ctx context.Context, req Request) (Report, error) {
 }
 
 // engineOptions validates the request options and maps them onto the
-// engine's knobs.
-func engineOptions(opts Options) (network.Options, error) {
+// engine's knobs. A fleet transport riding on the context (Fleet.Run)
+// selects the networked executor; otherwise the run stays in-process.
+func engineOptions(ctx context.Context, opts Options) (network.Options, error) {
 	timeout, err := resolveTimeout(opts.Timeout)
 	if err != nil {
 		return network.Options{}, err
 	}
-	return network.Options{Seed: opts.Seed, ProverTimeout: timeout}, nil
+	return network.Options{Seed: opts.Seed, ProverTimeout: timeout, Transport: transportFrom(ctx)}, nil
+}
+
+// transportKey carries a Fleet.Run transport through RunContext to the
+// engine call sites. A context key (rather than a Request field) keeps
+// the transport out of the wire format: a Request stays a pure value, and
+// placement is a property of how it is run, not of the instance.
+type transportKey struct{}
+
+func withTransport(ctx context.Context, t network.Transport) context.Context {
+	return context.WithValue(ctx, transportKey{}, t)
+}
+
+func transportFrom(ctx context.Context) network.Transport {
+	t, _ := ctx.Value(transportKey{}).(network.Transport)
+	return t
 }
 
 // finish runs an assembled single-graph instance (no node inputs) through
 // the engine and shapes the Report.
 func finish(ctx context.Context, name string, spec *network.Spec, g *graph.Graph,
 	prover network.Prover, opts Options) (Report, error) {
-	nopts, err := engineOptions(opts)
+	nopts, err := engineOptions(ctx, opts)
 	if err != nil {
 		return Report{}, err
 	}
@@ -328,7 +344,7 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 	if err != nil {
 		return Report{}, asBadRequest(err)
 	}
-	nopts, err := engineOptions(req.Options)
+	nopts, err := engineOptions(ctx, req.Options)
 	if err != nil {
 		return Report{}, err
 	}
@@ -343,7 +359,7 @@ func runGNIMarked(ctx context.Context, req *Request) (Report, error) {
 // node inputs, row by row.
 func finishGNI(ctx context.Context, name string, spec *network.Spec, g0, g1 *graph.Graph,
 	prover network.Prover, opts Options) (Report, error) {
-	nopts, err := engineOptions(opts)
+	nopts, err := engineOptions(ctx, opts)
 	if err != nil {
 		return Report{}, err
 	}
